@@ -1,0 +1,18 @@
+// Thin entry point for the dapsp command-line tool; all logic lives in
+// src/cli/ so it is unit-testable.
+#include <iostream>
+#include <vector>
+
+#include "cli/commands.hpp"
+#include "cli/options.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    const dapsp::cli::Options opt = dapsp::cli::parse_options(args);
+    return dapsp::cli::run_command(opt, std::cout, std::cerr);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

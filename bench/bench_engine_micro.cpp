@@ -1,0 +1,70 @@
+// Microbenchmarks (google-benchmark) for the simulator substrate itself:
+// wall-clock cost per simulated round, message delivery throughput, and the
+// exact-key arithmetic.  These measure the *simulator*, not the algorithms'
+// round complexity (that's what E1-E9 report).
+#include <benchmark/benchmark.h>
+
+#include "baseline/bf_apsp.hpp"
+#include "core/key.hpp"
+#include "core/pipelined_ssp.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "util/int_math.hpp"
+
+namespace {
+
+using namespace dapsp;
+
+void BM_EngineFloodRound(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const graph::Graph g = graph::erdos_renyi(n, 4.0 / n, {1, 4, 0.0}, 1);
+  for (auto _ : state) {
+    auto res = baseline::bf_sssp(g, 0);
+    benchmark::DoNotOptimize(res.dist.data());
+    state.counters["rounds"] = static_cast<double>(res.stats.rounds);
+  }
+}
+BENCHMARK(BM_EngineFloodRound)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_PipelinedApsp(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const graph::Graph g = graph::erdos_renyi(n, 4.0 / n, {0, 6, 0.2}, 2);
+  const graph::Weight delta = graph::max_finite_distance(g);
+  for (auto _ : state) {
+    auto res = core::pipelined_apsp(g, delta);
+    benchmark::DoNotOptimize(res.dist.data());
+    state.counters["simulated_rounds"] =
+        static_cast<double>(res.stats.rounds);
+    state.counters["messages"] = static_cast<double>(res.stats.total_messages);
+  }
+}
+BENCHMARK(BM_PipelinedApsp)->Arg(24)->Arg(48);
+
+void BM_KeyCompare(benchmark::State& state) {
+  const core::GammaSq gamma{1234, 567};
+  std::uint64_t acc = 0;
+  std::int64_t d = 1;
+  for (auto _ : state) {
+    const core::Key a{d % 100000, static_cast<std::uint32_t>(d % 64)};
+    const core::Key b{(d * 7) % 100000, static_cast<std::uint32_t>(d % 61)};
+    acc += static_cast<std::uint64_t>(a.compare(b, gamma) + 1);
+    ++d;
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_KeyCompare);
+
+void BM_CeilMulSqrt(benchmark::State& state) {
+  std::uint64_t acc = 0;
+  std::uint64_t d = 1;
+  for (auto _ : state) {
+    acc += util::ceil_mul_sqrt(d % 1000000, 12345, 678);
+    ++d;
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_CeilMulSqrt);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// E6 -- Lemma II.15: short-range (Algorithm 2) dilation and congestion.
+//
+// Single-source short-range with the paper's gamma = sqrt(h): dilation
+// (settle round) <= ceil(Delta*sqrt(h)) + h and per-node congestion
+// (messages per source over the whole run) <= sqrt(h) + 1.  The multi-source
+// variant switches to gamma = sqrt(hk/Delta) as in Section II-C's closing
+// remark.
+#include "core/short_range.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "harness.hpp"
+
+int main() {
+  using namespace dapsp;
+  using bench::fmt;
+
+  bench::banner("E6: Lemma II.15 (short-range Algorithm 2)",
+                "Dilation and congestion vs their bounds under an h sweep; "
+                "'late sends' is the Invariant-1 canary and must be 0.");
+
+  const graph::NodeId n = 48;
+  const graph::Graph g = graph::erdos_renyi(n, 0.1, {0, 4, 0.3}, 31337);
+
+  {
+    bench::Table table({"h", "Delta_h", "settle", "dilation bound",
+                        "congestion", "congestion bound", "late sends"});
+    for (const std::uint32_t h : {4u, 9u, 16u, 25u, 47u}) {
+      core::ShortRangeParams p;
+      p.sources = {0};
+      p.h = h;
+      p.delta = graph::max_finite_hop_distance(g, h);
+      const auto res = core::short_range(g, p);
+      table.row({fmt(std::uint64_t{h}),
+                 fmt(static_cast<std::uint64_t>(p.delta)),
+                 fmt(res.settle_round), fmt(res.dilation_bound),
+                 fmt(res.max_sends_per_node), fmt(res.congestion_bound),
+                 fmt(res.late_sends)});
+    }
+    std::cout << "-- single source (gamma = sqrt(h)) --\n";
+    table.print();
+  }
+
+  {
+    bench::Table table({"k", "h", "settle", "dilation bound", "congestion",
+                        "congestion bound"});
+    for (const std::uint32_t k : {2u, 6u, 12u}) {
+      for (const std::uint32_t h : {4u, 16u}) {
+        core::ShortRangeParams p;
+        for (std::uint32_t i = 0; i < k; ++i) {
+          p.sources.push_back((i * 11) % n);
+        }
+        p.h = h;
+        p.delta = graph::max_finite_hop_distance(g, h);
+        const auto res = core::short_range(g, p);
+        table.row({fmt(std::uint64_t{k}), fmt(std::uint64_t{h}),
+                   fmt(res.settle_round), fmt(res.dilation_bound),
+                   fmt(res.max_sends_per_node), fmt(res.congestion_bound)});
+      }
+    }
+    std::cout << "\n-- k sources (gamma = sqrt(hk/Delta)) --\n";
+    table.print();
+  }
+
+  {
+    // Extension: seed one node per "region" with a precomputed distance and
+    // extend by h hops (the short-range-extension of [13]).
+    bench::Table table({"h", "settle", "dilation bound", "congestion"});
+    for (const std::uint32_t h : {4u, 9u, 16u}) {
+      core::ShortRangeParams p;
+      p.sources = {0};
+      p.h = h;
+      p.delta = 400;
+      p.initial.assign(1, std::vector<graph::Weight>(n, graph::kInfDist));
+      p.initial[0][0] = 0;
+      p.initial[0][n / 2] = 17;
+      p.initial[0][n - 1] = 40;
+      const auto res = core::short_range(g, p);
+      table.row({fmt(std::uint64_t{h}), fmt(res.settle_round),
+                 fmt(res.dilation_bound), fmt(res.max_sends_per_node)});
+    }
+    std::cout << "\n-- short-range-extension (3 seeded nodes) --\n";
+    table.print();
+  }
+  return 0;
+}

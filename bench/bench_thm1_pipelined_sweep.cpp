@@ -1,0 +1,136 @@
+// E4 -- Theorem I.1 / Lemma II.14 round-bound sweeps for Algorithm 1.
+//
+// Measured settle rounds vs the 2*sqrt(h*k*Delta) + h + k bound while
+// sweeping Delta (at fixed n, k, h), then k, then h.  Shape expectations:
+// settle grows ~sqrt(Delta) and ~sqrt(k); the bound column always
+// dominates; Invariant-2 occupancy stays below h/gamma + 1.
+#include "core/bounds.hpp"
+#include "core/pipelined_ssp.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "harness.hpp"
+#include "util/int_math.hpp"
+
+int main() {
+  using namespace dapsp;
+  using bench::fmt;
+
+  bench::banner("E4: Theorem I.1 sweeps (Algorithm 1)",
+                "Measured settle round vs the Lemma II.14 bound under "
+                "Delta / k / h sweeps.");
+
+  {
+    bench::Table table({"Delta<=", "measured Delta", "settle", "bound",
+                        "ratio", "inv2 occupancy", "inv2 cap", "late fires"});
+    const graph::NodeId n = 56;
+    const std::uint32_t h = 10;
+    for (const graph::Weight target : {8, 32, 128, 512}) {
+      const graph::Graph g =
+          graph::bounded_distance_graph(n, 0.12, target, 999);
+      core::PipelinedParams p;
+      for (graph::NodeId v = 0; v < n; v += 2) p.sources.push_back(v);
+      p.h = h;
+      p.delta = graph::max_finite_hop_distance(g, h);
+      const auto k = static_cast<std::uint64_t>(p.sources.size());
+      const auto du = static_cast<std::uint64_t>(p.delta);
+      const auto res = core::pipelined_kssp(g, p);
+      const std::uint64_t bound = core::bounds::hk_ssp(h, k, du);
+      const std::uint64_t cap =
+          util::ceil_mul_sqrt(h, du == 0 ? 1 : du, k * h) + 1;
+      table.row({fmt(std::int64_t{target}), fmt(du), fmt(res.settle_round),
+                 fmt(bound),
+                 fmt(static_cast<double>(res.settle_round) /
+                         static_cast<double>(bound),
+                     2),
+                 fmt(res.max_entries_per_source), fmt(cap),
+                 fmt(res.late_fires)});
+    }
+    std::cout << "-- Delta sweep (n=56, k=28, h=10) --\n";
+    table.print();
+  }
+
+  {
+    bench::Table table({"k", "settle", "bound", "ratio", "messages"});
+    const graph::NodeId n = 56;
+    const std::uint32_t h = 10;
+    const graph::Graph g =
+        graph::erdos_renyi(n, 0.12, {0, 8, 0.25}, 1001);
+    for (const std::uint32_t k : {2u, 7u, 14u, 28u, 56u}) {
+      core::PipelinedParams p;
+      for (std::uint32_t i = 0; i < k; ++i) {
+        p.sources.push_back((i * 13) % n);
+      }
+      p.h = h;
+      p.delta = graph::max_finite_hop_distance(g, h);
+      const auto res = core::pipelined_kssp(g, p);
+      const std::uint64_t bound = core::bounds::hk_ssp(
+          h, res.sources.size(), static_cast<std::uint64_t>(p.delta));
+      table.row({fmt(std::uint64_t{k}), fmt(res.settle_round), fmt(bound),
+                 fmt(static_cast<double>(res.settle_round) /
+                         static_cast<double>(bound),
+                     2),
+                 fmt(res.stats.total_messages)});
+    }
+    std::cout << "\n-- k sweep (n=56, h=10) --\n";
+    table.print();
+  }
+
+  {
+    bench::Table table({"h", "settle", "bound", "ratio", "inv2 occupancy",
+                        "max sends/source"});
+    const graph::NodeId n = 56;
+    const graph::Graph g =
+        graph::erdos_renyi(n, 0.12, {0, 8, 0.25}, 1002);
+    for (const std::uint32_t h : {2u, 5u, 10u, 25u, 55u}) {
+      core::PipelinedParams p;
+      for (graph::NodeId v = 0; v < n; v += 4) p.sources.push_back(v);
+      p.h = h;
+      p.delta = graph::max_finite_hop_distance(g, h);
+      const auto res = core::pipelined_kssp(g, p);
+      const std::uint64_t bound = core::bounds::hk_ssp(
+          h, res.sources.size(), static_cast<std::uint64_t>(p.delta));
+      table.row({fmt(std::uint64_t{h}), fmt(res.settle_round), fmt(bound),
+                 fmt(static_cast<double>(res.settle_round) /
+                         static_cast<double>(bound),
+                     2),
+                 fmt(res.max_entries_per_source),
+                 fmt(res.max_sends_per_source)});
+    }
+    std::cout << "\n-- h sweep (n=56, k=14) --\n";
+    table.print();
+  }
+
+  {
+    // The pipeline "wave": per-round traffic for an APSP run, bucketed into
+    // deciles of the execution.  The sustained plateau is the pipelining --
+    // entries of many sources in flight at once, one message per node per
+    // round -- rather than a per-source burst pattern.
+    const graph::NodeId n = 48;
+    const graph::Graph g = graph::erdos_renyi(n, 0.1, {0, 8, 0.25}, 1003);
+    core::PipelinedParams p;
+    for (graph::NodeId v = 0; v < n; ++v) p.sources.push_back(v);
+    p.h = n - 1;
+    p.delta = graph::max_finite_distance(g);
+    p.record_per_round = true;
+    const auto res = core::pipelined_kssp(g, p);
+    const auto& wave = res.stats.per_round_messages;
+    bench::Table table({"decile", "rounds", "messages", "avg msgs/round"});
+    const std::size_t buckets = 10;
+    const std::size_t width = std::max<std::size_t>(1, wave.size() / buckets);
+    for (std::size_t b = 0; b < buckets && b * width < wave.size(); ++b) {
+      const std::size_t lo = b * width;
+      const std::size_t hi =
+          b + 1 == buckets ? wave.size() : std::min(wave.size(), lo + width);
+      std::uint64_t sum = 0;
+      for (std::size_t i = lo; i < hi; ++i) sum += wave[i];
+      table.row({fmt(static_cast<std::uint64_t>(b + 1)),
+                 fmt(static_cast<std::uint64_t>(hi - lo)), fmt(sum),
+                 fmt(static_cast<double>(sum) /
+                         static_cast<double>(std::max<std::size_t>(hi - lo, 1)),
+                     1)});
+    }
+    std::cout << "\n-- APSP pipeline wave (n=48, per-round traffic) --\n";
+    table.print();
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// E8 -- Theorem I.5: (1+eps)-approximate APSP with zero weights.
+//
+// Shape expectations: rounds grow as eps shrinks (our per-scale construction
+// gives ~(n/eps) log(nW), inside the theorem's O((n/eps^2) log n)); the
+// worst observed ratio never exceeds 1+eps; zero-reachable pairs are exact.
+#include "core/approx_apsp.hpp"
+#include "graph/generators.hpp"
+#include "harness.hpp"
+#include "seq/dijkstra.hpp"
+
+int main() {
+  using namespace dapsp;
+  using bench::fmt;
+
+  bench::banner("E8: Theorem I.5 ((1+eps)-approximate APSP)",
+                "eps sweep on a zero-weight-heavy graph.");
+
+  const graph::NodeId n = 28;
+  graph::WeightSpec spec;
+  spec.min_weight = 0;
+  spec.max_weight = 32;
+  spec.zero_fraction = 0.4;
+  const graph::Graph g = graph::erdos_renyi(n, 3.5 / n, spec, 888);
+  const auto exact = seq::apsp(g);
+
+  bench::Table table({"eps", "scales", "rounds", "impl bound", "paper bound",
+                      "worst ratio", "allowed", "mean ratio"});
+
+  for (const double eps : {2.0, 1.0, 0.5, 0.25, 0.125}) {
+    core::ApproxApspParams p;
+    p.eps = eps;
+    const auto res = core::approx_apsp(g, p);
+    double worst = 1.0, sum = 0.0;
+    std::uint64_t count = 0;
+    for (graph::NodeId s = 0; s < n; ++s) {
+      for (graph::NodeId v = 0; v < n; ++v) {
+        if (exact[s][v] == graph::kInfDist || exact[s][v] == 0) continue;
+        const double r = static_cast<double>(res.dist[s][v]) /
+                         static_cast<double>(exact[s][v]);
+        worst = std::max(worst, r);
+        sum += r;
+        ++count;
+      }
+    }
+    table.row({fmt(eps, 3), fmt(std::uint64_t{res.scales}),
+               fmt(res.stats.rounds), fmt(res.implementation_bound),
+               fmt(res.paper_bound), fmt(worst, 4), fmt(1.0 + eps, 3),
+               fmt(count > 0 ? sum / static_cast<double>(count) : 1.0, 4)});
+  }
+  table.print();
+  return 0;
+}

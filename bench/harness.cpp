@@ -1,0 +1,52 @@
+#include "harness.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace dapsp::bench {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::row(const std::vector<std::string>& cells) {
+  rows_.push_back(cells);
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      if (c < row.size()) widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    os << "| ";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : "";
+      os << std::setw(static_cast<int>(widths[c])) << cell << " | ";
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  os << "|";
+  for (const std::size_t w : widths) os << std::string(w + 2, '-') << "-|";
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt(std::uint64_t v) { return std::to_string(v); }
+std::string fmt(std::int64_t v) { return std::to_string(v); }
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void banner(const std::string& experiment, const std::string& description) {
+  std::cout << "\n=== " << experiment << " ===\n" << description << "\n\n";
+}
+
+}  // namespace dapsp::bench

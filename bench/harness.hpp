@@ -1,0 +1,35 @@
+// Table-printing helpers shared by the per-experiment bench binaries.
+//
+// Each bench regenerates one table/figure of the paper: it prints an aligned
+// text table with a "paper bound" column next to the measured rounds so the
+// shape comparison the reproduction cares about is visible at a glance.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace dapsp::bench {
+
+/// Fixed-width table writer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& row(const std::vector<std::string>& cells);
+  void print(std::ostream& os = std::cout) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string fmt(std::uint64_t v);
+std::string fmt(std::int64_t v);
+std::string fmt(double v, int precision = 2);
+
+/// Prints the standard experiment banner.
+void banner(const std::string& experiment, const std::string& description);
+
+}  // namespace dapsp::bench

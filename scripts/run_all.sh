@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Build, test, and regenerate every paper table/figure, capturing the
+# reference outputs the repository ships (test_output.txt, bench_output.txt).
+set -e
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/bench_*; do "$b"; done 2>&1 | tee bench_output.txt
+echo "done: test_output.txt, bench_output.txt"

@@ -1,0 +1,286 @@
+#include "cli/commands.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "baseline/bf_apsp.hpp"
+#include "core/approx_apsp.hpp"
+#include "core/blocker_apsp.hpp"
+#include "core/bounds.hpp"
+#include "core/pipelined_ssp.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/properties.hpp"
+
+namespace dapsp::cli {
+
+namespace {
+
+using graph::Graph;
+using graph::kInfDist;
+using graph::NodeId;
+using graph::Weight;
+
+/// Distance matrix + provenance shared by all APSP-ish commands.
+struct DistOutput {
+  std::vector<NodeId> sources;
+  std::vector<std::vector<Weight>> dist;
+  congest::RunStats stats;
+  std::uint64_t bound = 0;
+  std::string algo;
+};
+
+void write_table(const DistOutput& r, bool quiet, std::ostream& out) {
+  out << "algorithm: " << r.algo << "\n"
+      << "rounds: " << r.stats.rounds << " (bound " << r.bound << ")\n"
+      << "messages: " << r.stats.total_messages
+      << "  max-link-congestion: " << r.stats.max_link_congestion << "\n";
+  if (quiet) return;
+  const std::size_t n = r.dist.empty() ? 0 : r.dist[0].size();
+  out << "dist:\n     ";
+  for (std::size_t v = 0; v < n; ++v) out << std::setw(5) << v;
+  out << "\n";
+  for (std::size_t i = 0; i < r.dist.size(); ++i) {
+    out << std::setw(4) << r.sources[i] << " ";
+    for (std::size_t v = 0; v < n; ++v) {
+      if (r.dist[i][v] == kInfDist) {
+        out << std::setw(5) << "inf";
+      } else {
+        out << std::setw(5) << r.dist[i][v];
+      }
+    }
+    out << "\n";
+  }
+}
+
+void write_json(const DistOutput& r, bool quiet, std::ostream& out) {
+  out << "{\n  \"algorithm\": \"" << r.algo << "\",\n"
+      << "  \"rounds\": " << r.stats.rounds << ",\n"
+      << "  \"bound\": " << r.bound << ",\n"
+      << "  \"messages\": " << r.stats.total_messages << ",\n"
+      << "  \"max_link_congestion\": " << r.stats.max_link_congestion;
+  if (!quiet) {
+    out << ",\n  \"sources\": [";
+    for (std::size_t i = 0; i < r.sources.size(); ++i) {
+      out << (i ? "," : "") << r.sources[i];
+    }
+    out << "],\n  \"dist\": [";
+    for (std::size_t i = 0; i < r.dist.size(); ++i) {
+      out << (i ? ",\n           " : "") << "[";
+      for (std::size_t v = 0; v < r.dist[i].size(); ++v) {
+        out << (v ? "," : "");
+        if (r.dist[i][v] == kInfDist) {
+          out << "null";
+        } else {
+          out << r.dist[i][v];
+        }
+      }
+      out << "]";
+    }
+    out << "]";
+  }
+  out << "\n}\n";
+}
+
+void write_csv(const DistOutput& r, std::ostream& out) {
+  // Header comment rows, then source,target,dist rows (inf omitted).
+  out << "# algorithm," << r.algo << "\n# rounds," << r.stats.rounds
+      << "\n# messages," << r.stats.total_messages << "\n";
+  out << "source,target,dist\n";
+  for (std::size_t i = 0; i < r.dist.size(); ++i) {
+    for (std::size_t v = 0; v < r.dist[i].size(); ++v) {
+      if (r.dist[i][v] == kInfDist) continue;
+      out << r.sources[i] << ',' << v << ',' << r.dist[i][v] << "\n";
+    }
+  }
+}
+
+void emit(const Options& opt, const DistOutput& r, std::ostream& out) {
+  std::ostringstream buffer;
+  if (opt.format == Format::kJson) {
+    write_json(r, opt.quiet, buffer);
+  } else if (opt.format == Format::kCsv) {
+    write_csv(r, buffer);
+  } else {
+    write_table(r, opt.quiet, buffer);
+  }
+  if (opt.out_file) {
+    std::ofstream file(*opt.out_file);
+    if (!file) throw std::runtime_error("cannot open " + *opt.out_file);
+    file << buffer.str();
+  } else {
+    out << buffer.str();
+  }
+}
+
+DistOutput run_apsp(const Options& opt, const Graph& g) {
+  DistOutput r;
+  r.sources.resize(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) r.sources[v] = v;
+  switch (opt.algo) {
+    case Algo::kPipelined: {
+      const Weight delta = graph::max_finite_distance(g);
+      auto res = core::pipelined_apsp(g, delta);
+      r.dist = std::move(res.dist);
+      r.stats = res.stats;
+      r.bound = res.theoretical_bound;
+      r.algo = "pipelined (Algorithm 1, Thm I.1 ii)";
+      break;
+    }
+    case Algo::kBlocker: {
+      core::BlockerApspParams p;
+      p.h = opt.h;
+      auto res = core::blocker_apsp(g, p);
+      r.dist = std::move(res.dist);
+      r.stats = res.stats;
+      r.bound = res.theoretical_bound;
+      r.algo = "blocker (Algorithm 3, Thm I.2, h=" + std::to_string(res.h) + ")";
+      break;
+    }
+    case Algo::kBellmanFord: {
+      auto res = baseline::bf_apsp(g);
+      r.dist = std::move(res.dist);
+      r.stats = res.stats;
+      r.bound = static_cast<std::uint64_t>(g.node_count()) *
+                (g.node_count() + 2ULL);
+      r.algo = "bellman-ford baseline (n sequential SSSPs)";
+      break;
+    }
+  }
+  return r;
+}
+
+DistOutput run_kssp(const Options& opt, const Graph& g) {
+  DistOutput r;
+  const Weight delta = graph::max_finite_distance(g);
+  if (opt.algo == Algo::kBlocker) {
+    core::BlockerApspParams p;
+    p.sources = opt.sources;
+    p.h = opt.h;
+    auto res = core::blocker_apsp(g, p);
+    r.sources = res.sources;
+    r.dist = std::move(res.dist);
+    r.stats = res.stats;
+    r.bound = res.theoretical_bound;
+    r.algo = "blocker k-SSP (Algorithm 3)";
+  } else {
+    auto res = core::pipelined_kssp_full(g, opt.sources, delta);
+    r.sources = res.sources;
+    r.dist = std::move(res.dist);
+    r.stats = res.stats;
+    r.bound = res.theoretical_bound;
+    r.algo = "pipelined k-SSP (Thm I.1 iii)";
+  }
+  return r;
+}
+
+DistOutput run_approx(const Options& opt, const Graph& g) {
+  core::ApproxApspParams p;
+  p.eps = opt.eps;
+  auto res = core::approx_apsp(g, p);
+  DistOutput r;
+  r.sources.resize(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) r.sources[v] = v;
+  r.dist = std::move(res.dist);
+  r.stats = res.stats;
+  r.bound = res.implementation_bound;
+  std::ostringstream name;
+  name << "approx APSP (Thm I.5, eps=" << opt.eps << ", " << res.scales
+       << " scales)";
+  r.algo = name.str();
+  return r;
+}
+
+int cmd_info(const Options& opt, const Graph& g, std::ostream& out) {
+  const Weight delta = graph::max_finite_distance(g);
+  out << "nodes: " << g.node_count() << "\n"
+      << "edges: " << g.comm_edge_count()
+      << (g.directed() ? " (directed arcs: " + std::to_string(g.edge_count()) + ")"
+                       : "")
+      << "\n"
+      << "max weight W: " << g.max_weight() << "\n"
+      << "max finite distance Delta: " << delta << "\n"
+      << "comm diameter: " << graph::comm_diameter(g) << "\n"
+      << "strongly connected: "
+      << (graph::strongly_connected(g) ? "yes" : "no") << "\n"
+      << "Thm I.1(ii) APSP bound: "
+      << core::bounds::apsp_pipelined(g.node_count(),
+                                      static_cast<std::uint64_t>(delta))
+      << " rounds\n";
+  if (opt.dot_file) {
+    std::ofstream dot(*opt.dot_file);
+    if (!dot) throw std::runtime_error("cannot open " + *opt.dot_file);
+    graph::write_dot(dot, g);
+  }
+  return 0;
+}
+
+int cmd_gen(const Options& opt, const Graph& g, std::ostream& out) {
+  if (opt.out_file) {
+    graph::save_graph(*opt.out_file, g);
+  } else {
+    graph::write_graph(out, g);
+  }
+  if (opt.dot_file) {
+    std::ofstream dot(*opt.dot_file);
+    if (!dot) throw std::runtime_error("cannot open " + *opt.dot_file);
+    graph::write_dot(dot, g);
+  }
+  return 0;
+}
+
+}  // namespace
+
+Graph make_input_graph(const Options& opt) {
+  if (opt.graph_file) return graph::load_graph(*opt.graph_file);
+  const graph::WeightSpec w{opt.wmin, opt.wmax, opt.zero_fraction};
+  if (opt.gen == "erdos_renyi") {
+    return graph::erdos_renyi(opt.n, opt.p, w, opt.seed, opt.directed);
+  }
+  if (opt.gen == "grid") {
+    const auto side = static_cast<NodeId>(std::max<NodeId>(
+        2, static_cast<NodeId>(std::sqrt(static_cast<double>(opt.n)))));
+    return graph::grid(side, (opt.n + side - 1) / side, w, opt.seed);
+  }
+  if (opt.gen == "cycle") return graph::cycle(opt.n, w, opt.seed, opt.directed);
+  if (opt.gen == "path") return graph::path(opt.n, w, opt.seed, opt.directed);
+  if (opt.gen == "tree") return graph::random_tree(opt.n, w, opt.seed);
+  if (opt.gen == "ba") return graph::barabasi_albert(opt.n, 2, w, opt.seed);
+  throw std::invalid_argument("unknown generator '" + opt.gen + "'");
+}
+
+int run_command(const Options& opt, std::ostream& out, std::ostream& err) {
+  try {
+    if (opt.command == Command::kHelp) {
+      out << usage();
+      return 0;
+    }
+    const Graph g = make_input_graph(opt);
+    switch (opt.command) {
+      case Command::kGen:
+        return cmd_gen(opt, g, out);
+      case Command::kInfo:
+        return cmd_info(opt, g, out);
+      case Command::kApsp:
+        emit(opt, run_apsp(opt, g), out);
+        return 0;
+      case Command::kKssp:
+        emit(opt, run_kssp(opt, g), out);
+        return 0;
+      case Command::kApprox:
+        emit(opt, run_approx(opt, g), out);
+        return 0;
+      case Command::kHelp:
+        break;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace dapsp::cli

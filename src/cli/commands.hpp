@@ -1,0 +1,17 @@
+// Command execution for dapsp_cli: builds/loads the graph, runs the chosen
+// algorithm in the CONGEST simulator, and renders results as a text table or
+// JSON.  Returns a process exit code; all output goes to the given streams.
+#pragma once
+
+#include <iosfwd>
+
+#include "cli/options.hpp"
+
+namespace dapsp::cli {
+
+int run_command(const Options& opt, std::ostream& out, std::ostream& err);
+
+/// Builds the input graph from `opt` (file or generator); exposed for tests.
+graph::Graph make_input_graph(const Options& opt);
+
+}  // namespace dapsp::cli

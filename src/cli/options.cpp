@@ -1,0 +1,177 @@
+#include "cli/options.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+namespace dapsp::cli {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& msg) {
+  throw std::invalid_argument(msg + " (try --help)");
+}
+
+std::int64_t parse_int(const std::string& flag, const std::string& value) {
+  std::int64_t out = 0;
+  const auto* end = value.data() + value.size();
+  const auto [ptr, ec] = std::from_chars(value.data(), end, out);
+  if (ec != std::errc{} || ptr != end) {
+    fail("bad integer for " + flag + ": '" + value + "'");
+  }
+  return out;
+}
+
+double parse_double(const std::string& flag, const std::string& value) {
+  std::size_t used = 0;
+  double out = 0;
+  try {
+    out = std::stod(value, &used);
+  } catch (const std::exception&) {
+    fail("bad number for " + flag + ": '" + value + "'");
+  }
+  if (used != value.size()) {
+    fail("bad number for " + flag + ": '" + value + "'");
+  }
+  return out;
+}
+
+std::vector<graph::NodeId> parse_id_list(const std::string& flag,
+                                         const std::string& value) {
+  std::vector<graph::NodeId> out;
+  std::stringstream ss(value);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) fail("empty id in " + flag);
+    out.push_back(static_cast<graph::NodeId>(parse_int(flag, item)));
+  }
+  if (out.empty()) fail(flag + " needs at least one id");
+  return out;
+}
+
+Command parse_command(const std::string& word) {
+  if (word == "gen") return Command::kGen;
+  if (word == "info") return Command::kInfo;
+  if (word == "apsp") return Command::kApsp;
+  if (word == "kssp") return Command::kKssp;
+  if (word == "approx") return Command::kApprox;
+  if (word == "help" || word == "--help" || word == "-h") return Command::kHelp;
+  fail("unknown command '" + word + "'");
+}
+
+}  // namespace
+
+Options parse_options(const std::vector<std::string>& args) {
+  Options opt;
+  if (args.empty()) return opt;  // kHelp
+  opt.command = parse_command(args[0]);
+
+  std::size_t i = 1;
+  const auto next_value = [&](const std::string& flag) -> std::string {
+    if (i + 1 >= args.size()) fail(flag + " needs a value");
+    return args[++i];
+  };
+
+  for (; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--graph") {
+      opt.graph_file = next_value(a);
+    } else if (a == "--gen") {
+      opt.gen = next_value(a);
+    } else if (a == "--n") {
+      opt.n = static_cast<graph::NodeId>(parse_int(a, next_value(a)));
+    } else if (a == "--p") {
+      opt.p = parse_double(a, next_value(a));
+    } else if (a == "--wmin") {
+      opt.wmin = parse_int(a, next_value(a));
+    } else if (a == "--wmax") {
+      opt.wmax = parse_int(a, next_value(a));
+    } else if (a == "--zero") {
+      opt.zero_fraction = parse_double(a, next_value(a));
+    } else if (a == "--seed") {
+      opt.seed = static_cast<std::uint64_t>(parse_int(a, next_value(a)));
+    } else if (a == "--directed") {
+      opt.directed = true;
+    } else if (a == "--algo") {
+      const std::string v = next_value(a);
+      if (v == "pipelined") {
+        opt.algo = Algo::kPipelined;
+      } else if (v == "blocker") {
+        opt.algo = Algo::kBlocker;
+      } else if (v == "bf") {
+        opt.algo = Algo::kBellmanFord;
+      } else {
+        fail("unknown --algo '" + v + "' (pipelined|blocker|bf)");
+      }
+    } else if (a == "--sources") {
+      opt.sources = parse_id_list(a, next_value(a));
+    } else if (a == "--h") {
+      opt.h = static_cast<std::uint32_t>(parse_int(a, next_value(a)));
+    } else if (a == "--eps") {
+      opt.eps = parse_double(a, next_value(a));
+    } else if (a == "--format") {
+      const std::string v = next_value(a);
+      if (v == "table") {
+        opt.format = Format::kTable;
+      } else if (v == "json") {
+        opt.format = Format::kJson;
+      } else if (v == "csv") {
+        opt.format = Format::kCsv;
+      } else {
+        fail("unknown --format '" + v + "' (table|json|csv)");
+      }
+    } else if (a == "--out") {
+      opt.out_file = next_value(a);
+    } else if (a == "--dot") {
+      opt.dot_file = next_value(a);
+    } else if (a == "--quiet") {
+      opt.quiet = true;
+    } else {
+      fail("unknown flag '" + a + "'");
+    }
+  }
+
+  if (opt.command == Command::kKssp && opt.sources.empty()) {
+    fail("kssp needs --sources");
+  }
+  if (opt.eps <= 0) fail("--eps must be positive");
+  if (opt.wmin < 0 || opt.wmax < opt.wmin) fail("bad weight range");
+  return opt;
+}
+
+std::string usage() {
+  return R"(dapsp_cli -- distributed weighted APSP (CONGEST) toolbox
+
+usage: dapsp_cli <command> [flags]
+
+commands:
+  gen      generate a graph (write with --out / --dot)
+  info     print graph statistics (n, m, W, Delta, diameter)
+  apsp     exact all-pairs shortest paths
+  kssp     exact k-source shortest paths (needs --sources)
+  approx   (1+eps)-approximate APSP
+  help     this text
+
+input (choose one):
+  --graph FILE             load a dapsp edge-list file
+  --gen KIND               erdos_renyi|grid|cycle|path|tree|ba  [erdos_renyi]
+  --n N --p P              generator size / density              [32, 0.1]
+  --wmin W --wmax W        weight range                          [0, 8]
+  --zero F                 fraction of zero-weight edges         [0]
+  --seed S --directed      determinism / directedness
+
+algorithm:
+  --algo pipelined|blocker|bf   APSP engine                      [pipelined]
+  --sources 0,3,5               k-SSP sources
+  --h H                         hop parameter for blocker        [auto]
+  --eps E                       approximation quality            [0.5]
+
+output:
+  --format table|json|csv  result format                         [table]
+  --out FILE               write results / generated graph to FILE
+  --dot FILE               write graphviz DOT of the graph
+  --quiet                  stats only, no distance matrix
+)";
+}
+
+}  // namespace dapsp::cli

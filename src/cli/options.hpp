@@ -1,0 +1,63 @@
+// Command-line parsing for the dapsp_cli tool.
+//
+// Kept as a library (thin main in apps/) so the parser and command logic are
+// unit-testable.  Flags follow "--name value" / "--flag" conventions; the
+// parser is strict: unknown flags and malformed values are errors, because a
+// silently-ignored typo in an experiment script corrupts results.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dapsp::cli {
+
+enum class Command {
+  kGen,      ///< generate a graph and write it (or its DOT) out
+  kInfo,     ///< print graph statistics
+  kApsp,     ///< exact APSP (pipelined | blocker | bf)
+  kKssp,     ///< exact k-SSP from --sources
+  kApprox,   ///< (1+eps)-approximate APSP
+  kHelp,
+};
+
+enum class Algo { kPipelined, kBlocker, kBellmanFord };
+enum class Format { kTable, kJson, kCsv };
+
+struct Options {
+  Command command = Command::kHelp;
+
+  // Input: either a file or a generator spec.
+  std::optional<std::string> graph_file;
+  std::string gen = "erdos_renyi";  // erdos_renyi|grid|cycle|path|tree|ba
+  graph::NodeId n = 32;
+  double p = 0.1;
+  graph::Weight wmin = 0;
+  graph::Weight wmax = 8;
+  double zero_fraction = 0.0;
+  std::uint64_t seed = 1;
+  bool directed = false;
+
+  // Algorithm parameters.
+  Algo algo = Algo::kPipelined;
+  std::vector<graph::NodeId> sources;
+  std::uint32_t h = 0;  // 0 = auto
+  double eps = 0.5;
+
+  // Output.
+  Format format = Format::kTable;
+  std::optional<std::string> out_file;   // graph text (gen) / results
+  std::optional<std::string> dot_file;   // graphviz
+  bool quiet = false;                    // suppress distance matrix
+};
+
+/// Parses argv; throws std::invalid_argument with a message on bad input.
+Options parse_options(const std::vector<std::string>& args);
+
+/// The --help text.
+std::string usage();
+
+}  // namespace dapsp::cli

@@ -1,0 +1,225 @@
+#include "congest/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dapsp::congest {
+
+using graph::Graph;
+using graph::NodeId;
+
+namespace {
+
+/// The engine's concrete Context: writes straight into the link buffers.
+class EngineContext final : public Context {
+ public:
+  EngineContext(Engine& e, graph::NodeId self, Round round,
+                std::span<const Envelope> inbox, bool may_send)
+      : Context(self, round, inbox, may_send), engine_(e) {}
+
+  graph::NodeId node_count() const noexcept override {
+    return engine_.graph().node_count();
+  }
+
+  std::span<const graph::NodeId> neighbors() const noexcept override {
+    return engine_.graph().comm_neighbors(self_);
+  }
+
+  void send(graph::NodeId to, const Message& m) override {
+    if (!may_send_) {
+      throw std::logic_error("Context::send: sending in receive_phase");
+    }
+    engine_.enqueue(self_, engine_.link_slot(self_, to), m);
+  }
+
+  void broadcast(const Message& m) override {
+    if (!may_send_) {
+      throw std::logic_error("Context::broadcast: sending in receive_phase");
+    }
+    const auto deg = engine_.graph().comm_degree(self_);
+    const std::size_t base = engine_.link_base(self_);
+    for (std::size_t j = 0; j < deg; ++j) engine_.enqueue(self_, base + j, m);
+  }
+
+ private:
+  Engine& engine_;
+};
+
+}  // namespace
+
+void Engine::enqueue(graph::NodeId from, std::size_t slot, const Message& m) {
+  if (link_out_[slot].empty()) touched_[from].push_back(slot);
+  link_out_[slot].push_back(m);
+}
+
+Engine::Engine(const Graph& g, std::vector<std::unique_ptr<Protocol>> protocols,
+               EngineOptions options)
+    : graph_(g), protocols_(std::move(protocols)), options_(options) {
+  util::check(protocols_.size() == g.node_count(),
+              "Engine: need one protocol per node");
+  const NodeId n = g.node_count();
+
+  link_base_.resize(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    link_base_[v + 1] = link_base_[v] + g.comm_degree(v);
+  }
+  link_out_.resize(link_base_[n]);
+  link_lifetime_count_.assign(link_base_[n], 0);
+  touched_.resize(n);
+  inbox_.resize(n);
+
+  in_links_.resize(n);
+  for (NodeId u = 0; u < n; ++u) {
+    const auto nbrs = g.comm_neighbors(u);
+    for (std::size_t j = 0; j < nbrs.size(); ++j) {
+      in_links_[nbrs[j]].push_back({u, link_base_[u] + j});
+    }
+  }
+  // comm_neighbors is sorted, so in_links_ per receiver is already
+  // sender-ascending (u iterates ascending); no extra sort needed.
+}
+
+Engine::~Engine() = default;
+
+util::ThreadPool& Engine::pool() {
+  if (options_.threads > 0) {
+    if (!own_pool_) own_pool_ = std::make_unique<util::ThreadPool>(options_.threads);
+    return *own_pool_;
+  }
+  return util::ThreadPool::global();
+}
+
+std::size_t Engine::link_slot(NodeId from, NodeId to) const {
+  const auto nbrs = graph_.comm_neighbors(from);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), to);
+  if (it == nbrs.end() || *it != to) {
+    throw std::logic_error("Context::send: target is not a neighbor");
+  }
+  return link_base_[from] + static_cast<std::size_t>(it - nbrs.begin());
+}
+
+void Engine::run_init_round() {
+  auto& p = pool();
+  const NodeId n = graph_.node_count();
+  p.parallel_for(n, [&](std::size_t v) {
+    EngineContext ctx(*this, static_cast<NodeId>(v), 0, {}, /*may_send=*/true);
+    protocols_[v]->init(ctx);
+  });
+  deliver();
+  p.parallel_for(n, [&](std::size_t v) {
+    EngineContext ctx(*this, static_cast<NodeId>(v), 0, inbox_[v],
+                      /*may_send=*/false);
+    protocols_[v]->receive_phase(ctx);
+  });
+  init_done_ = true;
+}
+
+void Engine::deliver() {
+  // Congestion + message accounting over touched links (single-threaded:
+  // the per-round touched set is small relative to node work).
+  round_messages_ = 0;
+  std::uint64_t max_cong = 0;
+  for (NodeId sender = 0; sender < graph_.node_count(); ++sender) {
+    for (const std::size_t slot : touched_[sender]) {
+      const auto c = static_cast<std::uint64_t>(link_out_[slot].size());
+      round_messages_ += c;
+      max_cong = std::max(max_cong, c);
+      link_lifetime_count_[slot] += c;
+      stats_.max_link_total =
+          std::max(stats_.max_link_total, link_lifetime_count_[slot]);
+      for (const Message& m : link_out_[slot]) {
+        stats_.max_message_fields = std::max(stats_.max_message_fields, m.used);
+        if (options_.trace != nullptr) {
+          const NodeId to =
+              graph_.comm_neighbors(sender)[slot - link_base_[sender]];
+          options_.trace->on_message(round_, sender, to, m);
+        }
+      }
+    }
+  }
+  if (round_messages_ > 0) {
+    stats_.total_messages += round_messages_;
+    stats_.last_message_round = round_;
+    if (max_cong > stats_.max_link_congestion) {
+      stats_.max_link_congestion = max_cong;
+      stats_.max_congestion_round = round_;
+    }
+  }
+  if (options_.record_per_round) {
+    stats_.per_round_messages.push_back(round_messages_);
+  }
+
+  // Gather per receiver, in (sender, send order) order -- or, when
+  // scrambling, in a deterministic per-(receiver, round) permutation.
+  const NodeId n = graph_.node_count();
+  pool().parallel_for(n, [&](std::size_t v) {
+    auto& in = inbox_[v];
+    in.clear();
+    for (const auto& [from, slot] : in_links_[v]) {
+      for (const Message& m : link_out_[slot]) in.push_back({from, m});
+    }
+    if (options_.scramble_inbox && in.size() > 1) {
+      util::Xoshiro256 rng(options_.scramble_seed ^ (v * 0x9e3779b9ULL) ^
+                           (round_ << 20));
+      for (std::size_t i = in.size(); i > 1; --i) {
+        std::swap(in[i - 1], in[rng.below(i)]);
+      }
+    }
+  });
+
+  // Retire outboxes.
+  for (auto& t : touched_) {
+    for (const std::size_t slot : t) link_out_[slot].clear();
+    t.clear();
+  }
+}
+
+std::uint64_t Engine::step() {
+  if (!init_done_) {
+    run_init_round();
+    return round_messages_;
+  }
+  ++round_;
+  stats_.rounds = round_;
+
+  auto& p = pool();
+  const NodeId n = graph_.node_count();
+  p.parallel_for(n, [&](std::size_t v) {
+    EngineContext ctx(*this, static_cast<NodeId>(v), round_, {},
+                      /*may_send=*/true);
+    protocols_[v]->send_phase(ctx);
+  });
+  deliver();
+  p.parallel_for(n, [&](std::size_t v) {
+    EngineContext ctx(*this, static_cast<NodeId>(v), round_, inbox_[v],
+                      /*may_send=*/false);
+    protocols_[v]->receive_phase(ctx);
+  });
+  return round_messages_;
+}
+
+RunStats Engine::run() {
+  if (!init_done_) run_init_round();
+
+  while (round_ < options_.max_rounds) {
+    const std::uint64_t sent = step();
+    if (options_.stop_on_quiescence && sent == 0) {
+      const bool all_quiet = std::all_of(
+          protocols_.begin(), protocols_.end(),
+          [](const auto& p) { return p->quiescent(); });
+      if (all_quiet) return stats_;
+    }
+  }
+  // Ran out of budget: only a failure if someone still wanted to talk.
+  const bool all_quiet =
+      round_messages_ == 0 &&
+      std::all_of(protocols_.begin(), protocols_.end(),
+                  [](const auto& p) { return p->quiescent(); });
+  stats_.hit_round_limit = !all_quiet;
+  return stats_;
+}
+
+}  // namespace dapsp::congest

@@ -1,0 +1,216 @@
+// Synchronous CONGEST round engine.
+//
+// Executes one `Protocol` instance per node in lockstep rounds that match
+// the paper's algorithm structure (send at the start of a round, receive at
+// the end of the same round):
+//   round 0:  Protocol::init acts as the send step (the paper's algorithms
+//             mostly stay silent here; Algorithm 2's source does send), then
+//             messages are delivered and receive_phase runs.
+//   round r:  send_phase (may send along incident links, based on state from
+//             the end of round r-1), delivery, receive_phase (sees every
+//             message sent this round via Context::inbox(); sending here is
+//             an error).
+// This send/receive split matters: with zero-weight edges a pipelined
+// entry's scheduled send round can equal its arrival round, so an engine
+// that delivered messages one round later would miss schedules forever.
+//
+// Within a round all nodes run concurrently on a thread pool; message
+// delivery is gathered per receiver in (sender id, send order) order, so
+// parallel and single-threaded executions are bit-identical.
+//
+// Termination: the engine stops at `max_rounds`, or earlier when no message
+// is in flight and every protocol reports `quiescent()` — i.e. it would
+// never spontaneously send again without new input.  Quiescence detection is
+// a simulator-level convenience (a global observer); the algorithms' own
+// termination arguments are their round bounds, which tests assert.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+#include "congest/message.hpp"
+#include "congest/metrics.hpp"
+#include "graph/graph.hpp"
+
+namespace dapsp::congest {
+
+class Engine;
+
+/// Per-node, per-round view handed to protocol code.
+///
+/// Abstract so that protocol instances can run either directly on the
+/// engine or behind the multiplexer (congest/multiplex.hpp), which queues
+/// their sends to respect the one-message-per-link-per-round budget.
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  NodeId self() const noexcept { return self_; }
+  Round round() const noexcept { return round_; }
+  virtual NodeId node_count() const noexcept = 0;
+
+  /// Communication neighbors (sorted ascending).
+  virtual std::span<const NodeId> neighbors() const noexcept = 0;
+
+  /// Messages sent to this node in this round's send phase, ordered by
+  /// (sender id, send order).  Empty during the send phase.
+  std::span<const Envelope> inbox() const noexcept { return inbox_; }
+
+  /// Sends `m` along the link to `to` (must be a neighbor).  Only legal in
+  /// init / send_phase; throws in receive_phase.
+  virtual void send(NodeId to, const Message& m) = 0;
+
+  /// Sends `m` along every incident link.
+  virtual void broadcast(const Message& m) = 0;
+
+ protected:
+  Context(NodeId self, Round round, std::span<const Envelope> inbox,
+          bool may_send)
+      : self_(self), round_(round), inbox_(inbox), may_send_(may_send) {}
+
+  NodeId self_;
+  Round round_;
+  std::span<const Envelope> inbox_;
+  bool may_send_;
+};
+
+/// Node-local protocol logic.  Implementations own only their node's state;
+/// the engine guarantees each phase runs exactly once per node per round.
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  /// Round 0 setup; acts as round 0's send step (sending allowed).
+  virtual void init(Context& /*ctx*/) {}
+
+  /// Start of round r: may send, inbox empty.
+  virtual void send_phase(Context& /*ctx*/) {}
+
+  /// End of round r: sees everything sent this round, may not send.
+  virtual void receive_phase(Context& /*ctx*/) {}
+
+  /// True if, absent further incoming messages, this node will never send
+  /// again.  Default suits purely reactive protocols.
+  virtual bool quiescent() const { return true; }
+};
+
+/// Observer invoked once per delivered message (during the single-threaded
+/// accounting pass, so implementations need no locking).  For debugging,
+/// visualization, and the message-wave benches.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_message(Round round, NodeId from, NodeId to,
+                          const Message& msg) = 0;
+};
+
+/// Ready-made sink: keeps up to `limit` events in memory.
+class MessageLog final : public TraceSink {
+ public:
+  struct Event {
+    Round round;
+    NodeId from;
+    NodeId to;
+    Message msg;
+  };
+
+  explicit MessageLog(std::size_t limit = 100000) : limit_(limit) {}
+
+  void on_message(Round round, NodeId from, NodeId to,
+                  const Message& msg) override {
+    if (events_.size() < limit_) events_.push_back({round, from, to, msg});
+    ++total_;
+  }
+
+  const std::vector<Event>& events() const { return events_; }
+  std::uint64_t total() const { return total_; }
+  bool truncated() const { return total_ > events_.size(); }
+
+ private:
+  std::size_t limit_;
+  std::vector<Event> events_;
+  std::uint64_t total_ = 0;
+};
+
+struct EngineOptions {
+  Round max_rounds = 1'000'000;
+  bool stop_on_quiescence = true;
+  bool record_per_round = false;
+  /// Deterministically permute each inbox instead of delivering in
+  /// (sender, send order).  The CONGEST model does not promise any arrival
+  /// order; tests flip this to prove protocols only rely on message
+  /// *content*.  Seeded per (receiver, round), so runs stay reproducible.
+  bool scramble_inbox = false;
+  std::uint64_t scramble_seed = 0x5eed;
+  /// Worker threads for node execution; 0 = use the process-global pool.
+  /// Results are bit-identical for every value (tested).
+  std::size_t threads = 0;
+  /// Optional message observer (not owned; must outlive the engine).
+  TraceSink* trace = nullptr;
+};
+
+class Engine {
+ public:
+  /// `protocols` must contain exactly one entry per node.
+  Engine(const graph::Graph& g,
+         std::vector<std::unique_ptr<Protocol>> protocols,
+         EngineOptions options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Runs to quiescence or the round limit; returns accumulated stats.
+  /// May be called once per engine.
+  RunStats run();
+
+  /// Executes exactly one round (for step-debugging and tests).  Returns the
+  /// number of messages sent in that round.
+  std::uint64_t step();
+
+  const graph::Graph& graph() const noexcept { return graph_; }
+  Protocol& protocol(NodeId v) { return *protocols_[v]; }
+  const Protocol& protocol(NodeId v) const { return *protocols_[v]; }
+  const RunStats& stats() const noexcept { return stats_; }
+  Round current_round() const noexcept { return round_; }
+
+  // Low-level send plumbing for Context implementations (not for protocol
+  // code; protocols must go through Context so the phase rules hold).
+  std::size_t link_slot(NodeId from, NodeId to) const;
+  std::size_t link_base(NodeId v) const { return link_base_[v]; }
+  void enqueue(NodeId from, std::size_t slot, const Message& m);
+
+ private:
+  void run_init_round();
+  void deliver();
+  util::ThreadPool& pool();
+
+  const graph::Graph& graph_;
+  std::vector<std::unique_ptr<Protocol>> protocols_;
+  EngineOptions options_;
+  std::unique_ptr<util::ThreadPool> own_pool_;  // when options_.threads > 0
+  RunStats stats_;
+  Round round_ = 0;
+  bool init_done_ = false;
+
+  // Per directed link (CSR position in comm adjacency of the sender):
+  // messages enqueued this round.
+  std::vector<std::size_t> link_base_;              // per node, into link_out_
+  std::vector<std::vector<Message>> link_out_;
+  std::vector<std::vector<std::size_t>> touched_;   // per node, dirty links
+  std::uint64_t round_messages_ = 0;                // messages this round
+  std::vector<std::uint64_t> link_lifetime_count_;  // per link, whole run
+
+  // Incoming link list per receiver: (sender, link slot), sender-ascending.
+  struct InLink {
+    NodeId from;
+    std::size_t slot;
+  };
+  std::vector<std::vector<InLink>> in_links_;
+  std::vector<std::vector<Envelope>> inbox_;
+};
+
+}  // namespace dapsp::congest

@@ -1,0 +1,40 @@
+#include "congest/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dapsp::congest {
+
+RunStats& RunStats::operator+=(const RunStats& o) {
+  if (o.last_message_round > 0) last_message_round = rounds + o.last_message_round;
+  if (o.max_link_congestion > max_link_congestion) {
+    max_link_congestion = o.max_link_congestion;
+    max_congestion_round = rounds + o.max_congestion_round;
+  }
+  rounds += o.rounds;
+  total_messages += o.total_messages;
+  max_link_total = std::max(max_link_total, o.max_link_total);
+  max_message_fields = std::max(max_message_fields, o.max_message_fields);
+  hit_round_limit = hit_round_limit || o.hit_round_limit;
+  if (!per_round_messages.empty() || !o.per_round_messages.empty()) {
+    per_round_messages.resize(rounds, 0);
+    // o's rounds occupy the tail; copy what was recorded.
+    const std::size_t base = rounds - o.rounds;
+    for (std::size_t i = 0; i < o.per_round_messages.size(); ++i) {
+      per_round_messages[base + i] = o.per_round_messages[i];
+    }
+  }
+  return *this;
+}
+
+std::string RunStats::summary() const {
+  std::ostringstream os;
+  os << "rounds=" << rounds << " last_msg_round=" << last_message_round
+     << " messages=" << total_messages
+     << " max_congestion=" << max_link_congestion
+     << " max_link_total=" << max_link_total
+     << (hit_round_limit ? " [HIT ROUND LIMIT]" : "");
+  return os.str();
+}
+
+}  // namespace dapsp::congest

@@ -1,0 +1,37 @@
+// Round/message/congestion accounting for a simulator run.
+//
+// Round counts are the quantity every theorem in the paper bounds, so the
+// engine treats them as first-class results rather than debug output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "congest/message.hpp"
+
+namespace dapsp::congest {
+
+struct RunStats {
+  Round rounds = 0;               ///< rounds executed (init round 0 excluded)
+  Round last_message_round = 0;   ///< last round in which any message was sent
+  std::uint64_t total_messages = 0;
+  /// Maximum number of messages carried by one directed link in one round.
+  /// CONGEST allows exactly 1; values above 1 mean the schedule would need
+  /// that many CONGEST rounds for the busiest link (reported, never hidden).
+  std::uint64_t max_link_congestion = 0;
+  Round max_congestion_round = 0;
+  /// Maximum messages sent over one directed link across the whole run
+  /// (the "congestion" of Lemma II.15).
+  std::uint64_t max_link_total = 0;
+  std::uint32_t max_message_fields = 0;
+  bool hit_round_limit = false;
+  std::vector<std::uint64_t> per_round_messages;  ///< filled when recording
+
+  /// Sequential composition of two phases (rounds add, maxima combine).
+  RunStats& operator+=(const RunStats& o);
+
+  std::string summary() const;
+};
+
+}  // namespace dapsp::congest

@@ -1,0 +1,391 @@
+#include "congest/primitives.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/int_math.hpp"
+
+namespace dapsp::congest {
+
+using graph::Graph;
+using graph::kNoNode;
+using graph::NodeId;
+
+namespace {
+
+enum Tag : std::uint32_t {
+  kBfsToken = 1,   // {depth}
+  kBfsJoin = 2,    // {} -> sent to adopted parent
+  kBcast = 3,      // {index, total, value}
+  kConvMax = 4,    // {value, argmin_id}
+  kGatherUp = 5,   // {origin, a, b}
+  kGatherDone = 6, // {count} root -> everyone via kBcast reuse
+};
+
+/// --- BFS tree ------------------------------------------------------------
+
+class BfsProtocol final : public Protocol {
+ public:
+  BfsProtocol(NodeId root, NodeId self) : root_(root), self_(self) {}
+
+  void init(Context& ctx) override {
+    if (self_ == root_) {
+      depth_ = 0;
+      joined_ = true;
+      ctx.broadcast(Message(kBfsToken, {0}));
+    }
+  }
+
+  void send_phase(Context& ctx) override {
+    if (pending_token_) {
+      pending_token_ = false;
+      ctx.broadcast(Message(kBfsToken, {depth_}));
+      ctx.send(parent_, Message(kBfsJoin, {}));
+    }
+  }
+
+  void receive_phase(Context& ctx) override {
+    for (const Envelope& env : ctx.inbox()) {
+      if (env.msg.tag == kBfsToken && !joined_) {
+        // Inbox is sender-ascending, so the first token wins => min-id parent.
+        joined_ = true;
+        parent_ = env.from;
+        depth_ = static_cast<std::uint32_t>(env.msg.f[0]) + 1;
+        pending_token_ = true;
+      } else if (env.msg.tag == kBfsJoin) {
+        children_.push_back(env.from);
+      }
+    }
+  }
+
+  bool quiescent() const override { return !pending_token_; }
+
+  NodeId parent() const { return parent_; }
+  std::uint32_t depth() const { return depth_; }
+  const std::vector<NodeId>& children() const { return children_; }
+  bool joined() const { return joined_; }
+
+ private:
+  NodeId root_;
+  NodeId self_;
+  NodeId parent_ = kNoNode;
+  std::uint32_t depth_ = 0;
+  bool joined_ = false;
+  bool pending_token_ = false;
+  std::vector<NodeId> children_;
+};
+
+/// --- Pipelined broadcast ---------------------------------------------------
+
+class BroadcastProtocol final : public Protocol {
+ public:
+  BroadcastProtocol(const BfsTree& tree, NodeId self,
+                    const std::vector<std::int64_t>* root_values)
+      : tree_(tree), self_(self) {
+    if (self == tree.root) {
+      received_.assign(root_values->begin(), root_values->end());
+      total_ = received_.size();
+    }
+  }
+
+  void send_phase(Context& ctx) override {
+    // Root injects one value per round; relays forward what has arrived.
+    if (self_ == tree_.root) {
+      if (next_ < received_.size()) {
+        const Message m(kBcast,
+                        {static_cast<std::int64_t>(next_),
+                         static_cast<std::int64_t>(received_.size()),
+                         received_[next_]});
+        for (const NodeId c : tree_.children[self_]) ctx.send(c, m);
+        ++next_;
+      }
+      return;
+    }
+    if (!forward_.empty()) {
+      const Message m = forward_.front();
+      forward_.pop_front();
+      for (const NodeId c : tree_.children[self_]) ctx.send(c, m);
+    }
+  }
+
+  void receive_phase(Context& ctx) override {
+    for (const Envelope& env : ctx.inbox()) {
+      if (env.msg.tag != kBcast) continue;
+      const auto index = static_cast<std::size_t>(env.msg.f[0]);
+      total_ = static_cast<std::size_t>(env.msg.f[1]);
+      if (received_.size() <= index) received_.resize(index + 1);
+      received_[index] = env.msg.f[2];
+      ++have_;
+      forward_.push_back(env.msg);
+    }
+  }
+
+  bool quiescent() const override {
+    if (self_ == tree_.root) return next_ >= received_.size();
+    return forward_.empty();
+  }
+
+  bool complete() const {
+    return self_ == tree_.root || have_ == total_;
+  }
+  const std::vector<std::int64_t>& received() const { return received_; }
+
+ private:
+  const BfsTree& tree_;
+  NodeId self_;
+  std::vector<std::int64_t> received_;
+  std::deque<Message> forward_;
+  std::size_t next_ = 0;   // root: next index to inject
+  std::size_t have_ = 0;
+  std::size_t total_ = static_cast<std::size_t>(-1);
+};
+
+/// --- Convergecast max ------------------------------------------------------
+
+class ConvergeMaxProtocol final : public Protocol {
+ public:
+  ConvergeMaxProtocol(const BfsTree& tree, NodeId self, std::int64_t value)
+      : tree_(tree), self_(self), best_(value), arg_(self) {}
+
+  void send_phase(Context& ctx) override {
+    if (!sent_ && reports_ == tree_.children[self_].size() &&
+        self_ != tree_.root && tree_.reached(self_)) {
+      sent_ = true;
+      ctx.send(tree_.parent[self_],
+               Message(kConvMax, {best_, static_cast<std::int64_t>(arg_)}));
+    }
+  }
+
+  void receive_phase(Context& ctx) override {
+    for (const Envelope& env : ctx.inbox()) {
+      if (env.msg.tag != kConvMax) continue;
+      ++reports_;
+      const std::int64_t v = env.msg.f[0];
+      const auto id = static_cast<NodeId>(env.msg.f[1]);
+      if (v > best_ || (v == best_ && id < arg_)) {
+        best_ = v;
+        arg_ = id;
+      }
+    }
+  }
+
+  bool quiescent() const override {
+    // A node still owing its parent a report is waiting on children, not on
+    // its own schedule, so "quiescent" is fine: progress is message-driven.
+    return true;
+  }
+
+  bool done() const {
+    return self_ == tree_.root && reports_ == tree_.children[self_].size();
+  }
+  std::pair<std::int64_t, NodeId> best() const { return {best_, arg_}; }
+
+ private:
+  const BfsTree& tree_;
+  NodeId self_;
+  std::int64_t best_;
+  NodeId arg_;
+  std::size_t reports_ = 0;
+  bool sent_ = false;
+};
+
+/// --- Gather to all ----------------------------------------------------------
+
+class GatherProtocol final : public Protocol {
+ public:
+  GatherProtocol(const BfsTree& tree, NodeId self,
+                 std::vector<GatherItem> own_items)
+      : tree_(tree), self_(self) {
+    // Leaves with no items must still tell the parent they are done; we use a
+    // per-child "expected count" handshake instead: every node first reports
+    // its subtree item count, then streams the items.
+    for (const GatherItem& it : own_items) up_.push_back(it);
+    own_count_ = own_items.size();
+  }
+
+  void send_phase(Context& ctx) override {
+    maybe_report_count(ctx);
+    // Stream items upward, one per round per link (pipelined).
+    if (self_ != tree_.root && tree_.reached(self_) && streamed_ < up_.size()) {
+      const GatherItem& it = up_[streamed_];
+      ctx.send(tree_.parent[self_],
+               Message(kGatherUp, {static_cast<std::int64_t>(it.origin), it.a,
+                                   it.b}));
+      ++streamed_;
+    }
+  }
+
+  void receive_phase(Context& ctx) override {
+    for (const Envelope& env : ctx.inbox()) {
+      switch (env.msg.tag) {
+        case kGatherDone: {  // child subtree count
+          ++count_reports_;
+          expected_from_children_ += static_cast<std::size_t>(env.msg.f[0]);
+          break;
+        }
+        case kGatherUp: {
+          GatherItem it{static_cast<NodeId>(env.msg.f[0]), env.msg.f[1],
+                        env.msg.f[2]};
+          up_.push_back(it);
+          ++received_from_children_;
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  bool quiescent() const override {
+    if (self_ == tree_.root) return true;
+    return streamed_ >= up_.size() &&
+           (count_sent_ || !tree_.reached(self_));
+  }
+
+  bool root_has_all() const {
+    return count_reports_ == tree_.children[self_].size() &&
+           received_from_children_ == expected_from_children_;
+  }
+  std::vector<GatherItem> take_items() { return std::move(up_); }
+
+ private:
+  void maybe_report_count(Context& ctx) {
+    if (count_sent_ || self_ == tree_.root || !tree_.reached(self_)) return;
+    if (count_reports_ < tree_.children[self_].size()) return;
+    const std::size_t subtree = own_count_ + expected_from_children_;
+    ctx.send(tree_.parent[self_],
+             Message(kGatherDone, {static_cast<std::int64_t>(subtree)}));
+    count_sent_ = true;
+  }
+
+  const BfsTree& tree_;
+  NodeId self_;
+  std::vector<GatherItem> up_;
+  std::size_t own_count_ = 0;
+  std::size_t streamed_ = 0;
+  std::size_t count_reports_ = 0;
+  std::size_t expected_from_children_ = 0;
+  std::size_t received_from_children_ = 0;
+  bool count_sent_ = false;
+};
+
+void accumulate(RunStats* into, const RunStats& phase) {
+  if (into != nullptr) *into += phase;
+}
+
+}  // namespace
+
+BfsTree build_bfs_tree(const Graph& g, NodeId root, RunStats* stats) {
+  const NodeId n = g.node_count();
+  std::vector<std::unique_ptr<Protocol>> procs;
+  procs.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    procs.push_back(std::make_unique<BfsProtocol>(root, v));
+  }
+  EngineOptions opt;
+  opt.max_rounds = static_cast<Round>(n) + 2;
+  Engine engine(g, std::move(procs), opt);
+  accumulate(stats, engine.run());
+
+  BfsTree tree;
+  tree.root = root;
+  tree.parent.resize(n);
+  tree.depth.resize(n);
+  tree.children.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& p = static_cast<const BfsProtocol&>(engine.protocol(v));
+    tree.parent[v] = p.parent();
+    tree.depth[v] = p.joined() ? p.depth() : 0;
+    tree.children[v] = p.children();
+    std::sort(tree.children[v].begin(), tree.children[v].end());
+    if (p.joined()) tree.height = std::max(tree.height, p.depth());
+  }
+  return tree;
+}
+
+std::vector<std::vector<std::int64_t>> broadcast_values(
+    const Graph& g, const BfsTree& tree,
+    const std::vector<std::int64_t>& values, RunStats* stats) {
+  const NodeId n = g.node_count();
+  if (values.empty()) return std::vector<std::vector<std::int64_t>>(n);
+  std::vector<std::unique_ptr<Protocol>> procs;
+  procs.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    procs.push_back(std::make_unique<BroadcastProtocol>(
+        tree, v, v == tree.root ? &values : nullptr));
+  }
+  EngineOptions opt;
+  opt.max_rounds = static_cast<Round>(values.size()) + tree.height + 4;
+  Engine engine(g, std::move(procs), opt);
+  accumulate(stats, engine.run());
+
+  std::vector<std::vector<std::int64_t>> out(n);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& p = static_cast<const BroadcastProtocol&>(engine.protocol(v));
+    util::check(!tree.reached(v) || p.complete(),
+                "broadcast_values: node missed values");
+    out[v] = p.received();
+  }
+  return out;
+}
+
+std::pair<std::int64_t, NodeId> converge_max(
+    const Graph& g, const BfsTree& tree,
+    const std::vector<std::int64_t>& value_per_node, RunStats* stats) {
+  const NodeId n = g.node_count();
+  std::vector<std::unique_ptr<Protocol>> procs;
+  procs.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    procs.push_back(
+        std::make_unique<ConvergeMaxProtocol>(tree, v, value_per_node[v]));
+  }
+  EngineOptions opt;
+  opt.max_rounds = static_cast<Round>(tree.height) + 4;
+  Engine engine(g, std::move(procs), opt);
+  accumulate(stats, engine.run());
+
+  const auto& root =
+      static_cast<const ConvergeMaxProtocol&>(engine.protocol(tree.root));
+  util::check(root.done(), "converge_max: root missing child reports");
+  return root.best();
+}
+
+std::vector<GatherItem> gather_to_all(
+    const Graph& g, const BfsTree& tree,
+    const std::vector<std::vector<GatherItem>>& items_per_node,
+    RunStats* stats) {
+  const NodeId n = g.node_count();
+  std::size_t total = 0;
+  for (const auto& items : items_per_node) total += items.size();
+
+  std::vector<std::unique_ptr<Protocol>> procs;
+  procs.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    procs.push_back(std::make_unique<GatherProtocol>(tree, v, items_per_node[v]));
+  }
+  EngineOptions opt;
+  opt.max_rounds = static_cast<Round>(total) + 2ULL * tree.height + 8;
+  Engine engine(g, std::move(procs), opt);
+  accumulate(stats, engine.run());
+
+  auto& root = static_cast<GatherProtocol&>(engine.protocol(tree.root));
+  util::check(root.root_has_all(), "gather_to_all: root missing items");
+  std::vector<GatherItem> all = root.take_items();
+  std::sort(all.begin(), all.end());
+
+  // Broadcast the gathered list back down (three int64 fields per item do
+  // not fit the single-value broadcast, so pack origin/a/b as consecutive
+  // values; still O(log n) bits per message).
+  std::vector<std::int64_t> flat;
+  flat.reserve(all.size() * 3);
+  for (const GatherItem& it : all) {
+    flat.push_back(static_cast<std::int64_t>(it.origin));
+    flat.push_back(it.a);
+    flat.push_back(it.b);
+  }
+  const auto copies = broadcast_values(g, tree, flat, stats);
+  (void)copies;
+  return all;
+}
+
+}  // namespace dapsp::congest

@@ -1,0 +1,128 @@
+#include "core/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/int_math.hpp"
+
+namespace dapsp::core::bounds {
+
+using util::ceil_div;
+using util::isqrt_ceil_u128;
+using util::u128;
+
+std::uint64_t ceil_ln(std::uint64_t n) {
+  if (n <= 2) return 1;
+  return static_cast<std::uint64_t>(std::ceil(std::log(static_cast<double>(n))));
+}
+
+std::uint64_t ceil_log2(std::uint64_t n) {
+  if (n <= 2) return 1;
+  std::uint64_t bits = 0;
+  for (std::uint64_t t = n - 1; t > 0; t >>= 1) ++bits;
+  return bits;
+}
+
+std::uint64_t hk_ssp(std::uint64_t h, std::uint64_t k, std::uint64_t delta) {
+  // 2*ceil(sqrt(h*k*delta)) + h + k, with the degenerate delta=0 case still
+  // needing h + k + 1 rounds of hop-driven pipelining.
+  const std::uint64_t core = 2 * isqrt_ceil_u128(u128{h} * k * delta);
+  return core + h + k + 2;
+}
+
+std::uint64_t apsp_pipelined(std::uint64_t n, std::uint64_t delta) {
+  return hk_ssp(n, n, delta);
+}
+
+std::uint64_t k_ssp_pipelined(std::uint64_t n, std::uint64_t k,
+                              std::uint64_t delta) {
+  return hk_ssp(n, k, delta);
+}
+
+std::uint64_t hk_ssp_custom_gamma(std::uint64_t h, std::uint64_t k,
+                                  std::uint64_t delta, const GammaSq& gamma) {
+  // Largest key value: ceil(delta*gamma) + h.  List capacity: k sources,
+  // each with at most floor(h/gamma)+1 entries (Lemma II.11); h/gamma =
+  // ceil(sqrt(h^2*den/num)).
+  const std::uint64_t key_max =
+      util::ceil_mul_sqrt(delta, gamma.num, gamma.den) + h;
+  std::uint64_t per_source;
+  if (gamma.num == 0) {
+    per_source = h + 1;  // gamma=0: keys are hop counts; no Lemma II.11 bound
+  } else {
+    per_source = util::ceil_mul_sqrt(h, gamma.den, gamma.num) + 1;
+  }
+  return key_max + per_source * k + 2;
+}
+
+std::uint64_t short_range_congestion(std::uint64_t h) {
+  return util::isqrt_ceil(h) + 1;
+}
+
+std::uint64_t short_range_dilation(std::uint64_t h, std::uint64_t delta) {
+  return isqrt_ceil_u128(u128{h} * delta) + h + 2;
+}
+
+std::uint64_t blocker_set_size(std::uint64_t n, std::uint64_t h) {
+  // Greedy set cover over at most n^2 paths, each of length h+1 vertices:
+  // q <= ceil((n/h)) * (ln(n^2) + 1) elements, loosened to whole integers.
+  const std::uint64_t cover = ceil_div(n, std::max<std::uint64_t>(h, 1));
+  return cover * (2 * ceil_ln(n) + 1) + 1;
+}
+
+std::uint64_t descendant_update(std::uint64_t k, std::uint64_t h) {
+  return k + h - 1;
+}
+
+std::uint64_t blocker_apsp(std::uint64_t n, std::uint64_t k, std::uint64_t q,
+                           std::uint64_t h, std::uint64_t delta2h) {
+  // Step 1 (CSSSP, 2h-hop pipelined): hk_ssp(2h, k, delta2h).
+  // Step 2 (blocker selection): q iterations, each O(n) select + k+h updates.
+  // Steps 3-4: per blocker 2n SSSP rounds + gather/broadcast of k values.
+  const std::uint64_t step1 = hk_ssp(2 * h, k, delta2h);
+  const std::uint64_t step2 = q * (2 * n + 2 * (k + h));
+  const std::uint64_t step34 = q * (2 * n) + 3 * q * k + 4 * n;
+  return step1 + step2 + step34;
+}
+
+std::uint64_t choose_h_for_weight(std::uint64_t n, std::uint64_t k,
+                                  std::uint64_t w) {
+  // h = n * (log n)^{1/2} / (W^{1/4} k^{1/4}) (Theorem I.2's balance point).
+  const double val =
+      static_cast<double>(n) * std::sqrt(static_cast<double>(ceil_log2(n))) /
+      (std::pow(static_cast<double>(std::max<std::uint64_t>(w, 1)), 0.25) *
+       std::pow(static_cast<double>(k), 0.25));
+  const auto h = static_cast<std::uint64_t>(val);
+  return std::clamp<std::uint64_t>(h, 1, n > 1 ? n - 1 : 1);
+}
+
+std::uint64_t choose_h_for_delta(std::uint64_t n, std::uint64_t k,
+                                 std::uint64_t delta) {
+  // Balance n^2 log n / h (blocker work with q = n log n / h) against
+  // sqrt(h k Delta): h = (n^2 log n)^{2/3} / (k Delta)^{1/3}.
+  const double num =
+      std::pow(static_cast<double>(n) * static_cast<double>(n) *
+                   static_cast<double>(ceil_log2(n)),
+               2.0 / 3.0);
+  const double den = std::pow(
+      static_cast<double>(std::max<std::uint64_t>(k * std::max<std::uint64_t>(
+                                                          delta, 1),
+                                                  1)),
+      1.0 / 3.0);
+  const auto h = static_cast<std::uint64_t>(num / den);
+  return std::clamp<std::uint64_t>(h, 1, n > 1 ? n - 1 : 1);
+}
+
+std::uint64_t agarwal_n32(std::uint64_t n) {
+  const double v = std::pow(static_cast<double>(n), 1.5) *
+                   std::sqrt(static_cast<double>(ceil_log2(n)));
+  return static_cast<std::uint64_t>(std::ceil(v));
+}
+
+std::uint64_t approx_apsp(std::uint64_t n, double eps) {
+  const double v =
+      (static_cast<double>(n) / (eps * eps)) * static_cast<double>(ceil_log2(n));
+  return static_cast<std::uint64_t>(std::ceil(v)) + 2 * n;
+}
+
+}  // namespace dapsp::core::bounds

@@ -1,0 +1,77 @@
+// Closed-form round bounds from the paper, used by tests ("the run finished
+// within the theorem's bound") and benches ("paper column vs measured
+// column").  All formulas are exact-integer upper bounds of the stated
+// expressions (ceilings applied pessimistically).
+#pragma once
+
+#include <cstdint>
+
+#include "core/key.hpp"
+
+namespace dapsp::core::bounds {
+
+/// Lemma II.14 / Theorem I.1(i): (h,k)-SSP completes by round
+/// ceil(Delta*gamma + h + Delta*gamma + k) with gamma = sqrt(hk/Delta),
+/// i.e. 2*sqrt(h*k*Delta) + h + k.
+std::uint64_t hk_ssp(std::uint64_t h, std::uint64_t k, std::uint64_t delta);
+
+/// Theorem I.1(ii): APSP in 2n*sqrt(Delta) + 2n rounds.
+std::uint64_t apsp_pipelined(std::uint64_t n, std::uint64_t delta);
+
+/// Theorem I.1(iii): k-SSP in 2*sqrt(n*k*Delta) + n + k rounds.
+std::uint64_t k_ssp_pipelined(std::uint64_t n, std::uint64_t k,
+                              std::uint64_t delta);
+
+/// Generic bound for a custom gamma: ceil(Delta*gamma) + h + list-capacity
+/// where list capacity = k * (ceil(h/gamma) + 1); reduces to hk_ssp for the
+/// paper's gamma.  Used by the gamma ablation.
+std::uint64_t hk_ssp_custom_gamma(std::uint64_t h, std::uint64_t k,
+                                  std::uint64_t delta, const GammaSq& gamma);
+
+/// Lemma II.15 congestion: per-source short-range congestion <= ceil(sqrt(h)).
+std::uint64_t short_range_congestion(std::uint64_t h);
+
+/// Short-range dilation for distances <= Delta: ceil(Delta*sqrt(h/Delta)) + h
+/// = ceil(sqrt(h*Delta)) + h (single source; Algorithm 2's schedule uses
+/// gamma = sqrt(h/Delta) so that congestion stays sqrt(h)).
+std::uint64_t short_range_dilation(std::uint64_t h, std::uint64_t delta);
+
+/// Blocker set size bound q = O(n ln n / h); we report the explicit greedy
+/// set-cover guarantee ceil((n/h) * (ln(n^2) + 1)) used by [3].
+std::uint64_t blocker_set_size(std::uint64_t n, std::uint64_t h);
+
+/// Lemma III.8: descendant-score update rounds k + h - 1.
+std::uint64_t descendant_update(std::uint64_t k, std::uint64_t h);
+
+/// Lemma III.2 total: Algorithm 3 k-SSP rounds O(n*q + sqrt(h*k*Delta_h))
+/// with Delta_h the max h'-hop distance used in CSSSP construction (h' = 2h).
+/// This is the explicit bound our implementation is tested against:
+/// n*q-term uses per-blocker 2n (fwd+rev SSSP) + broadcast.
+std::uint64_t blocker_apsp(std::uint64_t n, std::uint64_t k, std::uint64_t q,
+                           std::uint64_t h, std::uint64_t delta2h);
+
+/// Theorem I.2 h choice: h = n^{1/2} log^{1/2} n / (W^{1/4} k^{1/4}),
+/// clamped to [1, n-1].  (The paper's Step-1/Step-2 balance point.)
+std::uint64_t choose_h_for_weight(std::uint64_t n, std::uint64_t k,
+                                  std::uint64_t w);
+
+/// Theorem I.3 h choice: h = n^{2/3} log^{2/3} n / (Delta^{1/3} k^{1/3} / n^{1/3}) —
+/// the balance of n^2 log n / h against sqrt(h k Delta); explicitly
+/// h = (n^2 log n)^{2/3} / (k*Delta)^{1/3}, clamped to [1, n-1].
+std::uint64_t choose_h_for_delta(std::uint64_t n, std::uint64_t k,
+                                 std::uint64_t delta);
+
+/// Agarwal et al. [3] deterministic APSP bound (comparison row in Table I):
+/// O(n^{3/2} log^{1/2} n); we report n^{3/2} * sqrt(log2 n) rounded up.
+std::uint64_t agarwal_n32(std::uint64_t n);
+
+/// Theorem I.5: approximate APSP rounds O((n/eps^2) log n); explicit form
+/// reported by the bench harness.
+std::uint64_t approx_apsp(std::uint64_t n, double eps);
+
+/// Natural-log-based ln(n) >= 1 helper (integer ceiling).
+std::uint64_t ceil_ln(std::uint64_t n);
+/// ceil(log2(n)) with log2(1) = 1 to avoid zero factors in bounds.
+std::uint64_t ceil_log2(std::uint64_t n);
+
+}  // namespace dapsp::core::bounds

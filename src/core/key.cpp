@@ -1,0 +1,13 @@
+#include "core/key.hpp"
+
+namespace dapsp::core {
+
+int list_order(const Key& a, NodeId xa, const Key& b, NodeId xb,
+               const GammaSq& g) {
+  if (const int c = a.compare(b, g); c != 0) return c;
+  if (a.d != b.d) return a.d < b.d ? -1 : 1;
+  if (xa != xb) return xa < xb ? -1 : 1;
+  return 0;
+}
+
+}  // namespace dapsp::core

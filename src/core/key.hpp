@@ -1,0 +1,77 @@
+// Exact pipelined keys (Section II-A of the paper).
+//
+// Algorithm 1 keys a path of weighted distance d and hop length l by
+//   kappa = d * gamma + l,   gamma = sqrt(k*h / Delta),
+// and schedules the send of a list entry at round ceil(kappa + pos).
+// gamma is irrational in general; to keep the simulation deterministic we
+// never materialize kappa as a float.  A key is the (d, l) pair and gamma is
+// carried as its square num/den; comparisons and ceilings reduce to exact
+// 128-bit integer arithmetic:
+//   kappa1 < kappa2  <=>  (d1-d2)*sqrt(num/den) < l2-l1
+//   ceil(kappa + p)  =    ceil(d*sqrt(num/den)) + l + p     (p, l integers)
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "util/int_math.hpp"
+
+namespace dapsp::core {
+
+using graph::NodeId;
+using graph::Weight;
+
+/// gamma^2 as the exact rational num/den.
+struct GammaSq {
+  std::uint64_t num = 1;
+  std::uint64_t den = 1;
+
+  /// The paper's choice gamma = sqrt(k*h/Delta); Delta=0 (all distances
+  /// zero) degrades to gamma = sqrt(k*h) to keep keys ordered by hops.
+  static GammaSq paper(std::uint64_t k, std::uint64_t h, std::uint64_t delta) {
+    return {k * h, delta == 0 ? 1 : delta};
+  }
+  /// Ablation: gamma = 1, i.e. kappa = d + l.
+  static GammaSq unit() { return {1, 1}; }
+  /// Ablation: gamma = 0, i.e. kappa = l (hop-only scheduling).
+  static GammaSq hop_only() { return {0, 1}; }
+
+  /// ceil(gamma) -- used in round-bound formulas.
+  std::uint64_t ceil_gamma() const {
+    return util::ceil_mul_sqrt(1, num, den);
+  }
+};
+
+/// A path key: weighted distance plus hop length.
+struct Key {
+  Weight d = 0;
+  std::uint32_t l = 0;
+
+  friend bool operator==(const Key&, const Key&) = default;
+
+  /// Exact three-way comparison of kappa values under gamma.
+  int compare(const Key& o, const GammaSq& g) const {
+    return util::cmp_mul_sqrt(d - o.d, g.num, g.den,
+                              static_cast<std::int64_t>(o.l) -
+                                  static_cast<std::int64_t>(l));
+  }
+
+  /// ceil(kappa) = ceil(d*gamma) + l, exact.
+  std::uint64_t ceil_kappa(const GammaSq& g) const {
+    return util::ceil_mul_sqrt(static_cast<std::uint64_t>(d), g.num, g.den) +
+           l;
+  }
+
+  /// Scheduled send round for list position pos (1-based): ceil(kappa + pos).
+  std::uint64_t send_round(const GammaSq& g, std::uint64_t pos) const {
+    return ceil_kappa(g) + pos;
+  }
+};
+
+/// Total order used for list placement: (kappa, d, source id) ascending.
+/// Returns <0, 0, >0.
+int list_order(const Key& a, NodeId xa, const Key& b, NodeId xb,
+               const GammaSq& g);
+
+}  // namespace dapsp::core

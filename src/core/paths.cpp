@@ -1,0 +1,53 @@
+#include "core/paths.hpp"
+
+#include <algorithm>
+
+namespace dapsp::core {
+
+using graph::kInfDist;
+using graph::kNoNode;
+using graph::NodeId;
+using graph::Weight;
+
+std::optional<std::vector<NodeId>> extract_path(
+    std::span<const NodeId> parent, NodeId source, NodeId target,
+    std::size_t max_hops) {
+  std::vector<NodeId> rev{target};
+  NodeId u = target;
+  const std::size_t limit = std::min(max_hops, parent.size());
+  while (u != source) {
+    if (rev.size() > limit + 1) return std::nullopt;  // cycle or too long
+    const NodeId p = parent[u];
+    if (p == kNoNode || p >= parent.size()) return std::nullopt;
+    rev.push_back(p);
+    u = p;
+  }
+  std::reverse(rev.begin(), rev.end());
+  return rev;
+}
+
+std::optional<Weight> path_weight(const graph::Graph& g,
+                                  std::span<const NodeId> path) {
+  Weight total = 0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const auto w = g.arc_weight(path[i], path[i + 1]);
+    if (!w) return std::nullopt;
+    total += *w;
+  }
+  return total;
+}
+
+bool parents_realize_distances(const graph::Graph& g, NodeId source,
+                               std::span<const Weight> dist,
+                               std::span<const NodeId> parent) {
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (dist[v] == kInfDist || v == source) continue;
+    const auto path = extract_path(parent, source, v);
+    if (!path) return false;
+    const auto w = path_weight(g, *path);
+    if (!w || *w != dist[v]) return false;
+  }
+  return true;
+}
+
+}  // namespace dapsp::core

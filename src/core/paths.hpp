@@ -1,0 +1,38 @@
+// Path reconstruction from last-edge (parent) matrices.
+//
+// Every shortest-path result in this library reports, per (source, node),
+// the last edge of a shortest path (the CONGEST model's required output).
+// Walking those pointers backwards reconstructs a full path; this header
+// provides that walk with cycle/validity guards, plus a checker used by
+// tests and examples.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dapsp::core {
+
+/// Reconstructs the node sequence source -> ... -> target by following
+/// `parent` (parent[v] = predecessor of v, kNoNode at the source).
+/// Returns nullopt if the pointers do not reach the source within
+/// `max_hops` steps (cycle or dangling pointer) or if the target is
+/// unreachable.
+std::optional<std::vector<graph::NodeId>> extract_path(
+    std::span<const graph::NodeId> parent, graph::NodeId source,
+    graph::NodeId target,
+    std::size_t max_hops = static_cast<std::size_t>(-1));
+
+/// Total weight of a node sequence in g; nullopt if some arc is missing.
+std::optional<graph::Weight> path_weight(
+    const graph::Graph& g, std::span<const graph::NodeId> path);
+
+/// True iff `parent` reconstructs, for every reachable target, a real path
+/// of weight dist[target] (the standard routing-table soundness check).
+bool parents_realize_distances(const graph::Graph& g, graph::NodeId source,
+                               std::span<const graph::Weight> dist,
+                               std::span<const graph::NodeId> parent);
+
+}  // namespace dapsp::core

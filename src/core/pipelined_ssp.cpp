@@ -1,0 +1,399 @@
+#include "core/pipelined_ssp.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+
+#include "core/bounds.hpp"
+#include "util/int_math.hpp"
+
+namespace dapsp::core {
+
+using congest::Context;
+using congest::Engine;
+using congest::EngineOptions;
+using congest::Envelope;
+using congest::Message;
+using congest::Protocol;
+using congest::Round;
+using graph::Graph;
+using graph::kInfDist;
+using graph::kNoNode;
+
+namespace {
+
+constexpr std::uint32_t kTagEntry = 10;  // {x, d, l, nu, flag}
+
+/// Run-wide read-only configuration shared by all node protocols.
+struct SharedConfig {
+  const Graph* g = nullptr;
+  std::uint32_t h = 0;
+  Weight delta = 0;
+  GammaSq gamma;
+  ListPolicy policy = ListPolicy::kDominance;
+  std::vector<NodeId> sources;
+  std::vector<std::int32_t> source_index;  // node -> index in sources, or -1
+};
+
+/// One list entry Z (Table II of the paper).
+struct Entry {
+  Key key;                  // (d, l)
+  NodeId source = 0;        // x
+  NodeId parent = kNoNode;  // sender that delivered the underlying path
+  bool sp = false;          // flag-d*
+  std::uint64_t ck = 0;     // cached ceil(kappa); send round = ck + pos
+  /// Schedule value (ck + pos) at the last firing; 0 = never fired.  An
+  /// entry is due when its current schedule is <= the round and differs
+  /// from this value: list churn can move an entry to a position whose
+  /// schedule already passed, and the literal "fire on equality" rule would
+  /// silently drop it (observed on directed zero-weight graphs).
+  std::uint64_t fired_sched = 0;
+};
+
+class PipelinedProtocol final : public Protocol {
+ public:
+  PipelinedProtocol(const SharedConfig& cfg, NodeId self)
+      : cfg_(cfg), self_(self) {
+    const auto k = cfg.sources.size();
+    best_d_.assign(k, kInfDist);
+    best_l_.assign(k, 0);
+    best_p_.assign(k, kNoNode);
+    sends_per_source_.assign(k, 0);
+    // Incoming arc weights keyed by sender (directed graphs: a neighbor may
+    // be connected only by an outgoing arc, in which case its messages do
+    // not extend any path into this node).
+    for (const auto& e : cfg.g->in_edges(self)) {
+      in_weight_.emplace_back(e.from, e.weight);
+    }
+    // in_edges is sorted by (from); keep the min-weight arc per sender.
+    in_weight_.erase(
+        std::unique(in_weight_.begin(), in_weight_.end(),
+                    [](const auto& a, const auto& b) { return a.first == b.first; }),
+        in_weight_.end());
+  }
+
+  void init(Context& /*ctx*/) override {
+    const std::int32_t idx = cfg_.source_index[self_];
+    if (idx >= 0) {
+      const auto si = static_cast<std::size_t>(idx);
+      best_d_[si] = 0;
+      best_l_[si] = 0;
+      best_p_[si] = kNoNode;
+      Entry z;
+      z.key = Key{0, 0};
+      z.source = self_;
+      z.sp = true;
+      z.ck = z.key.ceil_kappa(cfg_.gamma);
+      list_.push_back(z);
+    }
+  }
+
+  bool quiescent() const override {
+    if (list_.empty()) return true;
+    // Future work pending?  The last entry holds the max schedule.
+    if (list_.back().ck + list_.size() > last_round_seen_) return false;
+    // Past-due but unfired entries still owe a send.
+    for (std::size_t i = scan_floor_; i < list_.size(); ++i) {
+      if (list_[i].fired_sched != list_[i].ck + i + 1) return false;
+    }
+    return true;
+  }
+
+  // --- results ---
+  const std::vector<Weight>& best_d() const { return best_d_; }
+  const std::vector<std::uint32_t>& best_l() const { return best_l_; }
+  const std::vector<NodeId>& best_p() const { return best_p_; }
+  Round settle_round() const { return settle_round_; }
+  std::uint64_t max_entries_per_source() const { return max_per_source_; }
+  std::uint64_t max_list_size() const { return max_list_; }
+  std::uint64_t late_fires() const { return late_fires_; }
+  std::uint64_t sends() const { return sends_; }
+  /// Max messages this node emitted for any single source (the per-source
+  /// congestion Algorithm 1 keeps low: at most the per-source list
+  /// occupancy plus schedule-shift refires).
+  std::uint64_t max_sends_one_source() const {
+    std::uint64_t m = 0;
+    for (const auto c : sends_per_source_) m = std::max(m, c);
+    return m;
+  }
+
+  void send_phase(Context& ctx) override {
+    last_round_seen_ = ctx.round();
+    const Round r = ctx.round();
+    // Schedules ck_i + (i+1) increase strictly along the list, so entries
+    // with schedule <= r form a prefix.  Fire the first due entry (schedule
+    // reached and not already fired at this exact schedule); scan_floor_
+    // skips the settled part of the prefix and resets on list mutation.
+    std::size_t i = scan_floor_;
+    while (i < list_.size()) {
+      const std::uint64_t sched = list_[i].ck + i + 1;
+      if (sched > r) break;
+      if (list_[i].fired_sched != sched) {
+        if (sched < r) ++late_fires_;
+        fire(ctx, i, sched);
+        return;
+      }
+      scan_floor_ = ++i;
+    }
+  }
+
+  void fire(Context& ctx, std::size_t idx, std::uint64_t sched) {
+    Entry& z = list_[idx];
+    z.fired_sched = sched;
+    const std::int32_t si = cfg_.source_index[z.source];
+    if (si >= 0) ++sends_per_source_[static_cast<std::size_t>(si)];
+    // Z.nu: entries for Z's source at or below Z.
+    std::int64_t nu = 0;
+    for (std::size_t i = 0; i <= idx; ++i) {
+      if (list_[i].source == z.source) ++nu;
+    }
+    ctx.broadcast(Message(kTagEntry, {static_cast<std::int64_t>(z.source),
+                                      z.key.d, z.key.l, nu,
+                                      z.sp ? 1 : 0}));
+    ++sends_;
+  }
+
+  void receive_phase(Context& ctx) override {
+    for (const Envelope& env : ctx.inbox()) {
+      if (env.msg.tag != kTagEntry) continue;
+      const auto w = arc_weight_from(env.from);
+      if (!w) continue;  // no directed arc sender -> self
+      const auto x = static_cast<NodeId>(env.msg.f[0]);
+      const std::int32_t sidx = cfg_.source_index[x];
+      if (sidx < 0) continue;
+      const Weight d = env.msg.f[1] + *w;
+      const auto l = static_cast<std::uint32_t>(env.msg.f[2]) + 1;
+      if (l > cfg_.h) continue;  // hop budget exhausted
+      const auto nu = static_cast<std::uint64_t>(env.msg.f[3]);
+
+      Entry z;
+      z.key = Key{d, l};
+      z.source = x;
+      z.parent = env.from;
+      z.ck = z.key.ceil_kappa(cfg_.gamma);
+
+      const auto si = static_cast<std::size_t>(sidx);
+      if (d == best_d_[si] && l == best_l_[si] && env.from < best_p_[si]) {
+        // Step 9's parent tie-break: same (d, l), smaller sender id.  The
+        // key is identical to the current SP entry's, so update the parent
+        // in place instead of inserting a twin.
+        best_p_[si] = env.from;
+        settle_round_ = ctx.round();
+        for (Entry& e : list_) {
+          if (e.source == x && e.sp) e.parent = env.from;
+        }
+        continue;
+      }
+      // An entry dominated by existing information (some entry with both
+      // distance and hops no worse) can never improve any downstream h-hop
+      // distance; dropping it is always delivery-safe and keeps duplicate
+      // churn from evicting hop-efficient entries.
+      if (cfg_.policy == ListPolicy::kDominance && dominated(z)) continue;
+      const bool better =
+          d < best_d_[si] || (d == best_d_[si] && l < best_l_[si]);
+      if (better) {
+        best_d_[si] = d;
+        best_l_[si] = l;
+        best_p_[si] = env.from;
+        settle_round_ = ctx.round();
+        z.sp = true;
+        const std::size_t at = insert_entry(z);
+        for (std::size_t i = 0; i < list_.size(); ++i) {
+          if (i != at && list_[i].source == x && list_[i].sp) {
+            list_[i].sp = false;
+          }
+        }
+      } else {
+        // Step 13: insert the non-SP entry only if fewer than nu entries for
+        // x have key <= Z's key (Observation II.4's accounting; the counts
+        // are load-bearing for Lemma II.6's position argument).  The literal
+        // policy compares with strict <, as printed in the paper.
+        std::uint64_t gate_count = 0;
+        for (const Entry& e : list_) {
+          if (e.source != x) continue;
+          const int c = e.key.compare(z.key, cfg_.gamma);
+          if (c < 0 || (c == 0 && cfg_.policy == ListPolicy::kDominance)) {
+            ++gate_count;
+          }
+        }
+        if (gate_count < nu) insert_entry(z);
+      }
+    }
+  }
+
+ private:
+  std::optional<Weight> arc_weight_from(NodeId y) const {
+    const auto it = std::lower_bound(
+        in_weight_.begin(), in_weight_.end(), y,
+        [](const auto& p, NodeId v) { return p.first < v; });
+    if (it == in_weight_.end() || it->first != y) return std::nullopt;
+    return it->second;
+  }
+
+  /// True if some listed entry for z.source matches or beats z in both
+  /// distance and hops.
+  bool dominated(const Entry& z) const {
+    return std::any_of(list_.begin(), list_.end(), [&](const Entry& e) {
+      return e.source == z.source && e.key.d <= z.key.d && e.key.l <= z.key.l;
+    });
+  }
+
+  /// INSERT procedure; returns the index Z landed at (stable under the
+  /// removal step, which only erases above it).
+  ///
+  /// Deviation from the conference listing (documented in DESIGN.md): the
+  /// removal step drops entries for x that Z *dominates* (distance and hops
+  /// both no better) rather than unconditionally the closest non-SP entry
+  /// above Z.  Unconditional removal can evict a dethroned SP entry whose
+  /// fewer-hops path is the only way some h-hop shortest distance reaches a
+  /// later node; dominance-based removal is delivery-safe by construction
+  /// and the Lemma II.14 round bound is asserted by tests/benches instead.
+  std::size_t insert_entry(const Entry& z) {
+    // Position by (kappa, d, x); equal keys keep insertion order stable.
+    auto it = std::lower_bound(
+        list_.begin(), list_.end(), z, [&](const Entry& a, const Entry& b) {
+          return list_order(a.key, a.source, b.key, b.source, cfg_.gamma) < 0;
+        });
+    it = list_.insert(it, z);
+    const auto pos = static_cast<std::size_t>(it - list_.begin());
+    scan_floor_ = std::min(scan_floor_, pos);
+
+    if (cfg_.policy == ListPolicy::kDominance) {
+      // Remove every non-SP entry for x that Z dominates (all sit at or
+      // above Z's key, so positions below Z are untouched).
+      for (std::size_t i = list_.size(); i-- > pos + 1;) {
+        if (list_[i].source == z.source && z.key.d <= list_[i].key.d &&
+            z.key.l <= list_[i].key.l && !list_[i].sp) {
+          list_.erase(list_.begin() + static_cast<std::ptrdiff_t>(i));
+        }
+      }
+    } else {
+      // Literal INSERT steps 2-4: drop the closest non-SP entry for x above
+      // Z, whatever it holds.
+      for (std::size_t i = pos + 1; i < list_.size(); ++i) {
+        if (list_[i].source == z.source && !list_[i].sp) {
+          list_.erase(list_.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+    }
+
+    max_list_ = std::max(max_list_, static_cast<std::uint64_t>(list_.size()));
+    std::uint64_t cnt = 0;
+    for (const Entry& e : list_) {
+      if (e.source == z.source) ++cnt;
+    }
+    max_per_source_ = std::max(max_per_source_, cnt);
+    return pos;
+  }
+
+  const SharedConfig& cfg_;
+  NodeId self_;
+  std::vector<Entry> list_;
+  std::vector<std::pair<NodeId, Weight>> in_weight_;  // sorted by sender
+  std::vector<Weight> best_d_;
+  std::vector<std::uint32_t> best_l_;
+  std::vector<NodeId> best_p_;
+  Round settle_round_ = 0;
+  Round last_round_seen_ = 0;
+  std::size_t scan_floor_ = 0;
+  std::uint64_t max_per_source_ = 0;
+  std::uint64_t max_list_ = 0;
+  std::uint64_t late_fires_ = 0;
+  std::uint64_t sends_ = 0;
+  std::vector<std::uint64_t> sends_per_source_;
+};
+
+}  // namespace
+
+void PipelinedParams::finalize(const Graph& g) {
+  util::check(!sources.empty(), "PipelinedParams: need at least one source");
+  util::check(h >= 1, "PipelinedParams: need h >= 1");
+  util::check(delta >= 0, "PipelinedParams: delta must be non-negative");
+  std::sort(sources.begin(), sources.end());
+  sources.erase(std::unique(sources.begin(), sources.end()), sources.end());
+  util::check(sources.back() < g.node_count(),
+              "PipelinedParams: source id out of range");
+  if (gamma.num == 0 && gamma.den == 0) {
+    gamma = GammaSq::paper(sources.size(), h,
+                           static_cast<std::uint64_t>(delta));
+  }
+}
+
+KsspResult pipelined_kssp(const Graph& g, PipelinedParams params) {
+  params.finalize(g);
+  const NodeId n = g.node_count();
+  const std::uint64_t k = params.sources.size();
+
+  SharedConfig cfg;
+  cfg.g = &g;
+  cfg.h = params.h;
+  cfg.delta = params.delta;
+  cfg.gamma = params.gamma;
+  cfg.policy = params.policy;
+  cfg.sources = params.sources;
+  cfg.source_index.assign(n, -1);
+  for (std::size_t i = 0; i < cfg.sources.size(); ++i) {
+    cfg.source_index[cfg.sources[i]] = static_cast<std::int32_t>(i);
+  }
+
+  const std::uint64_t bound = bounds::hk_ssp_custom_gamma(
+      params.h, k, static_cast<std::uint64_t>(params.delta), params.gamma);
+
+  std::vector<std::unique_ptr<Protocol>> procs;
+  procs.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    procs.push_back(std::make_unique<PipelinedProtocol>(cfg, v));
+  }
+  EngineOptions opt;
+  opt.max_rounds = static_cast<Round>(
+      static_cast<double>(bound) * std::max(1.0, params.round_budget_factor));
+  opt.scramble_inbox = params.scramble_inbox;
+  opt.record_per_round = params.record_per_round;
+  Engine engine(g, std::move(procs), opt);
+
+  KsspResult res;
+  res.stats = engine.run();
+  res.sources = cfg.sources;
+  res.theoretical_bound = bound;
+  res.dist.assign(k, std::vector<Weight>(n, kInfDist));
+  res.hops.assign(k, std::vector<std::uint32_t>(n, 0));
+  res.parent.assign(k, std::vector<NodeId>(n, kNoNode));
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& p = static_cast<const PipelinedProtocol&>(engine.protocol(v));
+    for (std::size_t i = 0; i < k; ++i) {
+      res.dist[i][v] = p.best_d()[i];
+      res.hops[i][v] = p.best_l()[i];
+      res.parent[i][v] = p.best_p()[i];
+    }
+    res.max_entries_per_source =
+        std::max(res.max_entries_per_source, p.max_entries_per_source());
+    res.max_list_size = std::max(res.max_list_size, p.max_list_size());
+    res.settle_round = std::max(res.settle_round, p.settle_round());
+    res.late_fires += p.late_fires();
+    res.total_sends += p.sends();
+    res.max_sends_per_source =
+        std::max(res.max_sends_per_source, p.max_sends_one_source());
+  }
+  return res;
+}
+
+KsspResult pipelined_apsp(const Graph& g, Weight delta) {
+  PipelinedParams params;
+  params.sources.resize(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) params.sources[v] = v;
+  params.h = g.node_count() > 1 ? g.node_count() - 1 : 1;
+  params.delta = delta;
+  return pipelined_kssp(g, std::move(params));
+}
+
+KsspResult pipelined_kssp_full(const Graph& g, std::vector<NodeId> sources,
+                               Weight delta) {
+  PipelinedParams params;
+  params.sources = std::move(sources);
+  params.h = g.node_count() > 1 ? g.node_count() - 1 : 1;
+  params.delta = delta;
+  return pipelined_kssp(g, std::move(params));
+}
+
+}  // namespace dapsp::core

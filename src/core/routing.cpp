@@ -1,0 +1,71 @@
+#include "core/routing.hpp"
+
+#include "util/int_math.hpp"
+
+namespace dapsp::core {
+
+using graph::Graph;
+using graph::kInfDist;
+using graph::kNoNode;
+using graph::NodeId;
+using graph::Weight;
+
+RoutingTables build_routing_tables(const Graph& g, const KsspResult& apsp) {
+  util::check(!g.directed(),
+              "build_routing_tables: needs an undirected network");
+  const NodeId n = g.node_count();
+  util::check(apsp.sources.size() == n,
+              "build_routing_tables: needs a full APSP result (k = n)");
+
+  RoutingTables t;
+  t.dist_ = apsp.dist;
+  t.next_.assign(n, std::vector<NodeId>(n, kNoNode));
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId dest = 0; dest < n; ++dest) {
+      if (dest == u || apsp.dist[dest][u] == kInfDist) continue;
+      // Best neighbor: minimize w(u,w) + dist(dest, w); ties prefer fewer
+      // remaining hops (guarantees progress across zero-weight plateaus),
+      // then the smaller id (determinism).
+      NodeId best = kNoNode;
+      Weight best_cost = kInfDist;
+      std::uint32_t best_hops = 0;
+      for (const auto& e : g.out_edges(u)) {
+        const Weight dw = apsp.dist[dest][e.to];
+        if (dw == kInfDist) continue;
+        const Weight cost = e.weight + dw;
+        const std::uint32_t hops = apsp.hops[dest][e.to];
+        const bool wins = cost < best_cost ||
+                          (cost == best_cost &&
+                           (hops < best_hops ||
+                            (hops == best_hops && e.to < best)));
+        if (wins) {
+          best = e.to;
+          best_cost = cost;
+          best_hops = hops;
+        }
+      }
+      t.next_[u][dest] = best;
+    }
+  }
+  return t;
+}
+
+std::optional<RouteResult> route(const Graph& g, const RoutingTables& tables,
+                                 NodeId s, NodeId t) {
+  RouteResult r;
+  r.path.push_back(s);
+  NodeId u = s;
+  while (u != t) {
+    if (r.path.size() > g.node_count() + 1u) return std::nullopt;  // loop
+    const NodeId w = tables.next_hop(u, t);
+    if (w == kNoNode) return std::nullopt;
+    const auto edge = g.arc_weight(u, w);
+    if (!edge) return std::nullopt;
+    r.cost += *edge;
+    r.path.push_back(w);
+    u = w;
+  }
+  return r;
+}
+
+}  // namespace dapsp::core

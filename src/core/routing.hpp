@@ -1,0 +1,64 @@
+// Next-hop routing tables from APSP results, plus a forwarding simulator.
+//
+// The CONGEST APSP output leaves every node v with dist(s, v) for each
+// source s and the last edge of a shortest path.  On an undirected network
+// that is enough to build classic hop-by-hop routing: to forward a packet
+// toward destination t, a node u picks the neighbor w minimizing
+// w(u,w) + dist(t, w) (valid because dist(t, w) = dist(w, t) undirected).
+// The builder performs that selection from the node-local data the
+// algorithms already produce; `route` then walks a packet through the
+// tables so tests and examples can verify end-to-end delivery at the exact
+// shortest-path cost.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/pipelined_ssp.hpp"
+#include "graph/graph.hpp"
+
+namespace dapsp::core {
+
+class RoutingTables {
+ public:
+  /// next_hop(u, t): neighbor u forwards to for destination t, or kNoNode
+  /// when t == u or t is unreachable.
+  graph::NodeId next_hop(graph::NodeId u, graph::NodeId t) const {
+    return next_[u][t];
+  }
+
+  /// dist(u, t) as known at u (kInfDist when unreachable).
+  graph::Weight distance(graph::NodeId u, graph::NodeId t) const {
+    return dist_[t][u];
+  }
+
+  graph::NodeId node_count() const {
+    return static_cast<graph::NodeId>(next_.size());
+  }
+
+ private:
+  friend RoutingTables build_routing_tables(const graph::Graph& g,
+                                            const KsspResult& apsp);
+  std::vector<std::vector<graph::NodeId>> next_;  // [u][t]
+  std::vector<std::vector<graph::Weight>> dist_;  // [t][u] (APSP layout)
+};
+
+/// Builds routing tables from a full APSP result on an *undirected* graph
+/// (throws on directed graphs: dist(t, w) would not equal dist(w, t)).
+/// Ties prefer fewer remaining hops, then the smaller neighbor id, so routes
+/// terminate even across zero-weight plateaus.
+RoutingTables build_routing_tables(const graph::Graph& g,
+                                   const KsspResult& apsp);
+
+struct RouteResult {
+  std::vector<graph::NodeId> path;  ///< s ... t
+  graph::Weight cost = 0;
+};
+
+/// Forwards a packet from s to t one hop at a time; nullopt when t is
+/// unreachable or the tables are inconsistent (loop guard).
+std::optional<RouteResult> route(const graph::Graph& g,
+                                 const RoutingTables& tables,
+                                 graph::NodeId s, graph::NodeId t);
+
+}  // namespace dapsp::core

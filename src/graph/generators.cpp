@@ -1,0 +1,265 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/properties.hpp"
+#include "util/rng.hpp"
+
+namespace dapsp::graph {
+
+using util::Xoshiro256;
+
+Weight draw_weight(const WeightSpec& spec, std::uint64_t seed,
+                   std::uint64_t edge_index) {
+  if (spec.min_weight < 0 || spec.max_weight < spec.min_weight) {
+    throw std::logic_error("WeightSpec: invalid weight range");
+  }
+  Xoshiro256 rng(seed ^ (0x9e3779b97f4a7c15ULL * (edge_index + 1)));
+  if (spec.zero_fraction > 0.0 && rng.chance(spec.zero_fraction)) return 0;
+  return rng.uniform(spec.min_weight, spec.max_weight);
+}
+
+namespace {
+
+/// Draws the next weight from the builder-local counter.
+class WeightDrawer {
+ public:
+  WeightDrawer(const WeightSpec& spec, std::uint64_t seed)
+      : spec_(spec), seed_(seed) {}
+  Weight next() { return draw_weight(spec_, seed_, counter_++); }
+
+ private:
+  WeightSpec spec_;
+  std::uint64_t seed_;
+  std::uint64_t counter_ = 0;
+};
+
+/// Random permutation of [0, n).
+std::vector<NodeId> permutation(NodeId n, Xoshiro256& rng) {
+  std::vector<NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), NodeId{0});
+  for (NodeId i = n; i > 1; --i) {
+    const auto j = static_cast<NodeId>(rng.below(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+}  // namespace
+
+Graph erdos_renyi(NodeId n, double p, const WeightSpec& spec,
+                  std::uint64_t seed, bool directed, bool connect) {
+  GraphBuilder b(n, directed);
+  Xoshiro256 rng(seed);
+  WeightDrawer w(spec, seed + 1);
+
+  if (connect && n > 1) {
+    // Random backbone: a permutation path (cycle when directed, so that
+    // reachability holds in both directions).
+    const auto perm = permutation(n, rng);
+    for (NodeId i = 0; i + 1 < n; ++i) {
+      b.add_edge(perm[i], perm[i + 1], w.next());
+    }
+    if (directed && n > 2) b.add_edge(perm[n - 1], perm[0], w.next());
+  }
+
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = directed ? 0 : u + 1; v < n; ++v) {
+      if (u == v) continue;
+      if (!rng.chance(p)) continue;
+      if (b.has_arc(u, v)) continue;
+      b.add_edge(u, v, w.next());
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph path(NodeId n, const WeightSpec& spec, std::uint64_t seed,
+           bool directed) {
+  GraphBuilder b(n, directed);
+  WeightDrawer w(spec, seed);
+  for (NodeId i = 0; i + 1 < n; ++i) b.add_edge(i, i + 1, w.next());
+  return std::move(b).build();
+}
+
+Graph cycle(NodeId n, const WeightSpec& spec, std::uint64_t seed,
+            bool directed) {
+  if (n < 3) throw std::logic_error("cycle: need n >= 3");
+  GraphBuilder b(n, directed);
+  WeightDrawer w(spec, seed);
+  for (NodeId i = 0; i + 1 < n; ++i) b.add_edge(i, i + 1, w.next());
+  b.add_edge(n - 1, 0, w.next());
+  return std::move(b).build();
+}
+
+Graph grid(NodeId rows, NodeId cols, const WeightSpec& spec,
+           std::uint64_t seed) {
+  const NodeId n = rows * cols;
+  GraphBuilder b(n, /*directed=*/false);
+  WeightDrawer w(spec, seed);
+  const auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1), w.next());
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c), w.next());
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph star(NodeId n, const WeightSpec& spec, std::uint64_t seed) {
+  GraphBuilder b(n, /*directed=*/false);
+  WeightDrawer w(spec, seed);
+  for (NodeId i = 1; i < n; ++i) b.add_edge(0, i, w.next());
+  return std::move(b).build();
+}
+
+Graph complete(NodeId n, const WeightSpec& spec, std::uint64_t seed,
+               bool directed) {
+  GraphBuilder b(n, directed);
+  WeightDrawer w(spec, seed);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = directed ? 0 : u + 1; v < n; ++v) {
+      if (u != v) b.add_edge(u, v, w.next());
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph random_tree(NodeId n, const WeightSpec& spec, std::uint64_t seed) {
+  GraphBuilder b(n, /*directed=*/false);
+  Xoshiro256 rng(seed);
+  WeightDrawer w(spec, seed + 1);
+  for (NodeId v = 1; v < n; ++v) {
+    const auto parent = static_cast<NodeId>(rng.below(v));
+    b.add_edge(parent, v, w.next());
+  }
+  return std::move(b).build();
+}
+
+Graph barabasi_albert(NodeId n, NodeId attach, const WeightSpec& spec,
+                      std::uint64_t seed) {
+  if (attach < 1) throw std::logic_error("barabasi_albert: attach >= 1");
+  GraphBuilder b(n, /*directed=*/false);
+  Xoshiro256 rng(seed);
+  WeightDrawer w(spec, seed + 1);
+  // Endpoint pool: every edge contributes both endpoints, so sampling the
+  // pool uniformly is degree-proportional sampling.
+  std::vector<NodeId> pool;
+  const NodeId seed_nodes = std::max<NodeId>(attach, 2);
+  for (NodeId v = 1; v < std::min(seed_nodes, n); ++v) {
+    b.add_edge(v - 1, v, w.next());
+    pool.push_back(v - 1);
+    pool.push_back(v);
+  }
+  for (NodeId v = seed_nodes; v < n; ++v) {
+    // The first draw always lands (v is not yet in the pool and the pool
+    // only holds existing nodes), so every node attaches and the graph stays
+    // connected; later draws skip duplicates.
+    for (NodeId a = 0; a < attach; ++a) {
+      const NodeId target = pool[rng.below(pool.size())];
+      if (target == v || b.has_arc(v, target)) continue;
+      b.add_edge(v, target, w.next());
+      pool.push_back(v);
+      pool.push_back(target);
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph layered(NodeId layers, NodeId width, NodeId fanout,
+              const WeightSpec& spec, std::uint64_t seed, bool directed) {
+  if (layers < 1 || width < 1) throw std::logic_error("layered: bad shape");
+  const NodeId n = layers * width;
+  GraphBuilder b(n, directed);
+  Xoshiro256 rng(seed);
+  WeightDrawer w(spec, seed + 1);
+  const auto id = [width](NodeId layer, NodeId i) { return layer * width + i; };
+  for (NodeId layer = 0; layer + 1 < layers; ++layer) {
+    for (NodeId i = 0; i < width; ++i) {
+      // Guarantee one forward edge, then add random extras.
+      const auto first = static_cast<NodeId>(rng.below(width));
+      b.add_edge(id(layer, i), id(layer + 1, first), w.next());
+      for (NodeId f = 1; f < fanout; ++f) {
+        const auto t = static_cast<NodeId>(rng.below(width));
+        if (!b.has_arc(id(layer, i), id(layer + 1, t))) {
+          b.add_edge(id(layer, i), id(layer + 1, t), w.next());
+        }
+      }
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph isp_topology(NodeId pops, NodeId pop_size, Weight backbone_min,
+                   Weight backbone_max, double zero_fraction,
+                   std::uint64_t seed) {
+  if (pops < 3 || pop_size < 1) {
+    throw std::logic_error("isp_topology: need pops >= 3, pop_size >= 1");
+  }
+  const NodeId n = pops * pop_size;
+  GraphBuilder b(n, /*directed=*/false);
+  Xoshiro256 rng(seed);
+  const auto gateway = [pop_size](NodeId pop) { return pop * pop_size; };
+  // Backbone ring over the PoP gateways.
+  for (NodeId p = 0; p < pops; ++p) {
+    b.add_edge(gateway(p), gateway((p + 1) % pops),
+               rng.uniform(backbone_min, backbone_max));
+  }
+  // Access tree inside each PoP (random attachment to earlier routers).
+  for (NodeId p = 0; p < pops; ++p) {
+    for (NodeId r = 1; r < pop_size; ++r) {
+      const auto parent =
+          gateway(p) + static_cast<NodeId>(rng.below(r));
+      const Weight w =
+          rng.chance(zero_fraction) ? 0 : rng.uniform(1, 4);
+      b.add_edge(parent, gateway(p) + r, w);
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph fig1_gadget(NodeId h) {
+  if (h < 2) throw std::logic_error("fig1_gadget: need h >= 2");
+  // Nodes: 0 = s; 1..h = cheap chain (node h is "z"); h+1..h+h = tail.
+  // s --(w=0)x h--> z is the cheap h-hop route of weight 0.
+  // s --(w=1)-----> z is the expensive 1-hop shortcut.
+  // tail_i hangs off z with zero-weight hops.
+  const NodeId n = 2 * h + 1;
+  GraphBuilder b(n, /*directed=*/false);
+  const NodeId z = h;
+  b.add_edge(0, 1, 0);
+  for (NodeId i = 1; i < h; ++i) b.add_edge(i, i + 1, 0);
+  b.add_edge(0, z, 1);  // shortcut
+  NodeId prev = z;
+  for (NodeId i = h + 1; i < n; ++i) {
+    b.add_edge(prev, i, 0);
+    prev = i;
+  }
+  return std::move(b).build();
+}
+
+Graph bounded_distance_graph(NodeId n, double p, Weight delta,
+                             std::uint64_t seed, bool directed) {
+  if (delta < 0) throw std::logic_error("bounded_distance_graph: delta < 0");
+  WeightSpec spec;
+  spec.min_weight = 0;
+  spec.max_weight = std::max<Weight>(1, delta / 4);
+  spec.zero_fraction = 0.1;
+  Graph g = erdos_renyi(n, p, spec, seed, directed, /*connect=*/true);
+  while (max_finite_distance(g) > delta) {
+    // Halve all weights (floor) until the eccentricity fits; terminates
+    // because all-zero weights give distance 0 <= delta.
+    GraphBuilder b(n, directed);
+    for (const Edge& e : g.edges()) {
+      if (!directed && e.from > e.to) continue;  // builder re-adds reverses
+      b.add_edge(e.from, e.to, e.weight / 2);
+    }
+    g = std::move(b).build();
+  }
+  return g;
+}
+
+}  // namespace dapsp::graph

@@ -1,0 +1,98 @@
+// Workload generators.
+//
+// The paper has no released inputs; these generators produce the graph
+// families its theorems are parameterized over: bounded weight W, bounded
+// shortest-path distance Delta, and graphs with many zero-weight edges (the
+// case prior deterministic algorithms could not handle).  All generators are
+// deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace dapsp::graph {
+
+/// How edge weights are drawn.
+struct WeightSpec {
+  Weight min_weight = 0;  ///< inclusive
+  Weight max_weight = 8;  ///< inclusive
+  /// Probability that an edge weight is forced to zero (applied before the
+  /// uniform draw); lets workloads stress the zero-weight code paths even
+  /// when min_weight > 0.
+  double zero_fraction = 0.0;
+};
+
+/// Uniform weight in [min,max] with an extra zero-weight coin flip.
+Weight draw_weight(const WeightSpec& spec, std::uint64_t seed,
+                   std::uint64_t edge_index);
+
+/// G(n, p) Erdős–Rényi graph.  When `connect` is true a random Hamiltonian
+/// backbone path is added first so every node can reach every other
+/// (in both directions for directed graphs, via a cycle).
+Graph erdos_renyi(NodeId n, double p, const WeightSpec& spec,
+                  std::uint64_t seed, bool directed = false,
+                  bool connect = true);
+
+/// Simple path 0-1-...-(n-1).
+Graph path(NodeId n, const WeightSpec& spec, std::uint64_t seed,
+           bool directed = false);
+
+/// Cycle 0-1-...-(n-1)-0.
+Graph cycle(NodeId n, const WeightSpec& spec, std::uint64_t seed,
+            bool directed = false);
+
+/// rows x cols 2D grid (undirected), the canonical "network mesh" topology.
+Graph grid(NodeId rows, NodeId cols, const WeightSpec& spec,
+           std::uint64_t seed);
+
+/// Star with node 0 at the center.
+Graph star(NodeId n, const WeightSpec& spec, std::uint64_t seed);
+
+/// Complete graph K_n.
+Graph complete(NodeId n, const WeightSpec& spec, std::uint64_t seed,
+               bool directed = false);
+
+/// Uniformly random spanning tree (random attachment).
+Graph random_tree(NodeId n, const WeightSpec& spec, std::uint64_t seed);
+
+/// Barabasi-Albert preferential attachment: each new node wires to
+/// `attach` existing nodes with probability proportional to their degree.
+/// Produces the hub-heavy topologies of real networks (undirected).
+Graph barabasi_albert(NodeId n, NodeId attach, const WeightSpec& spec,
+                      std::uint64_t seed);
+
+/// Layered graph: `layers` layers of `width` nodes; every node of layer i is
+/// wired to `fanout` random nodes of layer i+1.  Source-friendly DAG-ish
+/// topology whose h-hop structure is easy to reason about.
+Graph layered(NodeId layers, NodeId width, NodeId fanout,
+              const WeightSpec& spec, std::uint64_t seed,
+              bool directed = true);
+
+/// Hierarchical ISP-style network: `pops` points of presence on a weighted
+/// backbone ring, each with a random access tree of `pop_size` routers.
+/// Intra-PoP links are zero-weight with probability `zero_fraction` (the
+/// co-located-router case the paper's zero-weight support models); backbone
+/// links carry weights in [backbone_min, backbone_max].
+Graph isp_topology(NodeId pops, NodeId pop_size, Weight backbone_min,
+                   Weight backbone_max, double zero_fraction,
+                   std::uint64_t seed);
+
+/// The Figure-1 gadget from the paper: a graph on which the parent pointers
+/// of h-hop shortest paths form a "tree" of height > h, because the prefix of
+/// an h-hop shortest path need not be an h-hop shortest path.
+///
+/// Construction (parameterized by h >= 2): a source s, a cheap long path of
+/// h zero/low-weight hops to a node z, an expensive 1-hop shortcut s->z, and
+/// a tail hanging off z.  With hop budget h, z's best h-hop path uses the
+/// cheap long route, while tail nodes must take the shortcut; their parent
+/// chains then have more than h edges.
+Graph fig1_gadget(NodeId h);
+
+/// Random connected graph whose shortest path distances are all <= delta,
+/// built by scaling an Erdős–Rényi graph's weights down until the property
+/// holds.  Useful for Theorem I.3 sweeps.
+Graph bounded_distance_graph(NodeId n, double p, Weight delta,
+                             std::uint64_t seed, bool directed = false);
+
+}  // namespace dapsp::graph

@@ -1,0 +1,89 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dapsp::graph {
+
+void write_graph(std::ostream& os, const Graph& g) {
+  std::size_t m = 0;
+  for (const Edge& e : g.edges()) {
+    if (g.directed() || e.from < e.to) ++m;
+  }
+  os << "dapsp " << (g.directed() ? "directed" : "undirected") << ' '
+     << g.node_count() << ' ' << m << '\n';
+  for (const Edge& e : g.edges()) {
+    if (g.directed() || e.from < e.to) {
+      os << e.from << ' ' << e.to << ' ' << e.weight << '\n';
+    }
+  }
+}
+
+Graph read_graph(std::istream& is) {
+  std::string line;
+  auto next_line = [&]() -> std::string {
+    while (std::getline(is, line)) {
+      if (!line.empty() && line[0] != '#') return line;
+    }
+    throw std::runtime_error("read_graph: truncated input");
+  };
+
+  std::istringstream header(next_line());
+  std::string magic, mode;
+  NodeId n = 0;
+  std::size_t m = 0;
+  header >> magic >> mode >> n >> m;
+  if (magic != "dapsp" || (mode != "directed" && mode != "undirected")) {
+    throw std::runtime_error("read_graph: bad header");
+  }
+  GraphBuilder b(n, mode == "directed");
+  for (std::size_t i = 0; i < m; ++i) {
+    std::istringstream row(next_line());
+    NodeId u = 0, v = 0;
+    Weight w = 0;
+    if (!(row >> u >> v >> w)) {
+      throw std::runtime_error("read_graph: bad edge line");
+    }
+    b.add_edge(u, v, w);
+  }
+  return std::move(b).build();
+}
+
+void write_dot(std::ostream& os, const Graph& g) {
+  const char* arrow = g.directed() ? " -> " : " -- ";
+  os << (g.directed() ? "digraph" : "graph") << " dapsp {\n";
+  for (const Edge& e : g.edges()) {
+    if (!g.directed() && e.from > e.to) continue;
+    os << "  " << e.from << arrow << e.to << " [label=\"" << e.weight
+       << "\"];\n";
+  }
+  os << "}\n";
+}
+
+void write_tree_dot(std::ostream& os, const Graph& g,
+                    const std::vector<NodeId>& parent, NodeId root) {
+  os << "digraph tree {\n  " << root << " [shape=doublecircle];\n";
+  for (NodeId v = 0; v < static_cast<NodeId>(parent.size()); ++v) {
+    if (parent[v] == kNoNode) continue;
+    const auto w = g.arc_weight(parent[v], v);
+    os << "  " << parent[v] << " -> " << v;
+    if (w) os << " [label=\"" << *w << "\"]";
+    os << ";\n";
+  }
+  os << "}\n";
+}
+
+void save_graph(const std::string& path, const Graph& g) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_graph: cannot open " + path);
+  write_graph(os, g);
+}
+
+Graph load_graph(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_graph: cannot open " + path);
+  return read_graph(is);
+}
+
+}  // namespace dapsp::graph

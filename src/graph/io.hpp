@@ -1,0 +1,31 @@
+// Plain-text edge-list serialization so examples can load/save workloads.
+//
+// Format:
+//   line 1: "dapsp <directed|undirected> <n> <m>"
+//   then m lines: "<u> <v> <w>"
+// Undirected graphs list each edge once.  '#' starts a comment line.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dapsp::graph {
+
+void write_graph(std::ostream& os, const Graph& g);
+Graph read_graph(std::istream& is);
+
+void save_graph(const std::string& path, const Graph& g);
+Graph load_graph(const std::string& path);
+
+/// Graphviz DOT export of the graph (edge labels = weights).
+void write_dot(std::ostream& os, const Graph& g);
+
+/// Graphviz DOT export of a rooted tree given parent pointers
+/// (parent[v] == kNoNode marks the root / non-members).
+void write_tree_dot(std::ostream& os, const Graph& g,
+                    const std::vector<NodeId>& parent, NodeId root);
+
+}  // namespace dapsp::graph

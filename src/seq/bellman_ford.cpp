@@ -1,0 +1,45 @@
+#include "seq/bellman_ford.hpp"
+
+namespace dapsp::seq {
+
+using graph::Graph;
+using graph::kInfDist;
+using graph::kNoNode;
+using graph::NodeId;
+using graph::Weight;
+
+SsspResult bellman_ford(const Graph& g, NodeId source) {
+  const NodeId n = g.node_count();
+  SsspResult r;
+  r.dist.assign(n, kInfDist);
+  r.hops.assign(n, 0);
+  r.parent.assign(n, kNoNode);
+  r.dist[source] = 0;
+
+  // (d, l, parent) lexicographic relaxation; with zero-weight edges a sweep
+  // can keep improving hop counts, so run until a full sweep changes nothing
+  // (bounded by n sweeps for distances plus n for hop stabilization).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& e : g.edges()) {
+      if (r.dist[e.from] == kInfDist) continue;
+      const Weight nd = r.dist[e.from] + e.weight;
+      const std::uint32_t nl = r.hops[e.from] + 1;
+      const auto better = [&] {
+        if (nd != r.dist[e.to]) return nd < r.dist[e.to];
+        if (nl != r.hops[e.to]) return nl < r.hops[e.to];
+        return e.from < r.parent[e.to];
+      };
+      if (better()) {
+        r.dist[e.to] = nd;
+        r.hops[e.to] = nl;
+        r.parent[e.to] = e.from;
+        changed = true;
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace dapsp::seq

@@ -1,0 +1,16 @@
+// Sequential Bellman–Ford oracle.  Slower than Dijkstra but structurally
+// identical to the distributed baseline, which makes it a convenient
+// cross-check for the CONGEST Bellman–Ford implementation.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "seq/dijkstra.hpp"
+
+namespace dapsp::seq {
+
+/// Full shortest paths from `source` (n-1 relaxation sweeps).
+SsspResult bellman_ford(const graph::Graph& g, graph::NodeId source);
+
+}  // namespace dapsp::seq

@@ -1,0 +1,88 @@
+#include "seq/dijkstra.hpp"
+
+#include <queue>
+#include <tuple>
+
+namespace dapsp::seq {
+
+using graph::Graph;
+using graph::kInfDist;
+using graph::kNoNode;
+using graph::NodeId;
+using graph::Weight;
+
+namespace {
+
+/// Priority-queue entry ordered by (dist, hops, node) so the settled
+/// labels realize the paper's (d, l) tie-breaking deterministically.
+struct QEntry {
+  Weight dist;
+  std::uint32_t hops;
+  NodeId via;   // parent candidate
+  NodeId node;
+
+  bool operator>(const QEntry& o) const {
+    return std::tie(dist, hops, via, node) >
+           std::tie(o.dist, o.hops, o.via, o.node);
+  }
+};
+
+template <typename EdgeFn>
+SsspResult run(const Graph& g, NodeId source, EdgeFn&& edges_of) {
+  const NodeId n = g.node_count();
+  SsspResult r;
+  r.dist.assign(n, kInfDist);
+  r.hops.assign(n, 0);
+  r.parent.assign(n, kNoNode);
+
+  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> pq;
+  pq.push({0, 0, kNoNode, source});
+  std::vector<bool> settled(n, false);
+
+  while (!pq.empty()) {
+    const QEntry top = pq.top();
+    pq.pop();
+    if (settled[top.node]) continue;
+    settled[top.node] = true;
+    r.dist[top.node] = top.dist;
+    r.hops[top.node] = top.hops;
+    r.parent[top.node] = top.via;
+    for (const auto& [nbr, w] : edges_of(top.node)) {
+      if (!settled[nbr]) {
+        pq.push({top.dist + w, top.hops + 1, top.node, nbr});
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+SsspResult dijkstra(const Graph& g, NodeId source) {
+  return run(g, source, [&g](NodeId v) {
+    std::vector<std::pair<NodeId, Weight>> out;
+    out.reserve(g.out_edges(v).size());
+    for (const auto& e : g.out_edges(v)) out.emplace_back(e.to, e.weight);
+    return out;
+  });
+}
+
+SsspResult dijkstra_reverse(const Graph& g, NodeId target) {
+  return run(g, target, [&g](NodeId v) {
+    std::vector<std::pair<NodeId, Weight>> out;
+    out.reserve(g.in_edges(v).size());
+    for (const auto& e : g.in_edges(v)) out.emplace_back(e.from, e.weight);
+    return out;
+  });
+}
+
+std::vector<std::vector<Weight>> apsp(const Graph& g) {
+  std::vector<std::vector<Weight>> d;
+  d.reserve(g.node_count());
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    d.push_back(dijkstra(g, s).dist);
+  }
+  return d;
+}
+
+}  // namespace dapsp::seq

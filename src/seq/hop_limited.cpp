@@ -1,0 +1,61 @@
+#include "seq/hop_limited.hpp"
+
+namespace dapsp::seq {
+
+using graph::Graph;
+using graph::kInfDist;
+using graph::kNoNode;
+using graph::NodeId;
+using graph::Weight;
+
+HopLimitedResult hop_limited_sssp(const Graph& g, NodeId source,
+                                  std::uint32_t h) {
+  const NodeId n = g.node_count();
+  HopLimitedResult r;
+  r.dist.assign(n, kInfDist);
+  r.hops.assign(n, 0);
+  r.parent.assign(n, kNoNode);
+  r.dist[source] = 0;
+
+  // exact[v] = min weight over paths with exactly j hops (rolling layer).
+  std::vector<Weight> exact(n, kInfDist);
+  std::vector<NodeId> exact_parent(n, kNoNode);
+  exact[source] = 0;
+
+  std::vector<Weight> next(n);
+  std::vector<NodeId> next_parent(n);
+  for (std::uint32_t j = 1; j <= h; ++j) {
+    std::fill(next.begin(), next.end(), kInfDist);
+    std::fill(next_parent.begin(), next_parent.end(), kNoNode);
+    for (const auto& e : g.edges()) {
+      if (exact[e.from] == kInfDist) continue;
+      const Weight nd = exact[e.from] + e.weight;
+      if (nd < next[e.to] ||
+          (nd == next[e.to] && e.from < next_parent[e.to])) {
+        next[e.to] = nd;
+        next_parent[e.to] = e.from;
+      }
+    }
+    exact.swap(next);
+    exact_parent.swap(next_parent);
+    // Fold layer j into the (d, l)-lexicographic best.
+    for (NodeId v = 0; v < n; ++v) {
+      if (exact[v] < r.dist[v]) {  // equal d keeps the smaller hop count
+        r.dist[v] = exact[v];
+        r.hops[v] = j;
+        r.parent[v] = exact_parent[v];
+      }
+    }
+  }
+  return r;
+}
+
+std::vector<HopLimitedResult> hop_limited_ksssp(
+    const Graph& g, const std::vector<NodeId>& sources, std::uint32_t h) {
+  std::vector<HopLimitedResult> out;
+  out.reserve(sources.size());
+  for (const NodeId s : sources) out.push_back(hop_limited_sssp(g, s, h));
+  return out;
+}
+
+}  // namespace dapsp::seq

@@ -1,0 +1,32 @@
+// Hop-limited shortest path oracle: the ground truth for (h,k)-SSP.
+//
+// An h-hop shortest path from u to v is a minimum-weight path among paths
+// with at most h edges.  Among those, the paper's algorithms prefer fewer
+// hops, then smaller parent id; this oracle reproduces that tie-breaking so
+// distributed results can be compared field-for-field.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dapsp::seq {
+
+struct HopLimitedResult {
+  std::vector<graph::Weight> dist;    ///< h-hop distance, kInfDist if none
+  std::vector<std::uint32_t> hops;    ///< hop count of the (d,l)-minimal path
+  std::vector<graph::NodeId> parent;  ///< predecessor on that path
+};
+
+/// h-hop shortest paths from `source` via dynamic programming over hop count
+/// (h rounds of Bellman–Ford with strict per-layer semantics).
+HopLimitedResult hop_limited_sssp(const graph::Graph& g, graph::NodeId source,
+                                  std::uint32_t h);
+
+/// h-hop shortest paths from each of `sources` ((h,k)-SSP ground truth).
+std::vector<HopLimitedResult> hop_limited_ksssp(
+    const graph::Graph& g, const std::vector<graph::NodeId>& sources,
+    std::uint32_t h);
+
+}  // namespace dapsp::seq

@@ -1,0 +1,31 @@
+#include "seq/zero_reach.hpp"
+
+#include <vector>
+
+namespace dapsp::seq {
+
+using graph::Graph;
+using graph::NodeId;
+
+std::vector<std::vector<bool>> zero_reachability(const Graph& g) {
+  const NodeId n = g.node_count();
+  std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+  for (NodeId s = 0; s < n; ++s) {
+    // DFS over zero-weight arcs only.
+    std::vector<NodeId> stack{s};
+    reach[s][s] = true;
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (const auto& e : g.out_edges(u)) {
+        if (e.weight == 0 && !reach[s][e.to]) {
+          reach[s][e.to] = true;
+          stack.push_back(e.to);
+        }
+      }
+    }
+  }
+  return reach;
+}
+
+}  // namespace dapsp::seq

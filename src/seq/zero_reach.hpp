@@ -1,0 +1,17 @@
+// Zero-weight reachability oracle (Section IV of the paper).
+//
+// The approximate-APSP algorithm first computes, for every ordered pair,
+// whether a zero-weight path connects them; those pairs have exact distance
+// zero and are excluded from the scaled approximation.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dapsp::seq {
+
+/// reach[s][v] = true iff a path of total weight 0 runs s -> v.
+std::vector<std::vector<bool>> zero_reachability(const graph::Graph& g);
+
+}  // namespace dapsp::seq

@@ -1,0 +1,108 @@
+// Exact integer arithmetic helpers used by the pipelined-key comparisons.
+//
+// The pipelined (h,k)-SSP algorithm keys a path by kappa = d * gamma + l with
+// gamma = sqrt(k*h/Delta), which is irrational in general.  All comparisons
+// and ceilings on kappa are carried out exactly over 128-bit integers so that
+// the simulation is deterministic across platforms and optimization levels.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace dapsp::util {
+
+__extension__ typedef unsigned __int128 u128;
+__extension__ typedef __int128 i128;
+
+/// Throwing precondition check (used instead of assert so release builds keep
+/// validating simulator invariants; the checks are off hot paths).
+inline void check(bool cond, const char* msg) {
+  if (!cond) throw std::logic_error(msg);
+}
+
+/// Integer square root: largest r with r*r <= x.
+constexpr std::uint64_t isqrt_u128(u128 x) noexcept {
+  if (x == 0) return 0;
+  // Newton iteration seeded from a power-of-two estimate.
+  int bits = 0;
+  for (u128 t = x; t > 0; t >>= 1) ++bits;
+  u128 r = u128{1} << ((bits + 1) / 2);
+  while (true) {
+    const u128 next = (r + x / r) / 2;
+    if (next >= r) break;
+    r = next;
+  }
+  return static_cast<std::uint64_t>(r);
+}
+
+/// Smallest r with r*r >= x (ceiling square root).
+constexpr std::uint64_t isqrt_ceil_u128(u128 x) noexcept {
+  const std::uint64_t r = isqrt_u128(x);
+  return (u128{r} * r == x) ? r : r + 1;
+}
+
+constexpr std::uint64_t isqrt(std::uint64_t x) noexcept { return isqrt_u128(x); }
+constexpr std::uint64_t isqrt_ceil(std::uint64_t x) noexcept {
+  return isqrt_ceil_u128(x);
+}
+
+/// ceil(a / b) for positive integers.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// ceil(d * sqrt(num/den)) computed exactly: smallest m with
+/// m*m*den >= d*d*num.  Requires den > 0 and d*d*num to fit in 128 bits
+/// (d <= 2^32 and num <= 2^63 suffice, which the simulator enforces).
+constexpr std::uint64_t ceil_mul_sqrt(std::uint64_t d, std::uint64_t num,
+                                      std::uint64_t den) noexcept {
+  if (d == 0 || num == 0) return 0;
+  // m = ceil(sqrt(d*d*num/den)): smallest m with m*m*den >= d*d*num.
+  const u128 prod = u128{d} * d * num;
+  const u128 q = prod / den;
+  std::uint64_t m = isqrt_u128(q);
+  // Adjust: want the smallest m with m*m*den >= prod.
+  while (u128{m} * m * den < prod) ++m;
+  while (m > 0 && u128{m - 1} * (m - 1) * den >= prod) --m;
+  return m;
+}
+
+/// Compare a*sqrt(num/den) against b exactly (a may be negative, b may be
+/// negative).  Returns -1, 0, +1 for <, ==, >.  num/den is the square of the
+/// scaling factor gamma.
+constexpr int cmp_mul_sqrt(std::int64_t a, std::uint64_t num, std::uint64_t den,
+                           std::int64_t b) noexcept {
+  // Handle sign cases first: a*g vs b with g = sqrt(num/den) >= 0.
+  if (num == 0) {  // g == 0
+    return (0 < b) ? -1 : (0 > b ? 1 : 0);
+  }
+  const bool lneg = a < 0;
+  const bool rneg = b < 0;
+  if (lneg != rneg) return lneg ? -1 : 1;
+  // Same sign: compare squares, flipping for the negative branch.
+  const u128 aa = [&] {
+    const u128 mag = lneg ? u128(-(a + 1)) + 1 : u128(a);
+    return mag * mag * num;
+  }();
+  const u128 bb = [&] {
+    const u128 mag = rneg ? u128(-(b + 1)) + 1 : u128(b);
+    return mag * mag * den;
+  }();
+  const int raw = (aa < bb) ? -1 : (aa > bb ? 1 : 0);
+  return lneg ? -raw : raw;
+}
+
+/// to_string for 128-bit values (iostreams lack support).
+inline std::string to_string_u128(u128 x) {
+  if (x == 0) return "0";
+  std::string s;
+  while (x > 0) {
+    s.insert(s.begin(), static_cast<char>('0' + static_cast<int>(x % 10)));
+    x /= 10;
+  }
+  return s;
+}
+
+}  // namespace dapsp::util

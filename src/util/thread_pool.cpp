@@ -1,0 +1,98 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+
+namespace dapsp::util {
+
+struct ThreadPool::Batch {
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> cursor{0};
+  std::size_t chunk = 1;
+  std::size_t finished_workers = 0;  // guarded by pool mutex
+};
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    const unsigned hc = std::thread::hardware_concurrency();
+    threads = hc == 0 ? 1 : hc;
+  }
+  // The calling thread participates in every batch, so spawn one fewer.
+  for (std::size_t i = 1; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  Batch batch;
+  batch.n = n;
+  batch.fn = &fn;
+  batch.chunk = std::max<std::size_t>(1, n / (thread_count() * 8));
+  {
+    std::lock_guard lock(mutex_);
+    batch_ = &batch;
+    ++generation_;  // each batch gets a fresh generation; workers key off it
+  }
+  work_cv_.notify_all();
+
+  // The caller works too.
+  while (true) {
+    const std::size_t start = batch.cursor.fetch_add(batch.chunk);
+    if (start >= n) break;
+    const std::size_t end = std::min(n, start + batch.chunk);
+    for (std::size_t i = start; i < end; ++i) fn(i);
+  }
+
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [&] { return batch.finished_workers == workers_.size(); });
+  batch_ = nullptr;
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  while (true) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      batch = batch_;
+    }
+    while (true) {
+      const std::size_t start = batch->cursor.fetch_add(batch->chunk);
+      if (start >= batch->n) break;
+      const std::size_t end = std::min(batch->n, start + batch->chunk);
+      for (std::size_t i = start; i < end; ++i) (*batch->fn)(i);
+    }
+    {
+      std::lock_guard lock(mutex_);
+      ++batch->finished_workers;
+      if (batch->finished_workers == workers_.size()) done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace dapsp::util

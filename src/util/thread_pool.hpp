@@ -1,0 +1,52 @@
+// Persistent thread pool with a blocking parallel_for.
+//
+// The CONGEST engine executes all node protocols for a round, then delivers
+// all messages; both phases are embarrassingly parallel across nodes.  The
+// pool keeps workers alive across rounds to avoid per-round thread spawns.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dapsp::util {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means use the hardware concurrency
+  /// (minimum 1).  With a single worker parallel_for degrades to an inline
+  /// loop, which keeps single-core machines overhead-free.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const noexcept { return workers_.size() + 1; }
+
+  /// Runs fn(i) for every i in [0, n), blocking until all complete.  Work is
+  /// claimed in contiguous chunks via an atomic cursor, so imbalance across
+  /// nodes (e.g. hub vertices with long lists) is absorbed.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Shared process-wide pool (constructed on first use).
+  static ThreadPool& global();
+
+ private:
+  struct Batch;
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  Batch* batch_ = nullptr;        // current batch, guarded by mutex_
+  std::uint64_t generation_ = 0;  // bumped per batch so workers never re-run one
+  bool stop_ = false;
+};
+
+}  // namespace dapsp::util

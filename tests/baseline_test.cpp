@@ -1,0 +1,138 @@
+// Tests for the baseline CONGEST algorithms: distributed Bellman-Ford and
+// the [12]-style pipelined positive-weight APSP.
+#include <gtest/gtest.h>
+
+#include "baseline/bf_apsp.hpp"
+#include "baseline/unweighted_apsp.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "seq/dijkstra.hpp"
+#include "seq/zero_reach.hpp"
+
+namespace dapsp::baseline {
+namespace {
+
+using graph::Graph;
+using graph::kInfDist;
+using graph::NodeId;
+
+TEST(BellmanFord, ForwardMatchesDijkstra) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Graph g = graph::erdos_renyi(20, 0.18, {0, 6, 0.3}, 5000 + seed,
+                                       seed % 2 == 0);
+    for (NodeId s = 0; s < 4; ++s) {
+      const auto bf = bf_sssp(g, s);
+      const auto dj = seq::dijkstra(g, s);
+      for (NodeId v = 0; v < g.node_count(); ++v) {
+        EXPECT_EQ(bf.dist[v], dj.dist[v]) << "seed " << seed;
+      }
+      EXPECT_FALSE(bf.stats.hit_round_limit);
+      EXPECT_LE(bf.stats.rounds, g.node_count() + 2u);
+    }
+  }
+}
+
+TEST(BellmanFord, ReverseComputesIntoDistances) {
+  const Graph g = graph::erdos_renyi(16, 0.2, {0, 5, 0.3}, 5100,
+                                     /*directed=*/true);
+  for (NodeId t = 0; t < 4; ++t) {
+    const auto bf = bf_sssp(g, t, /*reverse=*/true);
+    const auto dj = seq::dijkstra_reverse(g, t);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      EXPECT_EQ(bf.dist[v], dj.dist[v]) << "target " << t << " node " << v;
+    }
+  }
+}
+
+TEST(BellmanFord, ApspAccumulatesPhases) {
+  const Graph g = graph::cycle(10, {0, 4, 0.2}, 5200);
+  const auto res = bf_apsp(g);
+  const auto exact = seq::apsp(g);
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      EXPECT_EQ(res.dist[s][v], exact[s][v]);
+    }
+  }
+  // n sequential SSSPs -> rounds scale like n * per-SSSP.
+  EXPECT_GE(res.stats.rounds, g.node_count());
+}
+
+TEST(PositiveApsp, UnweightedMatchesHopDistances) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Graph g = graph::erdos_renyi(18, 0.2, {1, 1, 0.0}, 5300 + seed);
+    const auto res = unweighted_apsp(g);
+    for (NodeId s = 0; s < g.node_count(); ++s) {
+      const auto dj = seq::dijkstra(g, s);
+      for (NodeId v = 0; v < g.node_count(); ++v) {
+        EXPECT_EQ(res.dist[s][v], dj.dist[v]);
+      }
+    }
+    // [12]: under 2n rounds, one message per node per source.
+    EXPECT_LE(res.settle_round, 2u * g.node_count());
+    EXPECT_LE(res.max_sends_per_node_per_source, 2u);
+  }
+}
+
+TEST(PositiveApsp, WeightedPositiveMatchesDijkstra) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Graph g = graph::erdos_renyi(16, 0.2, {1, 6, 0.0}, 5400 + seed,
+                                       seed % 2 == 1);
+    PositiveApspParams p;
+    p.weight_of = [](const graph::Edge& e) { return std::optional(e.weight); };
+    p.distance_cap = graph::max_finite_distance(g);
+    const auto res = positive_apsp(g, p);
+    for (NodeId s = 0; s < g.node_count(); ++s) {
+      const auto dj = seq::dijkstra(g, s);
+      for (NodeId v = 0; v < g.node_count(); ++v) {
+        EXPECT_EQ(res.dist[s][v], dj.dist[v]) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(PositiveApsp, DistanceCapPrunes) {
+  const Graph g = graph::path(8, {2, 2, 0.0}, 5500);
+  PositiveApspParams p;
+  p.weight_of = [](const graph::Edge& e) { return std::optional(e.weight); };
+  p.distance_cap = 6;
+  const auto res = positive_apsp(g, p);
+  EXPECT_EQ(res.dist[0][3], 6);
+  EXPECT_EQ(res.dist[0][4], kInfDist);  // distance 8 > cap
+}
+
+TEST(PositiveApsp, SourceSubset) {
+  const Graph g = graph::grid(3, 3, {1, 2, 0.0}, 5600);
+  PositiveApspParams p;
+  p.sources = {0, 8};
+  p.weight_of = [](const graph::Edge& e) { return std::optional(e.weight); };
+  p.distance_cap = 100;
+  const auto res = positive_apsp(g, p);
+  ASSERT_EQ(res.dist.size(), 2u);
+  const auto dj0 = seq::dijkstra(g, 0);
+  for (NodeId v = 0; v < 9; ++v) EXPECT_EQ(res.dist[0][v], dj0.dist[v]);
+}
+
+TEST(PositiveApsp, RejectsZeroWeightTransforms) {
+  const Graph g = graph::path(4, {0, 0, 0.0}, 5700);
+  PositiveApspParams p;
+  p.weight_of = [](const graph::Edge& e) { return std::optional(e.weight); };
+  p.distance_cap = 10;
+  EXPECT_THROW(positive_apsp(g, p), std::logic_error);
+}
+
+TEST(ZeroReachCongest, MatchesSequentialOracle) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Graph g = graph::erdos_renyi(16, 0.2, {0, 3, 0.5}, 5800 + seed,
+                                       seed % 2 == 0);
+    congest::RunStats stats;
+    const auto dist = zero_reach_congest(g, &stats);
+    const auto ref = seq::zero_reachability(g);
+    for (NodeId s = 0; s < g.node_count(); ++s) {
+      EXPECT_EQ(dist[s], ref[s]) << "seed " << seed << " source " << s;
+    }
+    EXPECT_LE(stats.rounds, 2u * g.node_count() + 4);
+  }
+}
+
+}  // namespace
+}  // namespace dapsp::baseline

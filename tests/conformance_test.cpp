@@ -1,0 +1,135 @@
+// Randomized conformance sweep for Algorithm 1 against the paper's
+// guarantee, across graph sizes, densities, weight regimes, directedness,
+// hop bounds, and both list policies.  This is the widest net in the suite:
+// several hundred graph/parameter combinations, each checked pair-by-pair
+// against sequential oracles.
+//
+// Guarantee checked (see DESIGN.md note 1):
+//  * in-scope pair (true shortest path realizable within h hops): exact
+//    distance and min-hop count;
+//  * out-of-scope pair: infinity or a sound over-estimate (>= the h-hop
+//    optimum);
+//  * settle round within the Lemma II.14 bound.
+#include <gtest/gtest.h>
+
+#include "core/blocker_apsp.hpp"
+#include "core/pipelined_ssp.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "seq/dijkstra.hpp"
+#include "seq/hop_limited.hpp"
+
+namespace dapsp::core {
+namespace {
+
+using graph::Graph;
+using graph::kInfDist;
+using graph::NodeId;
+
+struct Config {
+  ListPolicy policy;
+  bool directed;
+  graph::WeightSpec weights;
+  const char* name;
+  bool scramble = false;
+};
+
+class Conformance : public ::testing::TestWithParam<Config> {};
+
+TEST_P(Conformance, SweepAgainstOracles) {
+  const Config& cfg = GetParam();
+  std::uint64_t cases = 0;
+  for (NodeId n = 5; n <= 17; n += 4) {
+    for (std::uint32_t h = 1; h <= 5; h += 2) {
+      for (std::uint64_t seed = 0; seed < 12; ++seed) {
+        const Graph g = graph::erdos_renyi(n, 0.3, cfg.weights,
+                                           seed * 131 + h + n, cfg.directed);
+        PipelinedParams p;
+        for (NodeId v = 0; v < n; ++v) p.sources.push_back(v);
+        p.h = h;
+        p.delta = graph::max_finite_hop_distance(g, h);
+        p.policy = cfg.policy;
+        p.scramble_inbox = cfg.scramble;
+        const KsspResult res = pipelined_kssp(g, p);
+        ++cases;
+
+        ASSERT_LE(res.settle_round, res.theoretical_bound)
+            << cfg.name << " n=" << n << " h=" << h << " seed=" << seed;
+        for (std::size_t i = 0; i < res.sources.size(); ++i) {
+          const auto dj = seq::dijkstra(g, res.sources[i]);
+          const auto hop = seq::hop_limited_sssp(g, res.sources[i], h);
+          for (NodeId v = 0; v < n; ++v) {
+            const bool in_scope =
+                dj.dist[v] != kInfDist && dj.hops[v] <= h;
+            if (in_scope) {
+              ASSERT_EQ(res.dist[i][v], dj.dist[v])
+                  << cfg.name << " n=" << n << " h=" << h << " seed=" << seed
+                  << " pair " << res.sources[i] << "->" << v;
+              ASSERT_EQ(res.hops[i][v], dj.hops[v])
+                  << cfg.name << " n=" << n << " h=" << h << " seed=" << seed
+                  << " pair " << res.sources[i] << "->" << v;
+            } else {
+              ASSERT_TRUE(res.dist[i][v] == kInfDist ||
+                          res.dist[i][v] >= hop.dist[v])
+                  << cfg.name << " n=" << n << " h=" << h << " seed=" << seed
+                  << " pair " << res.sources[i] << "->" << v;
+            }
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GE(cases, 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, Conformance,
+    ::testing::Values(
+        Config{ListPolicy::kDominance, false, {0, 4, 0.25}, "dom_undirected"},
+        Config{ListPolicy::kDominance, true, {0, 4, 0.25}, "dom_directed"},
+        Config{ListPolicy::kLiteral, false, {0, 4, 0.25}, "lit_undirected"},
+        Config{ListPolicy::kLiteral, true, {0, 4, 0.25}, "lit_directed"},
+        Config{ListPolicy::kDominance, true, {0, 1, 0.7}, "dom_zeroheavy"},
+        Config{ListPolicy::kLiteral, true, {0, 1, 0.7}, "lit_zeroheavy"},
+        Config{ListPolicy::kDominance, false, {1, 40, 0.0}, "dom_bigweights"},
+        Config{ListPolicy::kLiteral, false, {1, 40, 0.0}, "lit_bigweights"},
+        // Arrival order within a round is not promised by the model; the
+        // computed distances must be order-independent.
+        Config{ListPolicy::kDominance, true, {0, 4, 0.3}, "dom_scrambled",
+               /*scramble=*/true},
+        Config{ListPolicy::kLiteral, true, {0, 4, 0.3}, "lit_scrambled",
+               /*scramble=*/true}),
+    [](const ::testing::TestParamInfo<Config>& param_info) {
+      return param_info.param.name;
+    });
+
+TEST(ConformanceBlockerApsp, RandomizedSweep) {
+  // Algorithm 3 end-to-end: exact APSP on a wide randomized sweep.
+  std::uint64_t cases = 0;
+  for (NodeId n = 8; n <= 16; n += 4) {
+    for (std::uint32_t h = 2; h <= 4; ++h) {
+      for (std::uint64_t seed = 0; seed < 6; ++seed) {
+        for (int dir = 0; dir <= 1; ++dir) {
+          const Graph g = graph::erdos_renyi(n, 0.3, {0, 5, 0.3},
+                                             seed * 97 + h, dir == 1);
+          BlockerApspParams p;
+          p.h = h;
+          const auto res = blocker_apsp(g, p);
+          ++cases;
+          for (NodeId s = 0; s < n; ++s) {
+            const auto dj = seq::dijkstra(g, s);
+            for (NodeId v = 0; v < n; ++v) {
+              ASSERT_EQ(res.dist[s][v], dj.dist[v])
+                  << "n=" << n << " h=" << h << " seed=" << seed
+                  << " dir=" << dir << " pair " << s << "->" << v;
+            }
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GE(cases, 100u);
+}
+
+}  // namespace
+}  // namespace dapsp::core

@@ -1,0 +1,196 @@
+// Tests for CSSSP construction (Section III-A): tree shape, the consistency
+// property of Definition III.3, and the Figure-1 phenomenon it fixes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/cssp.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "seq/dijkstra.hpp"
+
+namespace dapsp::core {
+namespace {
+
+using graph::Graph;
+using graph::kInfDist;
+using graph::kNoNode;
+using graph::NodeId;
+
+CsspCollection build(const Graph& g, const std::vector<NodeId>& sources,
+                     std::uint32_t h) {
+  const Weight delta2h = graph::max_finite_hop_distance(g, 2 * h);
+  return build_cssp(g, sources, h, delta2h);
+}
+
+/// Walks v's tree path up to the root; fails on cycles or broken parents.
+std::vector<NodeId> root_path(const CsspCollection& c, std::size_t i,
+                              NodeId v) {
+  std::vector<NodeId> path{v};
+  NodeId u = v;
+  while (c.parent[i][u] != kNoNode) {
+    u = c.parent[i][u];
+    path.push_back(u);
+    EXPECT_LE(path.size(), static_cast<std::size_t>(c.h) + 2) << "cycle?";
+    if (path.size() > c.h + 2) break;
+  }
+  return path;  // v ... root
+}
+
+void check_tree_shape(const Graph& g, const CsspCollection& c) {
+  for (std::size_t i = 0; i < c.sources.size(); ++i) {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (!c.in_tree(i, v)) continue;
+      if (v == c.sources[i]) {
+        EXPECT_EQ(c.depth[i][v], 0u);
+        continue;
+      }
+      // Height bounded by h (the whole point of CSSSP, cf. Figure 1).
+      EXPECT_LE(c.depth[i][v], c.h);
+      const auto path = root_path(c, i, v);
+      EXPECT_EQ(path.back(), c.sources[i]);
+      EXPECT_EQ(path.size(), c.depth[i][v] + 1);
+      // Parent depth decreases by one; tree distances telescope along arcs.
+      const NodeId p = c.parent[i][v];
+      EXPECT_EQ(c.depth[i][p] + 1, c.depth[i][v]);
+      const auto w = g.arc_weight(p, v);
+      ASSERT_TRUE(w.has_value());
+      EXPECT_EQ(c.dist[i][p] + *w, c.dist[i][v]);
+    }
+  }
+}
+
+void check_membership_and_distances(const Graph& g, const CsspCollection& c) {
+  // Definition III.3: T_u contains every v whose true distance is achieved
+  // by a path with at most h hops, at that true distance.
+  for (std::size_t i = 0; i < c.sources.size(); ++i) {
+    const auto dj = seq::dijkstra(g, c.sources[i]);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (dj.dist[v] != kInfDist && dj.hops[v] <= c.h) {
+        ASSERT_TRUE(c.in_tree(i, v))
+            << "tree " << c.sources[i] << " missing node " << v;
+        EXPECT_EQ(c.dist[i][v], dj.dist[v]);
+        EXPECT_EQ(c.depth[i][v], dj.hops[v]);
+      }
+      if (c.in_tree(i, v)) {
+        EXPECT_GE(c.dist[i][v], dj.dist[v]);  // tree paths are real paths
+      }
+    }
+  }
+}
+
+void check_consistency(const Graph& g, const CsspCollection& c) {
+  // Definition III.3: for every u, v the u->v path is identical in every
+  // tree in which u is an ancestor of v.  So whenever some u appears on v's
+  // root paths in two trees, the segments from u down to v must coincide.
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    for (std::size_t a = 0; a < c.sources.size(); ++a) {
+      if (!c.in_tree(a, v) || v == c.sources[a]) continue;
+      for (std::size_t b = a + 1; b < c.sources.size(); ++b) {
+        if (!c.in_tree(b, v) || v == c.sources[b]) continue;
+        const auto pa = root_path(c, a, v);  // v ... root_a
+        const auto pb = root_path(c, b, v);  // v ... root_b
+        for (std::size_t ja = 1; ja < pa.size(); ++ja) {
+          const auto it = std::find(pb.begin(), pb.end(), pa[ja]);
+          if (it == pb.end()) continue;  // u not an ancestor in T_b
+          const auto jb = static_cast<std::size_t>(it - pb.begin());
+          // Compare the u -> v segments hop by hop.
+          const bool same_len = ja == jb;
+          EXPECT_TRUE(same_len)
+              << "common ancestor " << pa[ja] << " of node " << v
+              << " at different depths-below in trees " << c.sources[a]
+              << " and " << c.sources[b];
+          if (!same_len) continue;
+          for (std::size_t t = 0; t < ja; ++t) {
+            EXPECT_EQ(pa[t], pb[t])
+                << "trees " << c.sources[a] << " and " << c.sources[b]
+                << " route " << pa[ja] << " -> " << v << " differently";
+          }
+        }
+      }
+    }
+  }
+}
+
+void check_children(const Graph& g, const CsspCollection& c) {
+  for (std::size_t i = 0; i < c.sources.size(); ++i) {
+    std::size_t links = 0;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      for (const NodeId child : c.children[i][v]) {
+        EXPECT_EQ(c.parent[i][child], v);
+        ++links;
+      }
+    }
+    std::size_t members = 0;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      members += c.in_tree(i, v) && v != c.sources[i];
+    }
+    EXPECT_EQ(links, members);  // every non-root member is someone's child
+  }
+}
+
+TEST(Cssp, RandomGraphSweep) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Graph g = graph::erdos_renyi(20, 0.18, {0, 5, 0.3}, 1200 + seed,
+                                       seed % 2 == 0);
+    std::vector<NodeId> sources;
+    for (NodeId v = 0; v < g.node_count(); v += 2) sources.push_back(v);
+    const auto c = build(g, sources, 4);
+    check_tree_shape(g, c);
+    check_membership_and_distances(g, c);
+    check_consistency(g, c);
+    check_children(g, c);
+  }
+}
+
+TEST(Cssp, ZeroHeavySweep) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Graph g = graph::erdos_renyi(18, 0.22, {0, 2, 0.7}, 1300 + seed);
+    std::vector<NodeId> sources{0, 3, 6, 9, 12, 15};
+    const auto c = build(g, sources, 3);
+    check_tree_shape(g, c);
+    check_membership_and_distances(g, c);
+    check_consistency(g, c);
+    check_children(g, c);
+  }
+}
+
+TEST(Cssp, Fig1GadgetTruncationNeeded) {
+  // On the Figure-1 gadget, the 2h-hop run reaches the tail nodes with more
+  // than h hops from the source; the truncated tree must exclude them while
+  // the 2h data still records them.
+  const std::uint32_t h = 3;
+  const Graph g = graph::fig1_gadget(h);  // nodes: 0=s, chain 1..3, tail 4..6
+  const auto c = build(g, {0}, h);
+  // z = node 3 at depth 3 via the zero chain.
+  EXPECT_TRUE(c.in_tree(0, 3));
+  EXPECT_EQ(c.dist[0][3], 0);
+  EXPECT_EQ(c.depth[0][3], 3u);
+  // First tail node (4) needs 4 hops for distance 0 -> outside the h-hop
+  // tree, but present in the 2h-hop data.
+  EXPECT_FALSE(c.in_tree(0, 4));
+  EXPECT_EQ(c.dist2h[0][4], 0);
+  EXPECT_EQ(c.hops2h[0][4], 4u);
+}
+
+TEST(Cssp, AllSourcesGrid) {
+  const Graph g = graph::grid(3, 4, {0, 4, 0.3}, 1400);
+  std::vector<NodeId> sources(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) sources[v] = v;
+  const auto c = build(g, sources, 3);
+  check_tree_shape(g, c);
+  check_membership_and_distances(g, c);
+  check_consistency(g, c);
+  check_children(g, c);
+}
+
+TEST(Cssp, StatsAccumulateAcrossPhases) {
+  const Graph g = graph::cycle(10, {1, 2, 0.0}, 1500);
+  const auto c = build(g, {0, 5}, 2);
+  // Alg-1 run plus k rounds of child notification.
+  EXPECT_GT(c.stats.rounds, 2u);
+  EXPECT_GT(c.stats.total_messages, 0u);
+}
+
+}  // namespace
+}  // namespace dapsp::core

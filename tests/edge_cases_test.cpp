@@ -1,0 +1,190 @@
+// Edge cases and boundary behavior across modules -- the inputs real users
+// hit first: single nodes, empty structures, degenerate parameters, and
+// documented API guardrails.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "baseline/unweighted_apsp.hpp"
+#include "congest/engine.hpp"
+#include "congest/multiplex.hpp"
+#include "core/approx_apsp.hpp"
+#include "core/pipelined_ssp.hpp"
+#include "core/short_range.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "graph/properties.hpp"
+#include "seq/dijkstra.hpp"
+#include "seq/hop_limited.hpp"
+
+namespace dapsp {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::kInfDist;
+using graph::kNoNode;
+using graph::NodeId;
+
+TEST(EdgeCases, SingleNodeGraphEverywhere) {
+  GraphBuilder b(1, /*directed=*/false);
+  const Graph g = std::move(b).build();
+  EXPECT_EQ(graph::max_finite_distance(g), 0);
+  EXPECT_TRUE(graph::strongly_connected(g));
+
+  const auto dj = seq::dijkstra(g, 0);
+  EXPECT_EQ(dj.dist[0], 0);
+
+  core::PipelinedParams p;
+  p.sources = {0};
+  p.h = 1;
+  p.delta = 0;
+  const auto res = core::pipelined_kssp(g, p);
+  EXPECT_EQ(res.dist[0][0], 0);
+  EXPECT_EQ(res.stats.total_messages, 0u);
+}
+
+TEST(EdgeCases, TwoNodeZeroWeightEdge) {
+  GraphBuilder b(2, /*directed=*/false);
+  b.add_edge(0, 1, 0);
+  const Graph g = std::move(b).build();
+  const auto res = core::pipelined_apsp(g, 0);
+  EXPECT_EQ(res.dist[0][1], 0);
+  EXPECT_EQ(res.dist[1][0], 0);
+  EXPECT_EQ(res.hops[0][1], 1u);
+
+  core::ShortRangeParams sp;
+  sp.sources = {0};
+  sp.h = 1;
+  sp.delta = 0;
+  const auto sr = core::short_range(g, sp);
+  EXPECT_EQ(sr.dist[0][1], 0);
+}
+
+TEST(EdgeCases, HopLimitZeroOnlySource) {
+  const Graph g = graph::path(4, {1, 1, 0.0}, 11000);
+  const auto r = seq::hop_limited_sssp(g, 1, 0);
+  EXPECT_EQ(r.dist[1], 0);
+  EXPECT_EQ(r.dist[0], kInfDist);
+  EXPECT_EQ(r.dist[2], kInfDist);
+}
+
+TEST(EdgeCases, ParallelArcsKeepMinimum) {
+  GraphBuilder b(2, /*directed=*/true);
+  b.add_edge(0, 1, 7);
+  b.add_edge(0, 1, 3);  // parallel, cheaper
+  const Graph g = std::move(b).build();
+  EXPECT_EQ(g.arc_weight(0, 1), 3);
+  const auto dj = seq::dijkstra(g, 0);
+  EXPECT_EQ(dj.dist[1], 3);
+  const auto res = core::pipelined_apsp(g, 3);
+  EXPECT_EQ(res.dist[0][1], 3);
+}
+
+TEST(EdgeCases, DrawWeightDeterministicPerIndex) {
+  const graph::WeightSpec spec{1, 100, 0.0};
+  EXPECT_EQ(graph::draw_weight(spec, 42, 7), graph::draw_weight(spec, 42, 7));
+  EXPECT_NE(graph::draw_weight(spec, 42, 7), graph::draw_weight(spec, 42, 8));
+  graph::WeightSpec bad{5, 2, 0.0};
+  EXPECT_THROW(graph::draw_weight(bad, 1, 1), std::logic_error);
+}
+
+TEST(EdgeCases, GridSingleRowIsAPath) {
+  const Graph g = graph::grid(1, 6, {1, 1, 0.0}, 11001);
+  EXPECT_EQ(g.comm_edge_count(), 5u);
+  EXPECT_EQ(graph::comm_diameter(g), 5);
+}
+
+TEST(EdgeCases, UnweightedApspDisconnected) {
+  GraphBuilder b(4, /*directed=*/false);
+  b.add_edge(0, 1, 1).add_edge(2, 3, 1);
+  const Graph g = std::move(b).build();
+  const auto res = baseline::unweighted_apsp(g);
+  EXPECT_EQ(res.dist[0][1], 1);
+  EXPECT_EQ(res.dist[0][2], kInfDist);
+  EXPECT_EQ(res.dist[2][3], 1);
+}
+
+TEST(EdgeCases, ApproxOnTwoNodes) {
+  GraphBuilder b(2, /*directed=*/false);
+  b.add_edge(0, 1, 5);
+  const Graph g = std::move(b).build();
+  core::ApproxApspParams p;
+  p.eps = 1.0;
+  const auto res = core::approx_apsp(g, p);
+  EXPECT_GE(res.dist[0][1], 5);
+  EXPECT_LE(res.dist[0][1], 10);
+}
+
+TEST(EdgeCases, MultiplexRejectsOversizedInnerMessage) {
+  class Fat final : public congest::Protocol {
+   public:
+    void init(congest::Context& ctx) override {
+      // 7 fields + 2 wrapper fields > 8: must be rejected loudly.
+      ctx.broadcast(congest::Message(1, {1, 2, 3, 4, 5, 6, 7}));
+    }
+  };
+  const Graph g = graph::path(2, {1, 1, 0.0}, 11002);
+  EXPECT_THROW(
+      congest::run_multiplexed(
+          g, 1,
+          [](std::size_t, NodeId) { return std::make_unique<Fat>(); }, 10),
+      std::logic_error);
+}
+
+TEST(EdgeCases, PipelinedZeroDeltaGraph) {
+  // All distances zero: gamma degenerates to sqrt(k*h); keys are pure hops.
+  const Graph g = graph::erdos_renyi(10, 0.4, {0, 0, 0.0}, 11003);
+  const auto res = core::pipelined_apsp(g, 0);
+  for (NodeId s = 0; s < 10; ++s) {
+    const auto dj = seq::dijkstra(g, s);
+    for (NodeId v = 0; v < 10; ++v) {
+      EXPECT_EQ(res.dist[s][v], dj.dist[v]);
+      if (dj.dist[v] != kInfDist) {
+        EXPECT_EQ(res.hops[s][v], dj.hops[v]);
+      }
+    }
+  }
+}
+
+TEST(EdgeCases, EngineOnEdgelessGraph) {
+  GraphBuilder b(3, /*directed=*/false);
+  const Graph g = std::move(b).build();
+  core::PipelinedParams p;
+  p.sources = {0, 1, 2};
+  p.h = 1;
+  p.delta = 0;
+  const auto res = core::pipelined_kssp(g, p);
+  EXPECT_EQ(res.dist[0][0], 0);
+  EXPECT_EQ(res.dist[0][1], kInfDist);
+  EXPECT_EQ(res.stats.total_messages, 0u);
+}
+
+TEST(EdgeCases, GraphIoEmptyGraphRoundTrip) {
+  GraphBuilder b(5, /*directed=*/true);
+  const Graph g = std::move(b).build();
+  std::stringstream ss;
+  graph::write_graph(ss, g);
+  const Graph h = graph::read_graph(ss);
+  EXPECT_EQ(h.node_count(), 5u);
+  EXPECT_EQ(h.edge_count(), 0u);
+  EXPECT_TRUE(h.directed());
+}
+
+TEST(EdgeCases, StarHubCongestionStaysOne) {
+  // Pipelined APSP on a star: the hub relays for every leaf, but the
+  // one-entry-per-round schedule keeps the CONGEST budget.
+  const Graph g = graph::star(12, {0, 6, 0.3}, 11004);
+  const auto res = core::pipelined_apsp(g, graph::max_finite_distance(g));
+  EXPECT_EQ(res.stats.max_link_congestion, 1u);
+  for (NodeId s = 0; s < 12; ++s) {
+    const auto dj = seq::dijkstra(g, s);
+    for (NodeId v = 0; v < 12; ++v) {
+      EXPECT_EQ(res.dist[s][v], dj.dist[v]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dapsp

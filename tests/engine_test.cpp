@@ -1,0 +1,396 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "congest/engine.hpp"
+#include "congest/primitives.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/properties.hpp"
+
+namespace dapsp::congest {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::NodeId;
+
+constexpr std::uint32_t kPing = 100;
+
+/// Floods a counter: node 0 starts, everyone forwards value+1 once.
+class FloodProtocol final : public Protocol {
+ public:
+  explicit FloodProtocol(NodeId self) : self_(self) {}
+
+  void init(Context& ctx) override {
+    if (self_ == 0) {
+      value_ = 0;
+      pending_ = true;
+      ctx.broadcast(Message(kPing, {0}));
+      pending_ = false;
+      sent_ = true;
+    }
+  }
+
+  void send_phase(Context& ctx) override {
+    if (pending_ && !sent_) {
+      ctx.broadcast(Message(kPing, {value_}));
+      sent_ = true;
+      pending_ = false;
+    }
+  }
+
+  void receive_phase(Context& ctx) override {
+    for (const Envelope& env : ctx.inbox()) {
+      if (env.msg.tag == kPing && value_ < 0) {
+        value_ = env.msg.f[0] + 1;
+        pending_ = !sent_;
+      }
+      ++received_;
+    }
+  }
+
+  bool quiescent() const override { return !pending_; }
+
+  std::int64_t value() const { return value_; }
+  int received() const { return received_; }
+
+ private:
+  NodeId self_;
+  std::int64_t value_ = -1;
+  bool pending_ = false;
+  bool sent_ = false;
+  int received_ = 0;
+};
+
+std::vector<std::unique_ptr<Protocol>> make_flood(const Graph& g) {
+  std::vector<std::unique_ptr<Protocol>> procs;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    procs.push_back(std::make_unique<FloodProtocol>(v));
+  }
+  return procs;
+}
+
+TEST(Engine, FloodReachesAllWithBfsDepths) {
+  const Graph g = graph::grid(4, 5, {1, 1, 0.0}, 1);
+  Engine engine(g, make_flood(g));
+  const RunStats stats = engine.run();
+  EXPECT_FALSE(stats.hit_round_limit);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto& p = static_cast<const FloodProtocol&>(engine.protocol(v));
+    EXPECT_GE(p.value(), 0) << "node " << v << " never reached";
+  }
+  // Node 0's value is 0; the far corner (3,4) is 7 hops away.
+  EXPECT_EQ(static_cast<const FloodProtocol&>(engine.protocol(19)).value(), 7);
+}
+
+TEST(Engine, StopsAtQuiescence) {
+  const Graph g = graph::path(10, {1, 1, 0.0}, 2);
+  Engine engine(g, make_flood(g));
+  const RunStats stats = engine.run();
+  // Flood over a 10-path finishes in ~9 rounds, far below the default cap.
+  EXPECT_LE(stats.rounds, 12u);
+  EXPECT_FALSE(stats.hit_round_limit);
+}
+
+TEST(Engine, RoundLimitReportedWhenWorkRemains) {
+  const Graph g = graph::path(30, {1, 1, 0.0}, 3);
+  EngineOptions opt;
+  opt.max_rounds = 3;  // flood cannot finish
+  Engine engine(g, make_flood(g), opt);
+  const RunStats stats = engine.run();
+  EXPECT_TRUE(stats.hit_round_limit);
+  EXPECT_EQ(stats.rounds, 3u);
+}
+
+TEST(Engine, MessageAccounting) {
+  const Graph g = graph::star(5, {1, 1, 0.0}, 4);
+  Engine engine(g, make_flood(g));
+  const RunStats stats = engine.run();
+  // Center (node 0) broadcasts 4 messages in init; each leaf sends 4... no:
+  // each leaf broadcasts over its single link -> 1 message each.
+  EXPECT_EQ(stats.total_messages, 4u + 4u);
+  EXPECT_EQ(stats.max_link_congestion, 1u);
+}
+
+TEST(Engine, SendToNonNeighborThrows) {
+  class BadProtocol final : public Protocol {
+   public:
+    void init(Context& ctx) override {
+      if (ctx.self() == 0) ctx.send(2, Message(kPing, {1}));
+    }
+    void send_phase(Context&) override {}
+  };
+  const Graph g = graph::path(3, {1, 1, 0.0}, 5);  // 0-1-2: 0 and 2 not adjacent
+  std::vector<std::unique_ptr<Protocol>> procs;
+  for (int i = 0; i < 3; ++i) procs.push_back(std::make_unique<BadProtocol>());
+  Engine engine(g, std::move(procs));
+  EXPECT_THROW(engine.run(), std::logic_error);
+}
+
+TEST(Engine, SendInReceivePhaseThrows) {
+  class Chatty final : public Protocol {
+   public:
+    void init(Context& ctx) override { ctx.broadcast(Message(kPing, {0})); }
+    void receive_phase(Context& ctx) override {
+      if (!ctx.inbox().empty()) ctx.broadcast(Message(kPing, {1}));
+    }
+  };
+  const Graph g = graph::path(2, {1, 1, 0.0}, 6);
+  std::vector<std::unique_ptr<Protocol>> procs;
+  procs.push_back(std::make_unique<Chatty>());
+  procs.push_back(std::make_unique<Chatty>());
+  Engine engine(g, std::move(procs));
+  EXPECT_THROW(engine.run(), std::logic_error);
+}
+
+TEST(Engine, ProtocolCountMismatchThrows) {
+  const Graph g = graph::path(3, {1, 1, 0.0}, 7);
+  std::vector<std::unique_ptr<Protocol>> procs;
+  procs.push_back(std::make_unique<FloodProtocol>(0));
+  EXPECT_THROW(Engine(g, std::move(procs)), std::logic_error);
+}
+
+TEST(Engine, InboxOrderedBySender) {
+  class Recorder final : public Protocol {
+   public:
+    void init(Context& ctx) override {
+      if (ctx.self() != 0) ctx.send(0, Message(kPing, {ctx.self()}));
+    }
+    void receive_phase(Context& ctx) override {
+      for (const Envelope& env : ctx.inbox()) senders.push_back(env.from);
+    }
+    std::vector<NodeId> senders;
+  };
+  const Graph g = graph::star(6, {1, 1, 0.0}, 8);
+  std::vector<std::unique_ptr<Protocol>> procs;
+  for (int i = 0; i < 6; ++i) procs.push_back(std::make_unique<Recorder>());
+  Engine engine(g, std::move(procs));
+  engine.run();
+  const auto& center = static_cast<const Recorder&>(engine.protocol(0));
+  ASSERT_EQ(center.senders.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(center.senders.begin(), center.senders.end()));
+}
+
+TEST(Engine, CongestionTracked) {
+  // Two messages on the same link in the same round.
+  class DoubleSend final : public Protocol {
+   public:
+    void init(Context& ctx) override {
+      if (ctx.self() == 0) {
+        ctx.send(1, Message(kPing, {1}));
+        ctx.send(1, Message(kPing, {2}));
+      }
+    }
+  };
+  const Graph g = graph::path(2, {1, 1, 0.0}, 9);
+  std::vector<std::unique_ptr<Protocol>> procs;
+  procs.push_back(std::make_unique<DoubleSend>());
+  procs.push_back(std::make_unique<DoubleSend>());
+  Engine engine(g, std::move(procs));
+  const RunStats stats = engine.run();
+  EXPECT_EQ(stats.max_link_congestion, 2u);
+  EXPECT_EQ(stats.total_messages, 2u);
+  EXPECT_EQ(stats.max_link_total, 2u);
+}
+
+TEST(Engine, StepByStep) {
+  const Graph g = graph::path(4, {1, 1, 0.0}, 10);
+  Engine engine(g, make_flood(g));
+  EXPECT_EQ(engine.step(), 1u);  // init: node 0 -> node 1
+  EXPECT_EQ(engine.step(), 2u);  // node 1 forwards to 0 and 2
+  EXPECT_EQ(engine.current_round(), 1u);
+}
+
+TEST(Engine, ThreadCountDoesNotChangeResults) {
+  // Same flood with a per-engine 4-thread pool vs the (single-core) global
+  // pool: bit-identical outcomes.
+  const Graph g = graph::erdos_renyi(40, 0.12, {1, 5, 0.0}, 60);
+  const auto run = [&](std::size_t threads) {
+    std::vector<std::unique_ptr<Protocol>> procs = make_flood(g);
+    EngineOptions opt;
+    opt.threads = threads;
+    Engine engine(g, std::move(procs), opt);
+    const RunStats stats = engine.run();
+    std::vector<std::int64_t> values;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      values.push_back(static_cast<const FloodProtocol&>(engine.protocol(v)).value());
+    }
+    return std::make_tuple(values, stats.total_messages, stats.rounds);
+  };
+  EXPECT_EQ(run(0), run(4));
+  EXPECT_EQ(run(2), run(4));
+}
+
+TEST(Engine, PerRoundRecording) {
+  const Graph g = graph::path(6, {1, 1, 0.0}, 61);
+  std::vector<std::unique_ptr<Protocol>> procs = make_flood(g);
+  EngineOptions opt;
+  opt.record_per_round = true;
+  Engine engine(g, std::move(procs), opt);
+  const RunStats stats = engine.run();
+  ASSERT_FALSE(stats.per_round_messages.empty());
+  std::uint64_t sum = 0;
+  for (const auto m : stats.per_round_messages) sum += m;
+  EXPECT_EQ(sum, stats.total_messages);
+}
+
+TEST(Engine, TraceSinkSeesEveryMessage) {
+  const Graph g = graph::star(5, {1, 1, 0.0}, 62);
+  MessageLog log;
+  EngineOptions opt;
+  opt.trace = &log;
+  Engine engine(g, make_flood(g), opt);
+  const RunStats stats = engine.run();
+  EXPECT_EQ(log.total(), stats.total_messages);
+  EXPECT_FALSE(log.truncated());
+  // First event: center (0) flooding in round 0.
+  ASSERT_FALSE(log.events().empty());
+  EXPECT_EQ(log.events()[0].round, 0u);
+  EXPECT_EQ(log.events()[0].from, 0u);
+  for (const auto& e : log.events()) {
+    EXPECT_EQ(e.msg.tag, kPing);
+    EXPECT_NE(e.from, e.to);
+  }
+}
+
+TEST(Engine, TraceLogHonorsLimit) {
+  const Graph g = graph::grid(4, 4, {1, 1, 0.0}, 63);
+  MessageLog log(3);
+  EngineOptions opt;
+  opt.trace = &log;
+  Engine engine(g, make_flood(g), opt);
+  engine.run();
+  EXPECT_EQ(log.events().size(), 3u);
+  EXPECT_TRUE(log.truncated());
+  EXPECT_GT(log.total(), 3u);
+}
+
+TEST(RunStats, SummaryMentionsKeyNumbers) {
+  RunStats s;
+  s.rounds = 12;
+  s.total_messages = 34;
+  s.max_link_congestion = 2;
+  const std::string text = s.summary();
+  EXPECT_NE(text.find("rounds=12"), std::string::npos);
+  EXPECT_NE(text.find("messages=34"), std::string::npos);
+  EXPECT_EQ(text.find("HIT ROUND LIMIT"), std::string::npos);
+  s.hit_round_limit = true;
+  EXPECT_NE(s.summary().find("HIT ROUND LIMIT"), std::string::npos);
+}
+
+TEST(RunStats, SequentialComposition) {
+  RunStats a;
+  a.rounds = 10;
+  a.total_messages = 5;
+  a.max_link_congestion = 2;
+  a.last_message_round = 9;
+  RunStats b;
+  b.rounds = 7;
+  b.total_messages = 3;
+  b.max_link_congestion = 4;
+  b.max_congestion_round = 3;
+  b.last_message_round = 6;
+  a += b;
+  EXPECT_EQ(a.rounds, 17u);
+  EXPECT_EQ(a.total_messages, 8u);
+  EXPECT_EQ(a.max_link_congestion, 4u);
+  EXPECT_EQ(a.max_congestion_round, 13u);
+  EXPECT_EQ(a.last_message_round, 16u);
+}
+
+TEST(Primitives, BfsTreeDepthsMatchBfs) {
+  const Graph g = graph::grid(5, 5, {1, 1, 0.0}, 11);
+  RunStats stats;
+  const BfsTree tree = build_bfs_tree(g, 0, &stats);
+  EXPECT_EQ(tree.root, 0u);
+  EXPECT_EQ(tree.depth[24], 8u);  // opposite corner
+  EXPECT_EQ(tree.height, 8u);
+  EXPECT_LE(stats.rounds, 12u);
+  // Parent depths decrease by one.
+  for (NodeId v = 1; v < g.node_count(); ++v) {
+    ASSERT_TRUE(tree.reached(v));
+    EXPECT_EQ(tree.depth[v], tree.depth[tree.parent[v]] + 1);
+  }
+  // children lists are consistent with parents.
+  std::size_t child_links = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) child_links += tree.children[v].size();
+  EXPECT_EQ(child_links, g.node_count() - 1u);
+}
+
+TEST(Primitives, BfsTreeDisconnected) {
+  GraphBuilder b(4, false);
+  b.add_edge(0, 1, 1);
+  b.add_edge(2, 3, 1);
+  const Graph g = std::move(b).build();
+  const BfsTree tree = build_bfs_tree(g, 0);
+  EXPECT_TRUE(tree.reached(1));
+  EXPECT_FALSE(tree.reached(2));
+  EXPECT_FALSE(tree.reached(3));
+}
+
+TEST(Primitives, BroadcastDeliversAllValues) {
+  const Graph g = graph::random_tree(20, {1, 1, 0.0}, 12);
+  RunStats stats;
+  const BfsTree tree = build_bfs_tree(g, 0, &stats);
+  std::vector<std::int64_t> values{5, -3, 42, 0, 7};
+  const auto copies = broadcast_values(g, tree, values, &stats);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(copies[v], values) << "node " << v;
+  }
+  // Pipelined: |values| + height + O(1) rounds for the broadcast phase.
+}
+
+TEST(Primitives, BroadcastEmpty) {
+  const Graph g = graph::path(4, {1, 1, 0.0}, 13);
+  const BfsTree tree = build_bfs_tree(g, 0);
+  const auto copies = broadcast_values(g, tree, {});
+  for (const auto& c : copies) EXPECT_TRUE(c.empty());
+}
+
+TEST(Primitives, ConvergeMaxFindsArgmax) {
+  const Graph g = graph::grid(4, 4, {1, 1, 0.0}, 14);
+  const BfsTree tree = build_bfs_tree(g, 0);
+  std::vector<std::int64_t> vals(g.node_count(), 1);
+  vals[11] = 99;
+  const auto [best, arg] = converge_max(g, tree, vals);
+  EXPECT_EQ(best, 99);
+  EXPECT_EQ(arg, 11u);
+}
+
+TEST(Primitives, ConvergeMaxTieBreaksToSmallerId) {
+  const Graph g = graph::path(6, {1, 1, 0.0}, 15);
+  const BfsTree tree = build_bfs_tree(g, 2);
+  std::vector<std::int64_t> vals{7, 3, 7, 3, 7, 3};
+  const auto [best, arg] = converge_max(g, tree, vals);
+  EXPECT_EQ(best, 7);
+  EXPECT_EQ(arg, 0u);
+}
+
+TEST(Primitives, GatherToAllCollectsEverything) {
+  const Graph g = graph::grid(3, 3, {1, 1, 0.0}, 16);
+  RunStats stats;
+  const BfsTree tree = build_bfs_tree(g, 4, &stats);
+  std::vector<std::vector<GatherItem>> items(g.node_count());
+  items[0].push_back({0, 10, 100});
+  items[8].push_back({8, 20, 200});
+  items[8].push_back({8, 21, 201});
+  items[4].push_back({4, 30, 300});  // the root itself
+  const auto all = gather_to_all(g, tree, items, &stats);
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0], (GatherItem{0, 10, 100}));
+  EXPECT_EQ(all[1], (GatherItem{4, 30, 300}));
+  EXPECT_EQ(all[2], (GatherItem{8, 20, 200}));
+  EXPECT_EQ(all[3], (GatherItem{8, 21, 201}));
+}
+
+TEST(Primitives, GatherToAllEmpty) {
+  const Graph g = graph::path(5, {1, 1, 0.0}, 17);
+  const BfsTree tree = build_bfs_tree(g, 0);
+  const auto all =
+      gather_to_all(g, tree, std::vector<std::vector<GatherItem>>(5));
+  EXPECT_TRUE(all.empty());
+}
+
+}  // namespace
+}  // namespace dapsp::congest

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "graph/properties.hpp"
+
+namespace dapsp::graph {
+namespace {
+
+TEST(GraphBuilder, UndirectedAddsBothArcs) {
+  GraphBuilder b(3, /*directed=*/false);
+  b.add_edge(0, 1, 5);
+  Graph g = std::move(b).build();
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.arc_weight(0, 1), 5);
+  EXPECT_EQ(g.arc_weight(1, 0), 5);
+  EXPECT_FALSE(g.arc_weight(0, 2).has_value());
+}
+
+TEST(GraphBuilder, DirectedSingleArc) {
+  GraphBuilder b(3, /*directed=*/true);
+  b.add_edge(0, 1, 5);
+  Graph g = std::move(b).build();
+  EXPECT_EQ(g.arc_weight(0, 1), 5);
+  EXPECT_FALSE(g.arc_weight(1, 0).has_value());
+  // ... but the communication link is bidirectional.
+  ASSERT_EQ(g.comm_neighbors(1).size(), 1u);
+  EXPECT_EQ(g.comm_neighbors(1)[0], 0u);
+}
+
+TEST(GraphBuilder, RejectsBadInput) {
+  GraphBuilder b(3, false);
+  EXPECT_THROW(b.add_edge(0, 3, 1), std::logic_error);
+  EXPECT_THROW(b.add_edge(1, 1, 1), std::logic_error);
+  EXPECT_THROW(b.add_edge(0, 1, -2), std::logic_error);
+}
+
+TEST(GraphBuilder, HasArcTracksBothDirectionsWhenUndirected) {
+  GraphBuilder b(4, false);
+  b.add_edge(0, 1, 1);
+  EXPECT_TRUE(b.has_arc(0, 1));
+  EXPECT_TRUE(b.has_arc(1, 0));
+  EXPECT_FALSE(b.has_arc(0, 2));
+}
+
+TEST(Graph, InEdgesMirrorOutEdges) {
+  GraphBuilder b(4, true);
+  b.add_edge(0, 2, 3).add_edge(1, 2, 4).add_edge(2, 3, 5);
+  Graph g = std::move(b).build();
+  ASSERT_EQ(g.in_edges(2).size(), 2u);
+  EXPECT_EQ(g.in_edges(2)[0].from, 0u);
+  EXPECT_EQ(g.in_edges(2)[1].from, 1u);
+  EXPECT_EQ(g.out_edges(2).size(), 1u);
+  EXPECT_EQ(g.max_weight(), 5);
+}
+
+TEST(Graph, CommNeighborsSortedAndDeduped) {
+  GraphBuilder b(4, true);
+  b.add_edge(0, 1, 1).add_edge(1, 0, 2).add_edge(3, 1, 1);
+  Graph g = std::move(b).build();
+  const auto nbrs = g.comm_neighbors(1);
+  ASSERT_EQ(nbrs.size(), 2u);
+  EXPECT_EQ(nbrs[0], 0u);
+  EXPECT_EQ(nbrs[1], 3u);
+  EXPECT_EQ(g.comm_edge_count(), 2u);
+}
+
+TEST(Generators, PathProperties) {
+  const Graph g = path(5, {1, 1, 0.0}, 1);
+  EXPECT_EQ(g.node_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 8u);  // 4 undirected edges
+  EXPECT_EQ(max_finite_distance(g), 4);
+  EXPECT_EQ(comm_diameter(g), 4);
+}
+
+TEST(Generators, CycleConnected) {
+  const Graph g = cycle(6, {1, 1, 0.0}, 2);
+  EXPECT_TRUE(strongly_connected(g));
+  EXPECT_EQ(comm_diameter(g), 3);
+}
+
+TEST(Generators, DirectedCycleStronglyConnected) {
+  const Graph g = cycle(5, {1, 3, 0.0}, 3, /*directed=*/true);
+  EXPECT_TRUE(strongly_connected(g));
+}
+
+TEST(Generators, GridShape) {
+  const Graph g = grid(3, 4, {1, 1, 0.0}, 4);
+  EXPECT_EQ(g.node_count(), 12u);
+  EXPECT_EQ(g.comm_edge_count(), 3u * 3 + 4u * 2);  // 17 grid edges
+  EXPECT_TRUE(comm_connected(g));
+}
+
+TEST(Generators, StarDiameterTwo) {
+  const Graph g = star(8, {1, 1, 0.0}, 5);
+  EXPECT_EQ(comm_diameter(g), 2);
+  EXPECT_EQ(g.comm_degree(0), 7u);
+}
+
+TEST(Generators, CompleteGraphEdgeCount) {
+  const Graph g = complete(6, {0, 4, 0.0}, 6);
+  EXPECT_EQ(g.comm_edge_count(), 15u);
+}
+
+TEST(Generators, RandomTreeIsConnectedAcyclic) {
+  const Graph g = random_tree(40, {0, 9, 0.2}, 7);
+  EXPECT_EQ(g.comm_edge_count(), 39u);
+  EXPECT_TRUE(comm_connected(g));
+}
+
+TEST(Generators, ErdosRenyiConnectBackbone) {
+  const Graph g = erdos_renyi(30, 0.02, {0, 5, 0.1}, 8);
+  EXPECT_TRUE(comm_connected(g));
+  EXPECT_TRUE(strongly_connected(g));  // undirected + connected
+}
+
+TEST(Generators, ErdosRenyiDeterministicInSeed) {
+  const Graph a = erdos_renyi(20, 0.2, {0, 9, 0.1}, 11);
+  const Graph b = erdos_renyi(20, 0.2, {0, 9, 0.1}, 11);
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (std::size_t i = 0; i < a.edge_count(); ++i) {
+    EXPECT_EQ(a.edges()[i], b.edges()[i]);
+  }
+  const Graph c = erdos_renyi(20, 0.2, {0, 9, 0.1}, 12);
+  bool differs = a.edge_count() != c.edge_count();
+  for (std::size_t i = 0; !differs && i < a.edge_count(); ++i) {
+    differs = !(a.edges()[i] == c.edges()[i]);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Generators, ZeroFractionProducesZeroEdges) {
+  const Graph g = erdos_renyi(30, 0.3, {1, 9, 0.5}, 13);
+  std::size_t zeros = 0;
+  for (const Edge& e : g.edges()) zeros += e.weight == 0;
+  EXPECT_GT(zeros, 0u);
+}
+
+TEST(Generators, BarabasiAlbertConnectedAndHubby) {
+  const Graph g = barabasi_albert(60, 2, {1, 5, 0.0}, 30);
+  EXPECT_TRUE(comm_connected(g));
+  // Preferential attachment: max degree well above the attach parameter.
+  std::size_t max_deg = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    max_deg = std::max(max_deg, g.comm_degree(v));
+  }
+  EXPECT_GE(max_deg, 6u);
+  EXPECT_THROW(barabasi_albert(10, 0, {1, 1, 0.0}, 1), std::logic_error);
+}
+
+TEST(Generators, BarabasiAlbertDeterministic) {
+  const Graph a = barabasi_albert(30, 2, {0, 4, 0.2}, 31);
+  const Graph b = barabasi_albert(30, 2, {0, 4, 0.2}, 31);
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (std::size_t i = 0; i < a.edge_count(); ++i) {
+    EXPECT_EQ(a.edges()[i], b.edges()[i]);
+  }
+}
+
+TEST(Generators, IspTopologyShape) {
+  const Graph g = isp_topology(4, 6, 10, 30, 0.5, 33);
+  EXPECT_EQ(g.node_count(), 24u);
+  EXPECT_TRUE(comm_connected(g));
+  // Ring (4 links) + 4 trees of 5 links each.
+  EXPECT_EQ(g.comm_edge_count(), 4u + 4u * 5u);
+  // Backbone weights are >= 10; some intra-PoP links are zero.
+  bool saw_backbone = false, saw_zero = false;
+  for (const Edge& e : g.edges()) {
+    saw_backbone = saw_backbone || e.weight >= 10;
+    saw_zero = saw_zero || e.weight == 0;
+  }
+  EXPECT_TRUE(saw_backbone);
+  EXPECT_TRUE(saw_zero);
+  EXPECT_THROW(isp_topology(2, 4, 1, 2, 0.0, 1), std::logic_error);
+}
+
+TEST(Generators, LayeredReachability) {
+  const Graph g = layered(4, 5, 2, {1, 3, 0.0}, 14);
+  EXPECT_EQ(g.node_count(), 20u);
+  // Every layer-0 node reaches some layer-3 node through directed edges.
+  EXPECT_TRUE(g.directed());
+}
+
+TEST(Generators, Fig1GadgetShape) {
+  const Graph g = fig1_gadget(4);
+  EXPECT_EQ(g.node_count(), 9u);
+  // Cheap chain end ("z") is node 4, shortcut from 0 with weight 1.
+  EXPECT_EQ(g.arc_weight(0, 4), 1);
+  EXPECT_EQ(g.arc_weight(0, 1), 0);
+  // The zero-weight chain makes every node reachable at distance 0.
+  EXPECT_EQ(max_finite_distance(g), 0);
+}
+
+TEST(Generators, BoundedDistanceGraphRespectsDelta) {
+  const Graph g = bounded_distance_graph(24, 0.15, 12, 15);
+  EXPECT_LE(max_finite_distance(g), 12);
+  EXPECT_TRUE(comm_connected(g));
+}
+
+TEST(Io, RoundTripUndirected) {
+  const Graph g = erdos_renyi(15, 0.2, {0, 7, 0.2}, 21);
+  std::stringstream ss;
+  write_graph(ss, g);
+  const Graph h = read_graph(ss);
+  ASSERT_EQ(h.node_count(), g.node_count());
+  ASSERT_EQ(h.edge_count(), g.edge_count());
+  for (std::size_t i = 0; i < g.edge_count(); ++i) {
+    EXPECT_EQ(h.edges()[i], g.edges()[i]);
+  }
+}
+
+TEST(Io, RoundTripDirected) {
+  const Graph g = layered(3, 3, 2, {0, 5, 0.3}, 22);
+  std::stringstream ss;
+  write_graph(ss, g);
+  const Graph h = read_graph(ss);
+  EXPECT_TRUE(h.directed());
+  ASSERT_EQ(h.edge_count(), g.edge_count());
+  for (std::size_t i = 0; i < g.edge_count(); ++i) {
+    EXPECT_EQ(h.edges()[i], g.edges()[i]);
+  }
+}
+
+TEST(Io, CommentsAndBadHeader) {
+  std::stringstream ok("# comment\ndapsp undirected 2 1\n0 1 7\n");
+  const Graph g = read_graph(ok);
+  EXPECT_EQ(g.arc_weight(0, 1), 7);
+
+  std::stringstream bad("wrong undirected 2 1\n0 1 7\n");
+  EXPECT_THROW(read_graph(bad), std::runtime_error);
+  std::stringstream truncated("dapsp undirected 2 2\n0 1 7\n");
+  EXPECT_THROW(read_graph(truncated), std::runtime_error);
+}
+
+TEST(Io, DotExportUndirected) {
+  GraphBuilder b(3, /*directed=*/false);
+  b.add_edge(0, 1, 4).add_edge(1, 2, 0);
+  const Graph g = std::move(b).build();
+  std::stringstream ss;
+  write_dot(ss, g);
+  const std::string dot = ss.str();
+  EXPECT_NE(dot.find("graph dapsp"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 1 [label=\"4\"]"), std::string::npos);
+  EXPECT_NE(dot.find("1 -- 2 [label=\"0\"]"), std::string::npos);
+  // Each undirected edge appears once.
+  EXPECT_EQ(dot.find("1 -- 0"), std::string::npos);
+}
+
+TEST(Io, DotExportTree) {
+  GraphBuilder b(4, /*directed=*/true);
+  b.add_edge(0, 1, 2).add_edge(1, 2, 3).add_edge(0, 3, 1);
+  const Graph g = std::move(b).build();
+  const std::vector<NodeId> parent{kNoNode, 0, 1, 0};
+  std::stringstream ss;
+  write_tree_dot(ss, g, parent, 0);
+  const std::string dot = ss.str();
+  EXPECT_NE(dot.find("0 [shape=doublecircle]"), std::string::npos);
+  EXPECT_NE(dot.find("0 -> 1 [label=\"2\"]"), std::string::npos);
+  EXPECT_NE(dot.find("1 -> 2 [label=\"3\"]"), std::string::npos);
+}
+
+TEST(Properties, MaxHopDistance) {
+  // Path with weights 1: h-hop distance from end to end needs 4 hops.
+  const Graph g = path(5, {1, 1, 0.0}, 1);
+  EXPECT_EQ(max_finite_hop_distance(g, 4), 4);
+  EXPECT_EQ(max_finite_hop_distance(g, 2), 2);  // only nearer pairs reachable
+}
+
+TEST(Properties, DisconnectedDiameterInfinite) {
+  GraphBuilder b(4, false);
+  b.add_edge(0, 1, 1).add_edge(2, 3, 1);
+  const Graph g = std::move(b).build();
+  EXPECT_EQ(comm_diameter(g), kInfDist);
+  EXPECT_FALSE(comm_connected(g));
+  EXPECT_FALSE(strongly_connected(g));
+}
+
+}  // namespace
+}  // namespace dapsp::graph

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/key.hpp"
+#include "util/rng.hpp"
+
+namespace dapsp::core {
+namespace {
+
+TEST(GammaSq, PaperValue) {
+  const GammaSq g = GammaSq::paper(16, 4, 64);
+  EXPECT_EQ(g.num, 64u);
+  EXPECT_EQ(g.den, 64u);
+  EXPECT_EQ(g.ceil_gamma(), 1u);
+}
+
+TEST(GammaSq, DegenerateDeltaZero) {
+  const GammaSq g = GammaSq::paper(4, 4, 0);
+  EXPECT_EQ(g.den, 1u);  // gamma = sqrt(k*h), keeps keys hop-dominated
+}
+
+TEST(Key, CompareUnitGamma) {
+  // gamma = 1: kappa = d + l.
+  const GammaSq g = GammaSq::unit();
+  EXPECT_LT((Key{2, 3}).compare(Key{3, 3}, g), 0);
+  EXPECT_EQ((Key{2, 3}).compare(Key{3, 2}, g), 0);  // 5 == 5
+  EXPECT_GT((Key{4, 3}).compare(Key{3, 3}, g), 0);
+}
+
+TEST(Key, CompareHopOnly) {
+  const GammaSq g = GammaSq::hop_only();
+  EXPECT_LT((Key{100, 1}).compare(Key{0, 2}, g), 0);
+  EXPECT_EQ((Key{100, 2}).compare(Key{0, 2}, g), 0);
+}
+
+TEST(Key, CompareIrrationalGamma) {
+  // gamma = sqrt(2): d=5,l=0 -> 7.07; d=4,l=2 -> 7.65
+  const GammaSq g{2, 1};
+  EXPECT_LT((Key{5, 0}).compare(Key{4, 2}, g), 0);
+  EXPECT_GT((Key{4, 2}).compare(Key{5, 0}, g), 0);
+  EXPECT_EQ((Key{3, 1}).compare(Key{3, 1}, g), 0);
+}
+
+TEST(Key, CompareMatchesLongDoubleRandomized) {
+  util::Xoshiro256 rng(77);
+  for (int i = 0; i < 5000; ++i) {
+    const GammaSq g{rng.below(64) + 1, rng.below(64) + 1};
+    const Key a{static_cast<Weight>(rng.below(1000)),
+                static_cast<std::uint32_t>(rng.below(64))};
+    const Key b{static_cast<Weight>(rng.below(1000)),
+                static_cast<std::uint32_t>(rng.below(64))};
+    const long double gamma = std::sqrt(static_cast<long double>(g.num) /
+                                        static_cast<long double>(g.den));
+    const long double ka = static_cast<long double>(a.d) * gamma + a.l;
+    const long double kb = static_cast<long double>(b.d) * gamma + b.l;
+    const int got = a.compare(b, g);
+    if (std::fabs(static_cast<double>(ka - kb)) > 1e-6) {
+      EXPECT_EQ(got, ka < kb ? -1 : 1)
+          << "a=(" << a.d << "," << a.l << ") b=(" << b.d << "," << b.l
+          << ") gamma^2=" << g.num << "/" << g.den;
+    }
+  }
+}
+
+TEST(Key, CeilKappaExamples) {
+  const GammaSq g{2, 1};  // gamma = sqrt(2)
+  EXPECT_EQ((Key{0, 0}).ceil_kappa(g), 0u);
+  EXPECT_EQ((Key{1, 0}).ceil_kappa(g), 2u);  // ceil(1.41)
+  EXPECT_EQ((Key{2, 0}).ceil_kappa(g), 3u);  // ceil(2.83)
+  EXPECT_EQ((Key{2, 5}).ceil_kappa(g), 8u);
+  EXPECT_EQ((Key{5, 1}).send_round(g, 3), 8u + 4u);  // ceil(7.07)+1+3
+}
+
+TEST(Key, CeilKappaIsUpperBoundAndTight) {
+  util::Xoshiro256 rng(78);
+  for (int i = 0; i < 3000; ++i) {
+    const GammaSq g{rng.below(100) + 1, rng.below(100) + 1};
+    const Key k{static_cast<Weight>(rng.below(100000)),
+                static_cast<std::uint32_t>(rng.below(1000))};
+    const std::uint64_t c = k.ceil_kappa(g);
+    // c - l = ceil(d * gamma): verify the defining inequalities exactly.
+    const std::uint64_t m = c - k.l;
+    const auto d = static_cast<std::uint64_t>(k.d);
+    EXPECT_GE(util::u128{m} * m * g.den, util::u128{d} * d * g.num);
+    if (m > 0) {
+      EXPECT_LT(util::u128{m - 1} * (m - 1) * g.den, util::u128{d} * d * g.num);
+    }
+  }
+}
+
+TEST(Key, ListOrderTieBreaking) {
+  const GammaSq g = GammaSq::unit();
+  // Same kappa (d+l = 5): smaller d first.
+  EXPECT_LT(list_order(Key{2, 3}, 0, Key{3, 2}, 0, g), 0);
+  // Same kappa and d: smaller source id first.
+  EXPECT_LT(list_order(Key{2, 3}, 1, Key{2, 3}, 4, g), 0);
+  EXPECT_EQ(list_order(Key{2, 3}, 4, Key{2, 3}, 4, g), 0);
+  EXPECT_GT(list_order(Key{3, 3}, 0, Key{2, 3}, 9, g), 0);
+}
+
+TEST(Key, SendSchedulesStrictlyIncreaseAlongSortedLists) {
+  // The engine relies on ceil(kappa)+pos being strictly increasing in list
+  // order; simulate random sorted lists and check.
+  util::Xoshiro256 rng(79);
+  for (int trial = 0; trial < 200; ++trial) {
+    const GammaSq g{rng.below(50) + 1, rng.below(50) + 1};
+    std::vector<std::pair<Key, NodeId>> entries;
+    for (int i = 0; i < 50; ++i) {
+      entries.emplace_back(Key{static_cast<Weight>(rng.below(200)),
+                               static_cast<std::uint32_t>(rng.below(20))},
+                           static_cast<NodeId>(rng.below(8)));
+    }
+    std::sort(entries.begin(), entries.end(), [&](const auto& a, const auto& b) {
+      return list_order(a.first, a.second, b.first, b.second, g) < 0;
+    });
+    std::uint64_t prev = 0;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const std::uint64_t sched = entries[i].first.ceil_kappa(g) + i + 1;
+      if (i > 0) {
+        EXPECT_GT(sched, prev);
+      }
+      prev = sched;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dapsp::core

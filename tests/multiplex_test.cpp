@@ -1,0 +1,134 @@
+// Tests for the deterministic multi-instance scheduler and the Section II-C
+// scaled h-hop APSP built on it.
+#include <gtest/gtest.h>
+
+#include "congest/multiplex.hpp"
+#include "core/scaled_apsp.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "seq/dijkstra.hpp"
+#include "seq/hop_limited.hpp"
+
+namespace dapsp {
+namespace {
+
+using graph::Graph;
+using graph::kInfDist;
+using graph::NodeId;
+
+/// Trivial instance: the instance's designated node floods one token.
+class OneShot final : public congest::Protocol {
+ public:
+  OneShot(NodeId self, NodeId origin) : self_(self), origin_(origin) {}
+  void init(congest::Context& ctx) override {
+    if (self_ == origin_) {
+      ctx.broadcast(congest::Message(7, {static_cast<std::int64_t>(origin_)}));
+    }
+  }
+  void receive_phase(congest::Context& ctx) override {
+    for (const auto& env : ctx.inbox()) {
+      if (env.msg.tag == 7) heard_ = true;
+      EXPECT_EQ(env.msg.f[0], static_cast<std::int64_t>(origin_))
+          << "cross-instance message leak";
+    }
+  }
+  bool heard() const { return heard_; }
+
+ private:
+  NodeId self_;
+  NodeId origin_;
+  bool heard_ = false;
+};
+
+TEST(Multiplex, InstancesAreIsolated) {
+  const Graph g = graph::star(6, {1, 1, 0.0}, 8000);
+  std::vector<std::vector<bool>> heard(6, std::vector<bool>(6, false));
+  const auto res = congest::run_multiplexed(
+      g, 6,
+      [](std::size_t instance, NodeId node) {
+        return std::make_unique<OneShot>(node, static_cast<NodeId>(instance));
+      },
+      100,
+      [&](NodeId v, congest::MultiplexProtocol& mux) {
+        for (std::size_t i = 0; i < 6; ++i) {
+          heard[v][i] =
+              static_cast<const OneShot&>(mux.instance(i)).heard();
+        }
+      });
+  EXPECT_FALSE(res.stats.hit_round_limit);
+  // Every non-origin neighbor hears exactly its instance's token; the star
+  // center hears all leaf instances.
+  for (std::size_t i = 1; i < 6; ++i) {
+    EXPECT_TRUE(heard[0][i]);
+  }
+  for (NodeId leaf = 1; leaf < 6; ++leaf) {
+    EXPECT_TRUE(heard[leaf][0]);  // center's token reaches each leaf
+  }
+}
+
+TEST(Multiplex, BudgetOneWrappedMessagePerLinkPerRound) {
+  // Many simultaneous instances on a path: FIFO draining must keep physical
+  // congestion at 1 and queue depth > 1 must appear.
+  const Graph g = graph::path(4, {1, 1, 0.0}, 8001);
+  const auto res = congest::run_multiplexed(
+      g, 8,
+      [](std::size_t instance, NodeId node) {
+        return std::make_unique<OneShot>(
+            node, static_cast<NodeId>(instance % 4));
+      },
+      200);
+  EXPECT_EQ(res.stats.max_link_congestion, 1u);
+  EXPECT_GT(res.max_queue_depth, 1u);
+}
+
+TEST(ScaledApsp, MatchesOracleInScope) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Graph g = graph::erdos_renyi(14, 0.25, {0, 4, 0.3}, 8100 + seed,
+                                       seed % 2 == 0);
+    const std::uint32_t h = 3;
+    core::ScaledApspParams p;
+    p.h = h;
+    p.delta = graph::max_finite_hop_distance(g, h);
+    const auto res = core::scaled_hhop_apsp(g, p);
+    EXPECT_FALSE(res.stats.hit_round_limit);
+    // The II-C form is a shape comparison; the run gets 2x engine slack and
+    // typically stays within ~2x of the clean bound.
+    EXPECT_LE(res.stats.rounds, 2 * res.theoretical_bound + 8);
+    for (NodeId s = 0; s < g.node_count(); ++s) {
+      const auto dj = seq::dijkstra(g, s);
+      const auto hop = seq::hop_limited_sssp(g, s, h);
+      for (NodeId v = 0; v < g.node_count(); ++v) {
+        if (dj.dist[v] != kInfDist && dj.hops[v] <= h) {
+          EXPECT_EQ(res.dist[s][v], dj.dist[v])
+              << "seed " << seed << " " << s << "->" << v;
+        } else {
+          EXPECT_TRUE(res.dist[s][v] == kInfDist ||
+                      res.dist[s][v] >= hop.dist[v]);
+        }
+      }
+    }
+  }
+}
+
+TEST(ScaledApsp, FullHopBudgetIsExactApsp) {
+  const Graph g = graph::erdos_renyi(12, 0.3, {0, 5, 0.3}, 8200);
+  core::ScaledApspParams p;
+  p.h = g.node_count() - 1;
+  p.delta = graph::max_finite_distance(g);
+  const auto res = core::scaled_hhop_apsp(g, p);
+  const auto exact = seq::apsp(g);
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      EXPECT_EQ(res.dist[s][v], exact[s][v]);
+    }
+  }
+}
+
+TEST(ScaledApsp, RejectsZeroH) {
+  const Graph g = graph::path(4, {1, 1, 0.0}, 8300);
+  core::ScaledApspParams p;
+  EXPECT_THROW(core::scaled_hhop_apsp(g, p), std::logic_error);
+}
+
+}  // namespace
+}  // namespace dapsp

@@ -1,0 +1,83 @@
+// Tests for path reconstruction from last-edge tables.
+#include <gtest/gtest.h>
+
+#include "baseline/bf_apsp.hpp"
+#include "core/paths.hpp"
+#include "core/pipelined_ssp.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "seq/dijkstra.hpp"
+
+namespace dapsp::core {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::kInfDist;
+using graph::kNoNode;
+using graph::NodeId;
+
+TEST(Paths, ExtractSimpleChain) {
+  // parents along a path 0 <- 1 <- 2 <- 3.
+  const std::vector<NodeId> parent{kNoNode, 0, 1, 2};
+  const auto p = extract_path(parent, 0, 3);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, (std::vector<NodeId>{0, 1, 2, 3}));
+  const auto self = extract_path(parent, 0, 0);
+  ASSERT_TRUE(self.has_value());
+  EXPECT_EQ(self->size(), 1u);
+}
+
+TEST(Paths, DetectsCycleAndDangling) {
+  const std::vector<NodeId> cyclic{kNoNode, 2, 1, 2};
+  EXPECT_FALSE(extract_path(cyclic, 0, 1).has_value());
+  const std::vector<NodeId> dangling{kNoNode, kNoNode, 1};
+  EXPECT_FALSE(extract_path(dangling, 0, 2).has_value());
+}
+
+TEST(Paths, WeightOfRealPath) {
+  GraphBuilder b(4, /*directed=*/true);
+  b.add_edge(0, 1, 2).add_edge(1, 2, 0).add_edge(2, 3, 5);
+  const Graph g = std::move(b).build();
+  const std::vector<NodeId> path{0, 1, 2, 3};
+  EXPECT_EQ(path_weight(g, path), 7);
+  const std::vector<NodeId> broken{0, 2};
+  EXPECT_FALSE(path_weight(g, broken).has_value());
+}
+
+TEST(Paths, DijkstraParentsRealizeDistances) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Graph g = graph::erdos_renyi(24, 0.15, {0, 7, 0.3}, 6000 + seed,
+                                       seed % 2 == 0);
+    for (NodeId s = 0; s < 4; ++s) {
+      const auto dj = seq::dijkstra(g, s);
+      EXPECT_TRUE(parents_realize_distances(g, s, dj.dist, dj.parent))
+          << "seed " << seed << " source " << s;
+    }
+  }
+}
+
+TEST(Paths, BellmanFordParentsRealizeDistances) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Graph g = graph::erdos_renyi(20, 0.18, {0, 5, 0.4}, 6100 + seed);
+    const auto bf = baseline::bf_sssp(g, 0);
+    EXPECT_TRUE(parents_realize_distances(g, 0, bf.dist, bf.parent));
+  }
+}
+
+TEST(Paths, PipelinedApspParentsRealizeDistances) {
+  // With h = n-1 every pair is in scope, so Algorithm 1's parent chains are
+  // final-consistent and must telescope to the exact distances.
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Graph g = graph::erdos_renyi(16, 0.2, {0, 5, 0.3}, 6200 + seed);
+    const auto res = pipelined_apsp(g, graph::max_finite_distance(g));
+    for (std::size_t i = 0; i < res.sources.size(); ++i) {
+      EXPECT_TRUE(parents_realize_distances(g, res.sources[i], res.dist[i],
+                                            res.parent[i]))
+          << "seed " << seed << " source " << res.sources[i];
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dapsp::core

@@ -1,0 +1,167 @@
+// Focused tests for the distributed primitives (BFS tree, broadcast,
+// convergecast, gather) beyond the smoke coverage in engine_test.cpp, plus
+// Message and RunStats edge cases.
+#include <gtest/gtest.h>
+
+#include "congest/message.hpp"
+#include "congest/primitives.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/properties.hpp"
+
+namespace dapsp::congest {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::NodeId;
+
+TEST(Message, FieldCapacityEnforced) {
+  EXPECT_NO_THROW(Message(1, {1, 2, 3, 4, 5, 6, 7, 8}));
+  EXPECT_THROW(Message(1, {1, 2, 3, 4, 5, 6, 7, 8, 9}), std::logic_error);
+  const Message m(3, {10, 20});
+  EXPECT_EQ(m.used, 2u);
+  EXPECT_EQ(m.f[0], 10);
+  EXPECT_EQ(m.f[1], 20);
+  EXPECT_EQ(m, Message(3, {10, 20}));
+  EXPECT_FALSE(m == Message(3, {10, 21}));
+}
+
+TEST(BfsTree, NonZeroRoot) {
+  const Graph g = graph::grid(3, 4, {1, 1, 0.0}, 10000);
+  const BfsTree tree = build_bfs_tree(g, 7);
+  EXPECT_EQ(tree.root, 7u);
+  EXPECT_EQ(tree.depth[7], 0u);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_TRUE(tree.reached(v));
+  }
+}
+
+TEST(BfsTree, SingleNodeGraph) {
+  GraphBuilder b(1, false);
+  const Graph g = std::move(b).build();
+  const BfsTree tree = build_bfs_tree(g, 0);
+  EXPECT_EQ(tree.height, 0u);
+  EXPECT_TRUE(tree.reached(0));
+  // Downstream primitives degrade gracefully on a single node.
+  const auto copies = broadcast_values(g, tree, {42});
+  EXPECT_EQ(copies[0], (std::vector<std::int64_t>{42}));
+  const auto [best, arg] = converge_max(g, tree, {17});
+  EXPECT_EQ(best, 17);
+  EXPECT_EQ(arg, 0u);
+}
+
+TEST(BfsTree, MinIdParentSelection) {
+  // Default delivery order is sender-ascending, so among equal-depth
+  // candidates the smallest id becomes the parent.
+  const Graph g = graph::complete(5, {1, 1, 0.0}, 10001);
+  const BfsTree tree = build_bfs_tree(g, 2);
+  for (NodeId v = 0; v < 5; ++v) {
+    if (v == 2) continue;
+    EXPECT_EQ(tree.parent[v], 2u);  // direct neighbor of the root
+    EXPECT_EQ(tree.depth[v], 1u);
+  }
+}
+
+TEST(Broadcast, LongValueListPipelines) {
+  const Graph g = graph::path(8, {1, 1, 0.0}, 10002);
+  RunStats stats;
+  const BfsTree tree = build_bfs_tree(g, 0, &stats);
+  std::vector<std::int64_t> values(50);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<std::int64_t>(i * i);
+  }
+  RunStats bstats;
+  const auto copies = broadcast_values(g, tree, values, &bstats);
+  for (const auto& c : copies) EXPECT_EQ(c, values);
+  // Pipelined: |values| + height + O(1), not |values| * height.
+  EXPECT_LE(bstats.rounds, values.size() + tree.height + 4);
+  EXPECT_EQ(bstats.max_link_congestion, 1u);
+}
+
+TEST(Broadcast, NegativeValuesSurvive) {
+  const Graph g = graph::star(5, {1, 1, 0.0}, 10003);
+  const BfsTree tree = build_bfs_tree(g, 0);
+  const std::vector<std::int64_t> values{-5, 0, 123456789012345};
+  const auto copies = broadcast_values(g, tree, values);
+  EXPECT_EQ(copies[4], values);
+}
+
+TEST(ConvergeMax, NegativeAndEqualValues) {
+  const Graph g = graph::path(5, {1, 1, 0.0}, 10004);
+  const BfsTree tree = build_bfs_tree(g, 0);
+  const auto [best, arg] = converge_max(g, tree, {-7, -3, -3, -9, -10});
+  EXPECT_EQ(best, -3);
+  EXPECT_EQ(arg, 1u);  // smaller id wins the tie
+}
+
+TEST(ConvergeMax, DeepTreeRoundCount) {
+  const Graph g = graph::path(20, {1, 1, 0.0}, 10005);
+  RunStats stats;
+  const BfsTree tree = build_bfs_tree(g, 0, &stats);
+  RunStats cstats;
+  std::vector<std::int64_t> vals(20, 1);
+  vals[19] = 9;
+  const auto [best, arg] = converge_max(g, tree, vals, &cstats);
+  EXPECT_EQ(best, 9);
+  EXPECT_EQ(arg, 19u);
+  EXPECT_LE(cstats.rounds, tree.height + 3u);
+}
+
+TEST(Gather, RootOnlyItems) {
+  const Graph g = graph::path(5, {1, 1, 0.0}, 10006);
+  const BfsTree tree = build_bfs_tree(g, 2);
+  std::vector<std::vector<GatherItem>> items(5);
+  items[2].push_back({2, 1, 2});
+  const auto all = gather_to_all(g, tree, items);
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].origin, 2u);
+}
+
+TEST(Gather, ManyItemsPerNodeSorted) {
+  const Graph g = graph::grid(3, 3, {1, 1, 0.0}, 10007);
+  const BfsTree tree = build_bfs_tree(g, 0);
+  std::vector<std::vector<GatherItem>> items(9);
+  std::size_t total = 0;
+  for (NodeId v = 0; v < 9; ++v) {
+    for (std::int64_t j = 0; j < 3; ++j) {
+      items[v].push_back({v, j, static_cast<std::int64_t>(v) * 10 + j});
+      ++total;
+    }
+  }
+  RunStats stats;
+  const auto all = gather_to_all(g, tree, items, &stats);
+  ASSERT_EQ(all.size(), total);
+  EXPECT_TRUE(std::is_sorted(all.begin(), all.end()));
+  // Pipelined: items + heights dominate, far below items * height.
+  EXPECT_LE(stats.rounds, 4 * total + 4 * tree.height + 12);
+}
+
+TEST(RunStats, PerRoundMergeAcrossPhases) {
+  RunStats a;
+  a.rounds = 2;
+  a.per_round_messages = {3, 4};
+  a.total_messages = 7;
+  RunStats b;
+  b.rounds = 3;
+  b.per_round_messages = {1, 0, 2};
+  b.total_messages = 3;
+  a += b;
+  EXPECT_EQ(a.rounds, 5u);
+  ASSERT_EQ(a.per_round_messages.size(), 5u);
+  EXPECT_EQ(a.per_round_messages[0], 3u);
+  EXPECT_EQ(a.per_round_messages[2], 1u);
+  EXPECT_EQ(a.per_round_messages[4], 2u);
+}
+
+TEST(RunStats, MaxMessageFieldsPropagates) {
+  RunStats a;
+  a.max_message_fields = 2;
+  RunStats b;
+  b.max_message_fields = 5;
+  a += b;
+  EXPECT_EQ(a.max_message_fields, 5u);
+}
+
+}  // namespace
+}  // namespace dapsp::congest

@@ -1,0 +1,109 @@
+// Tests for next-hop routing tables and the forwarding simulator.
+#include <gtest/gtest.h>
+
+#include "core/pipelined_ssp.hpp"
+#include "core/routing.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "seq/dijkstra.hpp"
+
+namespace dapsp::core {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::kInfDist;
+using graph::kNoNode;
+using graph::NodeId;
+
+RoutingTables tables_for(const Graph& g) {
+  return build_routing_tables(
+      g, pipelined_apsp(g, graph::max_finite_distance(g)));
+}
+
+TEST(Routing, EveryPairRoutesAtShortestCost) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Graph g = graph::erdos_renyi(18, 0.18, {0, 7, 0.3}, 9000 + seed);
+    const auto tables = tables_for(g);
+    for (NodeId s = 0; s < g.node_count(); ++s) {
+      const auto dj = seq::dijkstra(g, s);
+      for (NodeId t = 0; t < g.node_count(); ++t) {
+        const auto r = route(g, tables, s, t);
+        if (dj.dist[t] == kInfDist) {
+          EXPECT_FALSE(r.has_value());
+          continue;
+        }
+        ASSERT_TRUE(r.has_value()) << s << "->" << t << " seed " << seed;
+        EXPECT_EQ(r->cost, dj.dist[t]) << s << "->" << t;
+        EXPECT_EQ(r->path.front(), s);
+        EXPECT_EQ(r->path.back(), t);
+      }
+    }
+  }
+}
+
+TEST(Routing, ZeroWeightPlateausTerminate) {
+  // A clique of zero-weight edges: naive cost-only forwarding could loop;
+  // the hop tie-break must drive packets to the destination.
+  GraphBuilder b(6, /*directed=*/false);
+  for (NodeId u = 0; u < 5; ++u) {
+    for (NodeId v = u + 1; v < 5; ++v) b.add_edge(u, v, 0);
+  }
+  b.add_edge(4, 5, 3);
+  const Graph g = std::move(b).build();
+  const auto tables = tables_for(g);
+  for (NodeId s = 0; s < 6; ++s) {
+    for (NodeId t = 0; t < 6; ++t) {
+      if (s == t) continue;
+      const auto r = route(g, tables, s, t);
+      ASSERT_TRUE(r.has_value()) << s << "->" << t;
+      EXPECT_LE(r->path.size(), 4u);
+    }
+  }
+}
+
+TEST(Routing, SelfRouteIsTrivial) {
+  const Graph g = graph::path(4, {1, 1, 0.0}, 9100);
+  const auto tables = tables_for(g);
+  const auto r = route(g, tables, 2, 2);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->cost, 0);
+  EXPECT_EQ(r->path.size(), 1u);
+  EXPECT_EQ(tables.next_hop(2, 2), kNoNode);
+}
+
+TEST(Routing, DisconnectedDestinationUnroutable) {
+  GraphBuilder b(5, /*directed=*/false);
+  b.add_edge(0, 1, 2).add_edge(1, 2, 2).add_edge(3, 4, 1);
+  const Graph g = std::move(b).build();
+  const auto tables = tables_for(g);
+  EXPECT_FALSE(route(g, tables, 0, 4).has_value());
+  EXPECT_EQ(tables.next_hop(0, 4), kNoNode);
+  EXPECT_TRUE(route(g, tables, 3, 4).has_value());
+}
+
+TEST(Routing, RejectsDirectedAndPartialInputs) {
+  const Graph d = graph::cycle(5, {1, 2, 0.0}, 9200, /*directed=*/true);
+  EXPECT_THROW(
+      build_routing_tables(d, pipelined_apsp(d, graph::max_finite_distance(d))),
+      std::logic_error);
+
+  const Graph g = graph::path(5, {1, 1, 0.0}, 9300);
+  const auto partial =
+      pipelined_kssp_full(g, {0, 2}, graph::max_finite_distance(g));
+  EXPECT_THROW(build_routing_tables(g, partial), std::logic_error);
+}
+
+TEST(Routing, DistanceAccessorMatchesApsp) {
+  const Graph g = graph::grid(3, 3, {0, 4, 0.3}, 9400);
+  const auto apsp = pipelined_apsp(g, graph::max_finite_distance(g));
+  const auto tables = build_routing_tables(g, apsp);
+  for (NodeId u = 0; u < 9; ++u) {
+    for (NodeId t = 0; t < 9; ++t) {
+      EXPECT_EQ(tables.distance(u, t), apsp.dist[t][u]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dapsp::core

@@ -1,0 +1,238 @@
+// Tests for Algorithm 2 (short-range / short-range-extension, Sec. II-C).
+#include <gtest/gtest.h>
+
+#include "core/short_range.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "seq/dijkstra.hpp"
+#include "seq/hop_limited.hpp"
+
+namespace dapsp::core {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::kInfDist;
+using graph::NodeId;
+
+/// Same scope rule as Algorithm 1: exact when the true shortest path fits in
+/// h hops, sound over-estimate otherwise.
+void check_short_range(const Graph& g, const ShortRangeResult& res,
+                       std::uint32_t h) {
+  EXPECT_EQ(res.late_sends, 0u) << "Lemma II.12-style invariant violated";
+  for (std::size_t i = 0; i < res.sources.size(); ++i) {
+    const auto dj = seq::dijkstra(g, res.sources[i]);
+    const auto hop = seq::hop_limited_sssp(g, res.sources[i], h);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (dj.dist[v] != kInfDist && dj.hops[v] <= h) {
+        ASSERT_EQ(res.dist[i][v], dj.dist[v])
+            << "src " << res.sources[i] << " node " << v;
+      } else {
+        EXPECT_TRUE(res.dist[i][v] == kInfDist || res.dist[i][v] >= hop.dist[v]);
+      }
+    }
+  }
+}
+
+TEST(ShortRange, SingleSourceRandomSweep) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Graph g = graph::erdos_renyi(24, 0.15, {0, 6, 0.3}, 500 + seed,
+                                       seed % 2 == 0);
+    ShortRangeParams p;
+    p.sources = {static_cast<NodeId>(seed % 24)};
+    p.h = 6;
+    p.delta = graph::max_finite_hop_distance(g, 6);
+    const auto res = short_range(g, p);
+    check_short_range(g, res, 6);
+    // Lemma II.15: congestion (sends per node per source) <= sqrt(h)+1.
+    EXPECT_LE(res.max_sends_per_node, res.congestion_bound);
+    // Dilation: settled within ceil(Delta*gamma) + h.
+    EXPECT_LE(res.settle_round, res.dilation_bound);
+  }
+}
+
+TEST(ShortRange, ZeroWeightHeavy) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Graph g = graph::erdos_renyi(20, 0.2, {0, 2, 0.7}, 600 + seed);
+    ShortRangeParams p;
+    p.sources = {0};
+    p.h = 8;
+    p.delta = graph::max_finite_hop_distance(g, 8);
+    const auto res = short_range(g, p);
+    check_short_range(g, res, 8);
+    EXPECT_LE(res.max_sends_per_node, res.congestion_bound);
+  }
+}
+
+TEST(ShortRange, MultiSourceUsesAlg1Gamma) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Graph g = graph::erdos_renyi(22, 0.18, {0, 5, 0.3}, 700 + seed);
+    ShortRangeParams p;
+    p.sources = {0, 5, 10, 15};
+    p.h = 5;
+    p.delta = graph::max_finite_hop_distance(g, 5);
+    const auto res = short_range(g, p);
+    check_short_range(g, res, 5);
+    EXPECT_LE(res.max_sends_per_node, res.congestion_bound);
+    EXPECT_LE(res.settle_round, res.dilation_bound);
+  }
+}
+
+TEST(ShortRange, ExtensionSeedsPropagate) {
+  // Path 0-1-2-3-4-5 with unit weights.  Seed node 3 with distance 7 for a
+  // phantom source; extension by h=2 hops reaches nodes 1..5.
+  const Graph g = graph::path(6, {1, 1, 0.0}, 800);
+  ShortRangeParams p;
+  p.sources = {0};  // label slot; seeds come from `initial`
+  p.h = 2;
+  p.delta = 20;
+  p.initial.assign(1, std::vector<Weight>(6, kInfDist));
+  p.initial[0][3] = 7;
+  const auto res = short_range(g, p);
+  EXPECT_EQ(res.dist[0][3], 7);
+  EXPECT_EQ(res.dist[0][2], 8);
+  EXPECT_EQ(res.dist[0][4], 8);
+  EXPECT_EQ(res.dist[0][1], 9);
+  EXPECT_EQ(res.dist[0][5], 9);
+  EXPECT_EQ(res.dist[0][0], kInfDist);  // 3 hops away
+  EXPECT_EQ(res.hops[0][1], 2u);
+}
+
+TEST(ShortRange, ExtensionMatchesAugmentedOracle) {
+  // Random seeds at several nodes must behave like a super-source attached
+  // to the seeded nodes with the seed distances as arc weights.
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Graph g = graph::erdos_renyi(18, 0.2, {0, 4, 0.3}, 900 + seed);
+    const std::uint32_t h = 4;
+    ShortRangeParams p;
+    p.sources = {0};
+    p.h = h;
+    p.delta = 100;
+    p.initial.assign(1, std::vector<Weight>(18, kInfDist));
+    p.initial[0][2] = 5;
+    p.initial[0][9] = 0;
+    p.initial[0][14] = 11;
+    const auto res = short_range(g, p);
+
+    // Oracle: Dijkstra from a super-source attached to the seeded nodes
+    // (arc weight = seed distance).  Exact when the true optimum is
+    // realizable hop-minimally within h hops of a seed (h+1 augmented
+    // hops); otherwise the run only owes a sound over-estimate.
+    graph::GraphBuilder ab(19, /*directed=*/true);
+    for (const auto& e : g.edges()) {
+      if (e.from < e.to) ab.add_edge(e.from, e.to, e.weight);
+      // undirected source graph: both arcs present in g.edges()
+    }
+    for (const auto& e : g.edges()) {
+      if (e.from > e.to) ab.add_edge(e.from, e.to, e.weight);
+    }
+    ab.add_edge(18, 2, 5).add_edge(18, 9, 0).add_edge(18, 14, 11);
+    const auto dj = seq::dijkstra(std::move(ab).build(), 18);
+    for (NodeId v = 0; v < 18; ++v) {
+      if (dj.dist[v] != kInfDist && dj.hops[v] <= h + 1) {
+        EXPECT_EQ(res.dist[0][v], dj.dist[v])
+            << "node " << v << " seed " << seed;
+      } else {
+        EXPECT_TRUE(res.dist[0][v] == kInfDist || res.dist[0][v] >= dj.dist[v])
+            << "node " << v << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(ShortRange, MultiSourceExtension) {
+  // Section II-C's closing remark: h-hop extensions for all k sources at
+  // once.  Each source row gets its own seeds; rows must not interfere.
+  const Graph g = graph::erdos_renyi(16, 0.25, {0, 4, 0.3}, 950);
+  const std::uint32_t h = 3;
+  ShortRangeParams p;
+  p.sources = {0, 1};  // label slots
+  p.h = h;
+  p.delta = 60;
+  p.initial.assign(2, std::vector<Weight>(16, kInfDist));
+  p.initial[0][2] = 4;
+  p.initial[0][7] = 0;
+  p.initial[1][11] = 9;
+  const auto res = short_range(g, p);
+
+  // Oracle per row: Dijkstra from a super-source over that row's seeds;
+  // exact for hop-minimally realizable optima (within h+1 augmented hops),
+  // sound over-estimate otherwise -- the same contract as every (h,*)
+  // algorithm here.
+  for (std::size_t row = 0; row < 2; ++row) {
+    graph::GraphBuilder ab(17, /*directed=*/true);
+    for (const auto& e : g.edges()) ab.add_edge(e.from, e.to, e.weight);
+    for (NodeId v = 0; v < 16; ++v) {
+      if (p.initial[row][v] != kInfDist) ab.add_edge(16, v, p.initial[row][v]);
+    }
+    const auto dj = seq::dijkstra(std::move(ab).build(), 16);
+    for (NodeId v = 0; v < 16; ++v) {
+      if (dj.dist[v] != kInfDist && dj.hops[v] <= h + 1) {
+        EXPECT_EQ(res.dist[row][v], dj.dist[v])
+            << "row " << row << " node " << v;
+      } else {
+        EXPECT_TRUE(res.dist[row][v] == kInfDist ||
+                    res.dist[row][v] >= dj.dist[v])
+            << "row " << row << " node " << v;
+      }
+    }
+  }
+}
+
+TEST(ShortRange, CongestionScalesWithSqrtH) {
+  // Increasing h grows the sends-per-node bound like sqrt(h); the measured
+  // value must stay under it for every h.
+  const Graph g = graph::erdos_renyi(26, 0.15, {0, 3, 0.4}, 1000);
+  std::uint64_t prev_bound = 0;
+  for (const std::uint32_t h : {2u, 4u, 9u, 16u}) {
+    ShortRangeParams p;
+    p.sources = {0};
+    p.h = h;
+    p.delta = graph::max_finite_hop_distance(g, h);
+    const auto res = short_range(g, p);
+    EXPECT_LE(res.max_sends_per_node, res.congestion_bound);
+    EXPECT_GE(res.congestion_bound, prev_bound);
+    prev_bound = res.congestion_bound;
+  }
+}
+
+TEST(ShortRange, ConformanceSweep) {
+  // Wider randomized sweep across directedness and weight regimes.
+  std::uint64_t cases = 0;
+  for (const bool directed : {false, true}) {
+    for (const double zero : {0.0, 0.6}) {
+      for (std::uint64_t seed = 0; seed < 8; ++seed) {
+        const Graph g = graph::erdos_renyi(
+            16, 0.25, {0, 5, zero}, 1200 + seed * 7, directed);
+        for (const std::uint32_t h : {2u, 5u}) {
+          ShortRangeParams p;
+          p.sources = {static_cast<NodeId>(seed % 16)};
+          p.h = h;
+          p.delta = graph::max_finite_hop_distance(g, h);
+          const auto res = short_range(g, p);
+          check_short_range(g, res, h);
+          EXPECT_LE(res.max_sends_per_node, res.congestion_bound);
+          EXPECT_LE(res.settle_round, res.dilation_bound);
+          ++cases;
+        }
+      }
+    }
+  }
+  EXPECT_GE(cases, 64u);
+}
+
+TEST(ShortRange, ParamValidation) {
+  const Graph g = graph::path(4, {1, 1, 0.0}, 1100);
+  ShortRangeParams p;
+  p.h = 2;
+  EXPECT_THROW(short_range(g, p), std::logic_error);  // no sources
+  p.sources = {0};
+  p.h = 0;
+  EXPECT_THROW(short_range(g, p), std::logic_error);
+  p.h = 2;
+  p.initial.assign(2, std::vector<Weight>(4, kInfDist));
+  EXPECT_THROW(short_range(g, p), std::logic_error);  // row count mismatch
+}
+
+}  // namespace
+}  // namespace dapsp::core

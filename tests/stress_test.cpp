@@ -1,0 +1,102 @@
+// Larger-scale runs: the theorem bounds and exactness must hold beyond the
+// toy sizes the unit tests use.  Kept under ~2 seconds total.
+#include <gtest/gtest.h>
+
+#include "core/approx_apsp.hpp"
+#include "core/blocker_apsp.hpp"
+#include "core/bounds.hpp"
+#include "core/pipelined_ssp.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "seq/dijkstra.hpp"
+
+namespace dapsp {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+TEST(Stress, PipelinedApspN96) {
+  const Graph g = graph::erdos_renyi(96, 0.06, {0, 10, 0.25}, 4242);
+  const graph::Weight delta = graph::max_finite_distance(g);
+  const auto res = core::pipelined_apsp(g, delta);
+  EXPECT_LE(res.settle_round,
+            core::bounds::apsp_pipelined(96, static_cast<std::uint64_t>(delta)));
+  EXPECT_EQ(res.stats.max_link_congestion, 1u);
+  // Spot-check a stripe of sources against the oracle.
+  for (NodeId s = 0; s < 96; s += 13) {
+    const auto dj = seq::dijkstra(g, s);
+    for (NodeId v = 0; v < 96; ++v) {
+      ASSERT_EQ(res.dist[s][v], dj.dist[v]) << s << "->" << v;
+    }
+  }
+}
+
+TEST(Stress, PipelinedApspN128ZeroHeavy) {
+  const Graph g = graph::erdos_renyi(128, 0.045, {0, 4, 0.5}, 4343);
+  const graph::Weight delta = graph::max_finite_distance(g);
+  const auto res = core::pipelined_apsp(g, delta);
+  EXPECT_LE(res.settle_round,
+            core::bounds::apsp_pipelined(128, static_cast<std::uint64_t>(delta)));
+  for (NodeId s = 0; s < 128; s += 17) {
+    const auto dj = seq::dijkstra(g, s);
+    for (NodeId v = 0; v < 128; ++v) {
+      ASSERT_EQ(res.dist[s][v], dj.dist[v]) << s << "->" << v;
+    }
+  }
+}
+
+TEST(Stress, BlockerApspN48) {
+  const Graph g = graph::erdos_renyi(48, 0.08, {0, 6, 0.3}, 4444);
+  core::BlockerApspParams p;  // auto h
+  const auto res = core::blocker_apsp(g, p);
+  EXPECT_LE(res.stats.rounds, res.theoretical_bound);
+  for (NodeId s = 0; s < 48; s += 7) {
+    const auto dj = seq::dijkstra(g, s);
+    for (NodeId v = 0; v < 48; ++v) {
+      ASSERT_EQ(res.dist[s][v], dj.dist[v]) << s << "->" << v;
+    }
+  }
+}
+
+TEST(Stress, ApproxApspN40) {
+  const Graph g = graph::erdos_renyi(40, 0.1, {0, 12, 0.4}, 4545);
+  core::ApproxApspParams p;
+  p.eps = 0.5;
+  const auto res = core::approx_apsp(g, p);
+  EXPECT_LE(res.stats.rounds, res.implementation_bound);
+  for (NodeId s = 0; s < 40; s += 9) {
+    const auto dj = seq::dijkstra(g, s);
+    for (NodeId v = 0; v < 40; ++v) {
+      if (dj.dist[v] == graph::kInfDist) {
+        EXPECT_EQ(res.dist[s][v], graph::kInfDist);
+      } else if (dj.dist[v] == 0) {
+        EXPECT_EQ(res.dist[s][v], 0);
+      } else {
+        EXPECT_GE(res.dist[s][v], dj.dist[v]);
+        EXPECT_LE(static_cast<double>(res.dist[s][v]),
+                  1.5 * static_cast<double>(dj.dist[v]));
+      }
+    }
+  }
+}
+
+TEST(Stress, KsspLargeSourceSet) {
+  const Graph g = graph::barabasi_albert(80, 3, {0, 7, 0.3}, 4646);
+  std::vector<NodeId> sources;
+  for (NodeId v = 0; v < 80; v += 2) sources.push_back(v);
+  const graph::Weight delta = graph::max_finite_distance(g);
+  const auto res = core::pipelined_kssp_full(g, sources, delta);
+  EXPECT_LE(res.settle_round,
+            core::bounds::k_ssp_pipelined(80, sources.size(),
+                                          static_cast<std::uint64_t>(delta)));
+  for (std::size_t i = 0; i < res.sources.size(); i += 8) {
+    const auto dj = seq::dijkstra(g, res.sources[i]);
+    for (NodeId v = 0; v < 80; ++v) {
+      ASSERT_EQ(res.dist[i][v], dj.dist[v]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dapsp
