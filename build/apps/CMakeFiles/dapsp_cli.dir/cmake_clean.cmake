@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dapsp_cli.dir/dapsp_cli.cpp.o"
+  "CMakeFiles/dapsp_cli.dir/dapsp_cli.cpp.o.d"
+  "dapsp_cli"
+  "dapsp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dapsp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

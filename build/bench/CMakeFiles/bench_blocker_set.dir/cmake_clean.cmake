@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_blocker_set.dir/bench_blocker_set.cpp.o"
+  "CMakeFiles/bench_blocker_set.dir/bench_blocker_set.cpp.o.d"
+  "bench_blocker_set"
+  "bench_blocker_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_blocker_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_cssp.dir/bench_fig1_cssp.cpp.o"
+  "CMakeFiles/bench_fig1_cssp.dir/bench_fig1_cssp.cpp.o.d"
+  "bench_fig1_cssp"
+  "bench_fig1_cssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_cssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

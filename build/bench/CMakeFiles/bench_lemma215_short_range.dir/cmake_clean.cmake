@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma215_short_range.dir/bench_lemma215_short_range.cpp.o"
+  "CMakeFiles/bench_lemma215_short_range.dir/bench_lemma215_short_range.cpp.o.d"
+  "bench_lemma215_short_range"
+  "bench_lemma215_short_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma215_short_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

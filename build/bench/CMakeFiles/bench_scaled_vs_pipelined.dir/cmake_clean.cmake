@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaled_vs_pipelined.dir/bench_scaled_vs_pipelined.cpp.o"
+  "CMakeFiles/bench_scaled_vs_pipelined.dir/bench_scaled_vs_pipelined.cpp.o.d"
+  "bench_scaled_vs_pipelined"
+  "bench_scaled_vs_pipelined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaled_vs_pipelined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_scaled_vs_pipelined.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_approx_apsp.dir/bench_table1_approx_apsp.cpp.o"
+  "CMakeFiles/bench_table1_approx_apsp.dir/bench_table1_approx_apsp.cpp.o.d"
+  "bench_table1_approx_apsp"
+  "bench_table1_approx_apsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_approx_apsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

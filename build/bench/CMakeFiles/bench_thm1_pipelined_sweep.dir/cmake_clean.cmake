@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm1_pipelined_sweep.dir/bench_thm1_pipelined_sweep.cpp.o"
+  "CMakeFiles/bench_thm1_pipelined_sweep.dir/bench_thm1_pipelined_sweep.cpp.o.d"
+  "bench_thm1_pipelined_sweep"
+  "bench_thm1_pipelined_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm1_pipelined_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

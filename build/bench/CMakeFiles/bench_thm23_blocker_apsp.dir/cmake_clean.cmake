@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm23_blocker_apsp.dir/bench_thm23_blocker_apsp.cpp.o"
+  "CMakeFiles/bench_thm23_blocker_apsp.dir/bench_thm23_blocker_apsp.cpp.o.d"
+  "bench_thm23_blocker_apsp"
+  "bench_thm23_blocker_apsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm23_blocker_apsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm5_approx.dir/bench_thm5_approx.cpp.o"
+  "CMakeFiles/bench_thm5_approx.dir/bench_thm5_approx.cpp.o.d"
+  "bench_thm5_approx"
+  "bench_thm5_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm5_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dapsp_bench_harness.dir/harness.cpp.o"
+  "CMakeFiles/dapsp_bench_harness.dir/harness.cpp.o.d"
+  "libdapsp_bench_harness.a"
+  "libdapsp_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dapsp_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

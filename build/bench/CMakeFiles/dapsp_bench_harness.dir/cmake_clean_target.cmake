@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdapsp_bench_harness.a"
+)

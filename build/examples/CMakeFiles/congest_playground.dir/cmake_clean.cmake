@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congest_playground.dir/congest_playground.cpp.o"
+  "CMakeFiles/congest_playground.dir/congest_playground.cpp.o.d"
+  "congest_playground"
+  "congest_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congest_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

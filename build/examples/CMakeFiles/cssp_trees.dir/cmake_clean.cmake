@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cssp_trees.dir/cssp_trees.cpp.o"
+  "CMakeFiles/cssp_trees.dir/cssp_trees.cpp.o.d"
+  "cssp_trees"
+  "cssp_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cssp_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

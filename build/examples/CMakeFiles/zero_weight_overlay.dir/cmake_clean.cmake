@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zero_weight_overlay.dir/zero_weight_overlay.cpp.o"
+  "CMakeFiles/zero_weight_overlay.dir/zero_weight_overlay.cpp.o.d"
+  "zero_weight_overlay"
+  "zero_weight_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zero_weight_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

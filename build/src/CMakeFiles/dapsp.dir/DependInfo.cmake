@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/bf_apsp.cpp" "src/CMakeFiles/dapsp.dir/baseline/bf_apsp.cpp.o" "gcc" "src/CMakeFiles/dapsp.dir/baseline/bf_apsp.cpp.o.d"
+  "/root/repo/src/baseline/unweighted_apsp.cpp" "src/CMakeFiles/dapsp.dir/baseline/unweighted_apsp.cpp.o" "gcc" "src/CMakeFiles/dapsp.dir/baseline/unweighted_apsp.cpp.o.d"
+  "/root/repo/src/cli/commands.cpp" "src/CMakeFiles/dapsp.dir/cli/commands.cpp.o" "gcc" "src/CMakeFiles/dapsp.dir/cli/commands.cpp.o.d"
+  "/root/repo/src/cli/options.cpp" "src/CMakeFiles/dapsp.dir/cli/options.cpp.o" "gcc" "src/CMakeFiles/dapsp.dir/cli/options.cpp.o.d"
+  "/root/repo/src/congest/engine.cpp" "src/CMakeFiles/dapsp.dir/congest/engine.cpp.o" "gcc" "src/CMakeFiles/dapsp.dir/congest/engine.cpp.o.d"
+  "/root/repo/src/congest/metrics.cpp" "src/CMakeFiles/dapsp.dir/congest/metrics.cpp.o" "gcc" "src/CMakeFiles/dapsp.dir/congest/metrics.cpp.o.d"
+  "/root/repo/src/congest/multiplex.cpp" "src/CMakeFiles/dapsp.dir/congest/multiplex.cpp.o" "gcc" "src/CMakeFiles/dapsp.dir/congest/multiplex.cpp.o.d"
+  "/root/repo/src/congest/primitives.cpp" "src/CMakeFiles/dapsp.dir/congest/primitives.cpp.o" "gcc" "src/CMakeFiles/dapsp.dir/congest/primitives.cpp.o.d"
+  "/root/repo/src/core/approx_apsp.cpp" "src/CMakeFiles/dapsp.dir/core/approx_apsp.cpp.o" "gcc" "src/CMakeFiles/dapsp.dir/core/approx_apsp.cpp.o.d"
+  "/root/repo/src/core/blocker.cpp" "src/CMakeFiles/dapsp.dir/core/blocker.cpp.o" "gcc" "src/CMakeFiles/dapsp.dir/core/blocker.cpp.o.d"
+  "/root/repo/src/core/blocker_apsp.cpp" "src/CMakeFiles/dapsp.dir/core/blocker_apsp.cpp.o" "gcc" "src/CMakeFiles/dapsp.dir/core/blocker_apsp.cpp.o.d"
+  "/root/repo/src/core/bounds.cpp" "src/CMakeFiles/dapsp.dir/core/bounds.cpp.o" "gcc" "src/CMakeFiles/dapsp.dir/core/bounds.cpp.o.d"
+  "/root/repo/src/core/cssp.cpp" "src/CMakeFiles/dapsp.dir/core/cssp.cpp.o" "gcc" "src/CMakeFiles/dapsp.dir/core/cssp.cpp.o.d"
+  "/root/repo/src/core/key.cpp" "src/CMakeFiles/dapsp.dir/core/key.cpp.o" "gcc" "src/CMakeFiles/dapsp.dir/core/key.cpp.o.d"
+  "/root/repo/src/core/paths.cpp" "src/CMakeFiles/dapsp.dir/core/paths.cpp.o" "gcc" "src/CMakeFiles/dapsp.dir/core/paths.cpp.o.d"
+  "/root/repo/src/core/pipelined_ssp.cpp" "src/CMakeFiles/dapsp.dir/core/pipelined_ssp.cpp.o" "gcc" "src/CMakeFiles/dapsp.dir/core/pipelined_ssp.cpp.o.d"
+  "/root/repo/src/core/routing.cpp" "src/CMakeFiles/dapsp.dir/core/routing.cpp.o" "gcc" "src/CMakeFiles/dapsp.dir/core/routing.cpp.o.d"
+  "/root/repo/src/core/scaled_apsp.cpp" "src/CMakeFiles/dapsp.dir/core/scaled_apsp.cpp.o" "gcc" "src/CMakeFiles/dapsp.dir/core/scaled_apsp.cpp.o.d"
+  "/root/repo/src/core/short_range.cpp" "src/CMakeFiles/dapsp.dir/core/short_range.cpp.o" "gcc" "src/CMakeFiles/dapsp.dir/core/short_range.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/dapsp.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/dapsp.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/dapsp.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/dapsp.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/dapsp.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/dapsp.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/properties.cpp" "src/CMakeFiles/dapsp.dir/graph/properties.cpp.o" "gcc" "src/CMakeFiles/dapsp.dir/graph/properties.cpp.o.d"
+  "/root/repo/src/seq/bellman_ford.cpp" "src/CMakeFiles/dapsp.dir/seq/bellman_ford.cpp.o" "gcc" "src/CMakeFiles/dapsp.dir/seq/bellman_ford.cpp.o.d"
+  "/root/repo/src/seq/dijkstra.cpp" "src/CMakeFiles/dapsp.dir/seq/dijkstra.cpp.o" "gcc" "src/CMakeFiles/dapsp.dir/seq/dijkstra.cpp.o.d"
+  "/root/repo/src/seq/hop_limited.cpp" "src/CMakeFiles/dapsp.dir/seq/hop_limited.cpp.o" "gcc" "src/CMakeFiles/dapsp.dir/seq/hop_limited.cpp.o.d"
+  "/root/repo/src/seq/zero_reach.cpp" "src/CMakeFiles/dapsp.dir/seq/zero_reach.cpp.o" "gcc" "src/CMakeFiles/dapsp.dir/seq/zero_reach.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/dapsp.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/dapsp.dir/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for dapsp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_apsp_test.dir/approx_apsp_test.cpp.o"
+  "CMakeFiles/approx_apsp_test.dir/approx_apsp_test.cpp.o.d"
+  "approx_apsp_test"
+  "approx_apsp_test.pdb"
+  "approx_apsp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_apsp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

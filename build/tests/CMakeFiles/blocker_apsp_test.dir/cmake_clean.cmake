@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocker_apsp_test.dir/blocker_apsp_test.cpp.o"
+  "CMakeFiles/blocker_apsp_test.dir/blocker_apsp_test.cpp.o.d"
+  "blocker_apsp_test"
+  "blocker_apsp_test.pdb"
+  "blocker_apsp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocker_apsp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocker_test.dir/blocker_test.cpp.o"
+  "CMakeFiles/blocker_test.dir/blocker_test.cpp.o.d"
+  "blocker_test"
+  "blocker_test.pdb"
+  "blocker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

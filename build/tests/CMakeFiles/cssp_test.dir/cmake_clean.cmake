@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cssp_test.dir/cssp_test.cpp.o"
+  "CMakeFiles/cssp_test.dir/cssp_test.cpp.o.d"
+  "cssp_test"
+  "cssp_test.pdb"
+  "cssp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cssp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/short_range_test.dir/short_range_test.cpp.o"
+  "CMakeFiles/short_range_test.dir/short_range_test.cpp.o.d"
+  "short_range_test"
+  "short_range_test.pdb"
+  "short_range_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/short_range_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

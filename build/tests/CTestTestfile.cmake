@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/seq_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/key_test[1]_include.cmake")
+include("/root/repo/build/tests/pipelined_test[1]_include.cmake")
+include("/root/repo/build/tests/short_range_test[1]_include.cmake")
+include("/root/repo/build/tests/cssp_test[1]_include.cmake")
+include("/root/repo/build/tests/blocker_test[1]_include.cmake")
+include("/root/repo/build/tests/blocker_apsp_test[1]_include.cmake")
+include("/root/repo/build/tests/approx_apsp_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/bounds_test[1]_include.cmake")
+include("/root/repo/build/tests/paths_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/conformance_test[1]_include.cmake")
+include("/root/repo/build/tests/multiplex_test[1]_include.cmake")
+include("/root/repo/build/tests/cli_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/routing_test[1]_include.cmake")
+include("/root/repo/build/tests/primitives_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
