@@ -1,5 +1,7 @@
 // Thin entry point for the dapsp command-line tool; all logic lives in
-// src/cli/ so it is unit-testable.
+// src/cli/ so it is unit-testable.  Covers graph generation, the paper's
+// APSP/k-SSP algorithms, and the distance-oracle service (`serve` reads
+// query lines from stdin, `query` runs a one-shot batch).
 #include <iostream>
 #include <vector>
 

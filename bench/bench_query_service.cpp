@@ -1,0 +1,149 @@
+// Query-service throughput (google-benchmark): the serving-side numbers the
+// distance-oracle subsystem exists for.  Reports queries/sec
+// (items_per_second) for
+//   * raw oracle point lookups (the flat-matrix floor),
+//   * batched point lookups through the full service (1 vs 8 threads,
+//     including id validation and metrics),
+//   * full-path reconstruction, cold cache (capacity 0, every query
+//     reconstructs) vs warm cache (pairs repeat, LRU serves them),
+//   * end-to-end oracle builds per solver (the amortized cost of standing a
+//     service up).
+// The n=256 oracle is built from the sequential reference sweep so the
+// binary is fast from a cold build; the build benches run the CONGEST
+// solvers themselves at small n.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "service/query_service.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dapsp;
+using service::DistanceOracle;
+using service::Query;
+using service::QueryService;
+using service::QueryServiceConfig;
+using service::QueryType;
+
+constexpr graph::NodeId kServeN = 256;
+
+const graph::Graph& serve_graph() {
+  static const graph::Graph g =
+      graph::erdos_renyi(kServeN, 6.0 / kServeN, {0, 8, 0.2}, 42);
+  return g;
+}
+
+const DistanceOracle& serve_oracle() {
+  static const DistanceOracle o = service::build_oracle(
+      serve_graph(), {service::Solver::kReference, 0, 0.5});
+  return o;
+}
+
+std::vector<Query> random_queries(QueryType type, std::size_t count,
+                                  std::size_t distinct_pairs,
+                                  std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<Query> pool(distinct_pairs);
+  for (auto& q : pool) {
+    q.type = type;
+    q.u = static_cast<graph::NodeId>(rng.below(kServeN));
+    q.v = static_cast<graph::NodeId>(rng.below(kServeN));
+  }
+  std::vector<Query> out(count);
+  for (auto& q : out) q = pool[rng.below(pool.size())];
+  return out;
+}
+
+/// Raw oracle reads: the floor every service-layer number is compared to.
+void BM_OracleDistRaw(benchmark::State& state) {
+  const DistanceOracle& o = serve_oracle();
+  util::Xoshiro256 rng(1);
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs(4096);
+  for (auto& [u, v] : pairs) {
+    u = static_cast<graph::NodeId>(rng.below(kServeN));
+    v = static_cast<graph::NodeId>(rng.below(kServeN));
+  }
+  graph::Weight acc = 0;
+  for (auto _ : state) {
+    for (const auto& [u, v] : pairs) acc += o.dist(u, v);
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(pairs.size()));
+}
+BENCHMARK(BM_OracleDistRaw);
+
+/// Batched point lookups through the service; Arg = thread count.
+void BM_ServicePointLookup(benchmark::State& state) {
+  QueryServiceConfig cfg;
+  cfg.threads = static_cast<std::size_t>(state.range(0));
+  const QueryService svc(serve_oracle(), cfg);
+  const auto batch = random_queries(QueryType::kDist, 1 << 16, 1 << 16, 2);
+  for (auto _ : state) {
+    auto results = svc.query_batch(batch);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_ServicePointLookup)->Arg(1)->Arg(8);
+
+/// Path reconstruction with the cache disabled: every query walks next hops.
+void BM_ServicePathCold(benchmark::State& state) {
+  QueryServiceConfig cfg;
+  cfg.threads = static_cast<std::size_t>(state.range(0));
+  cfg.path_cache_capacity = 0;
+  const QueryService svc(serve_oracle(), cfg);
+  const auto batch = random_queries(QueryType::kPath, 1 << 14, 1 << 14, 3);
+  for (auto _ : state) {
+    auto results = svc.query_batch(batch);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_ServicePathCold)->Arg(1)->Arg(8);
+
+/// Path reconstruction when queries repeat over 1k pairs and the LRU holds
+/// them all: steady state is pure cache hits.
+void BM_ServicePathWarm(benchmark::State& state) {
+  QueryServiceConfig cfg;
+  cfg.threads = static_cast<std::size_t>(state.range(0));
+  cfg.path_cache_capacity = 1 << 12;
+  const QueryService svc(serve_oracle(), cfg);
+  const auto batch = random_queries(QueryType::kPath, 1 << 14, 1 << 10, 4);
+  for (auto _ : state) {
+    auto results = svc.query_batch(batch);
+    benchmark::DoNotOptimize(results.data());
+  }
+  const auto st = svc.stats();
+  state.counters["hit_rate"] = st.cache_hit_rate();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_ServicePathWarm)->Arg(1)->Arg(8);
+
+/// End-to-end oracle builds: solver run + matrix flatten + next-hop table.
+void BM_OracleBuild(benchmark::State& state) {
+  const auto solver = static_cast<service::Solver>(state.range(0));
+  const graph::Graph g = graph::erdos_renyi(32, 0.15, {0, 6, 0.2}, 7);
+  for (auto _ : state) {
+    auto oracle = service::build_oracle(g, {solver, 0, 0.5});
+    benchmark::DoNotOptimize(oracle.node_count());
+    state.counters["rounds"] =
+        static_cast<double>(oracle.build_stats().rounds);
+  }
+}
+BENCHMARK(BM_OracleBuild)
+    ->Arg(static_cast<int>(service::Solver::kPipelined))
+    ->Arg(static_cast<int>(service::Solver::kBlocker))
+    ->Arg(static_cast<int>(service::Solver::kScaled))
+    ->Arg(static_cast<int>(service::Solver::kApprox))
+    ->Arg(static_cast<int>(service::Solver::kReference));
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,11 +1,54 @@
 #!/usr/bin/env sh
 # Build, test, and regenerate every paper table/figure, capturing the
-# reference outputs the repository ships (test_output.txt, bench_output.txt).
+# reference outputs the repository ships (test_output.txt, bench_output.txt)
+# plus machine-readable results: each benchmark binary writes its full
+# google-benchmark JSON to BENCH_<name>.json, and BENCH_SUMMARY.json indexes
+# them (status + wall seconds per bench, test totals, git revision) so CI and
+# scripts can diff runs without scraping the text logs.
 set -e
 cd "$(dirname "$0")/.."
 
 cmake -B build -G Ninja
 cmake --build build
+
+test_status=ok
 ctest --test-dir build 2>&1 | tee test_output.txt
-for b in build/bench/bench_*; do "$b"; done 2>&1 | tee bench_output.txt
-echo "done: test_output.txt, bench_output.txt"
+[ "$(sed -n 's/.*tests passed, \([0-9]*\) tests failed.*/\1/p' test_output.txt)" = "0" ] || test_status=fail
+tests_total=$(sed -n 's/.*failed out of \([0-9]*\).*/\1/p' test_output.txt)
+
+: > bench_output.txt
+bench_status=ok
+bench_entries=""
+for b in build/bench/bench_*; do
+  [ -x "$b" ] || continue
+  name=$(basename "$b")
+  start=$(date +%s)
+  # No pipe here: a pipeline would report tee's status, not the bench's.
+  if "$b" --benchmark_out="BENCH_${name}.json" --benchmark_out_format=json \
+      > .bench_run.tmp 2>&1; then
+    status=ok
+  else
+    status=fail
+    bench_status=fail
+  fi
+  tee -a bench_output.txt < .bench_run.tmp
+  rm -f .bench_run.tmp
+  secs=$(( $(date +%s) - start ))
+  entry="    {\"name\": \"${name}\", \"status\": \"${status}\", \"wall_seconds\": ${secs}, \"json\": \"BENCH_${name}.json\"}"
+  bench_entries="${bench_entries}${bench_entries:+,
+}${entry}"
+done
+
+cat > BENCH_SUMMARY.json <<EOF
+{
+  "generated_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "git_rev": "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)",
+  "tests": {"status": "${test_status}", "total": ${tests_total:-0}},
+  "benchmarks": [
+${bench_entries}
+  ]
+}
+EOF
+
+echo "done: test_output.txt, bench_output.txt, BENCH_SUMMARY.json, BENCH_*.json"
+[ "$test_status" = ok ] && [ "$bench_status" = ok ]

@@ -1,5 +1,6 @@
 #include "cli/commands.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <iomanip>
@@ -14,6 +15,7 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/properties.hpp"
+#include "service/query_service.hpp"
 
 namespace dapsp::cli {
 
@@ -232,6 +234,88 @@ int cmd_gen(const Options& opt, const Graph& g, std::ostream& out) {
   return 0;
 }
 
+/// Builds the oracle + query service for serve/query from the options.
+service::QueryService make_service(const Options& opt, const Graph& g,
+                                   std::ostream& out, double* build_ms) {
+  service::OracleBuildOptions b;
+  b.solver = service::parse_solver(opt.solver);
+  b.h = opt.h;
+  b.eps = opt.eps;
+  const auto t0 = std::chrono::steady_clock::now();
+  service::DistanceOracle oracle = service::build_oracle(g, b);
+  *build_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+  if (opt.format != Format::kJson) {
+    out << "oracle: n=" << oracle.node_count() << " solver=["
+        << oracle.solver_label() << "]"
+        << " exact=" << (oracle.exact() ? "yes" : "no")
+        << " paths=" << (oracle.has_paths() ? "yes" : "no")
+        << " mem=" << (oracle.memory_bytes() / 1024) << "KiB"
+        << " build=" << std::fixed << std::setprecision(1) << *build_ms
+        << "ms rounds=" << oracle.build_stats().rounds << "\n";
+    out.unsetf(std::ios::fixed);
+  }
+  service::QueryServiceConfig cfg;
+  cfg.threads = opt.threads;
+  cfg.path_cache_capacity = opt.cache_capacity;
+  return service::QueryService(std::move(oracle), cfg);
+}
+
+int cmd_serve(const Options& opt, const Graph& g, std::ostream& out) {
+  double build_ms = 0;
+  const service::QueryService svc = make_service(opt, g, out, &build_ms);
+  std::ifstream file;
+  if (opt.queries_file) {
+    file.open(*opt.queries_file);
+    if (!file) throw std::runtime_error("cannot open " + *opt.queries_file);
+  }
+  std::istream& in = opt.queries_file ? static_cast<std::istream&>(file)
+                                      : std::cin;
+  const int malformed =
+      svc.serve_stream(in, out, opt.format == Format::kJson);
+  if (!opt.quiet && opt.format != Format::kJson) {
+    out << svc.stats().summary() << "\n";
+  }
+  return malformed == 0 ? 0 : 1;
+}
+
+int cmd_query(const Options& opt, const Graph& g, std::ostream& out) {
+  double build_ms = 0;
+  const service::QueryService svc = make_service(opt, g, out, &build_ms);
+  // Collect the batch: every --q, then every line of --queries.
+  std::vector<std::string> lines = opt.query_strings;
+  if (opt.queries_file) {
+    std::ifstream file(*opt.queries_file);
+    if (!file) throw std::runtime_error("cannot open " + *opt.queries_file);
+    std::string line;
+    while (std::getline(file, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      lines.push_back(line);
+    }
+  }
+  std::vector<service::Query> batch;
+  batch.reserve(lines.size());
+  for (const std::string& line : lines) {
+    std::string error;
+    const auto q = service::QueryService::parse_query(line, &error);
+    if (!q) throw std::invalid_argument("bad query '" + line + "': " + error);
+    batch.push_back(*q);
+  }
+  const auto results = svc.query_batch(batch);
+  for (const auto& r : results) {
+    if (opt.format == Format::kJson) {
+      service::QueryService::write_result_json(r, out);
+    } else {
+      service::QueryService::write_result_text(r, out);
+    }
+  }
+  if (!opt.quiet && opt.format != Format::kJson) {
+    out << svc.stats().summary() << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 Graph make_input_graph(const Options& opt) {
@@ -273,6 +357,10 @@ int run_command(const Options& opt, std::ostream& out, std::ostream& err) {
       case Command::kApprox:
         emit(opt, run_approx(opt, g), out);
         return 0;
+      case Command::kServe:
+        return cmd_serve(opt, g, out);
+      case Command::kQuery:
+        return cmd_query(opt, g, out);
       case Command::kHelp:
         break;
     }

@@ -55,6 +55,8 @@ Command parse_command(const std::string& word) {
   if (word == "apsp") return Command::kApsp;
   if (word == "kssp") return Command::kKssp;
   if (word == "approx") return Command::kApprox;
+  if (word == "serve") return Command::kServe;
+  if (word == "query") return Command::kQuery;
   if (word == "help" || word == "--help" || word == "-h") return Command::kHelp;
   fail("unknown command '" + word + "'");
 }
@@ -109,6 +111,20 @@ Options parse_options(const std::vector<std::string>& args) {
       opt.h = static_cast<std::uint32_t>(parse_int(a, next_value(a)));
     } else if (a == "--eps") {
       opt.eps = parse_double(a, next_value(a));
+    } else if (a == "--solver") {
+      opt.solver = next_value(a);
+    } else if (a == "--queries") {
+      opt.queries_file = next_value(a);
+    } else if (a == "--q") {
+      opt.query_strings.push_back(next_value(a));
+    } else if (a == "--threads") {
+      const std::int64_t v = parse_int(a, next_value(a));
+      if (v < 0) fail("--threads must be >= 0");
+      opt.threads = static_cast<std::size_t>(v);
+    } else if (a == "--cache") {
+      const std::int64_t v = parse_int(a, next_value(a));
+      if (v < 0) fail("--cache must be >= 0");
+      opt.cache_capacity = static_cast<std::size_t>(v);
     } else if (a == "--format") {
       const std::string v = next_value(a);
       if (v == "table") {
@@ -134,6 +150,10 @@ Options parse_options(const std::vector<std::string>& args) {
   if (opt.command == Command::kKssp && opt.sources.empty()) {
     fail("kssp needs --sources");
   }
+  if (opt.command == Command::kQuery && opt.query_strings.empty() &&
+      !opt.queries_file) {
+    fail("query needs --q and/or --queries");
+  }
   if (opt.eps <= 0) fail("--eps must be positive");
   if (opt.wmin < 0 || opt.wmax < opt.wmin) fail("bad weight range");
   return opt;
@@ -150,6 +170,9 @@ commands:
   apsp     exact all-pairs shortest paths
   kssp     exact k-source shortest paths (needs --sources)
   approx   (1+eps)-approximate APSP
+  serve    build a distance oracle, then answer query lines from stdin
+           (or --queries FILE) until EOF/quit; "stats" prints counters
+  query    build a distance oracle, run a one-shot query batch (--q/--queries)
   help     this text
 
 input (choose one):
@@ -165,6 +188,14 @@ algorithm:
   --sources 0,3,5               k-SSP sources
   --h H                         hop parameter for blocker        [auto]
   --eps E                       approximation quality            [0.5]
+
+service (serve/query; query lines are "dist U V" | "next U V" | "path U V"):
+  --solver S               pipelined|blocker|scaled|approx|reference
+                           oracle build algorithm                 [pipelined]
+  --q "path 0 5"           add one query (repeatable)
+  --queries FILE           read query lines from FILE
+  --threads N              batch query workers (0 = hardware)     [0]
+  --cache N                path-cache capacity (0 disables)       [4096]
 
 output:
   --format table|json|csv  result format                         [table]

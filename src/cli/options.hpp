@@ -21,6 +21,8 @@ enum class Command {
   kApsp,     ///< exact APSP (pipelined | blocker | bf)
   kKssp,     ///< exact k-SSP from --sources
   kApprox,   ///< (1+eps)-approximate APSP
+  kServe,    ///< build a distance oracle, answer queries from stdin/--queries
+  kQuery,    ///< build a distance oracle, run a one-shot query batch
   kHelp,
 };
 
@@ -46,6 +48,13 @@ struct Options {
   std::vector<graph::NodeId> sources;
   std::uint32_t h = 0;  // 0 = auto
   double eps = 0.5;
+
+  // Distance-oracle service (serve / query commands).
+  std::string solver = "pipelined";  // pipelined|blocker|scaled|approx|reference
+  std::optional<std::string> queries_file;  // protocol lines for serve/query
+  std::vector<std::string> query_strings;   // repeated --q "path 0 5"
+  std::size_t threads = 0;                  // batch workers; 0 = hardware
+  std::size_t cache_capacity = 4096;        // cached paths; 0 disables
 
   // Output.
   Format format = Format::kTable;

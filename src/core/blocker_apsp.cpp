@@ -19,17 +19,32 @@ using graph::kNoNode;
 
 namespace {
 
-constexpr std::uint32_t kTagFinalDist = 70;  // {source_index, dist}
+constexpr std::uint32_t kTagFinalDist = 70;  // {source_index, hops, dist}
 
-/// One k-round phase: round i+1 broadcasts this node's final distance from
-/// source i; receivers re-derive their shortest-path parent as the smallest
-/// sender whose distance plus the connecting arc matches their own.
+/// Parent fix-up as pipelined per-source BFS waves over *tight* edges
+/// (arcs p->v with dist(x,p) + w(p,v) = dist(x,v)).
+///
+/// Re-deriving parents from distance equality alone is wrong with
+/// zero-weight edges: two nodes at equal distance joined by a zero edge
+/// satisfy each other's equation and can adopt each other (a parent 2-cycle
+/// that never reaches the source).  The wave restores a well-founded order:
+/// source i announces (i, hop 0, dist 0) in round i+1; a node that hears a
+/// tight predecessor settles with hop+1, adopting the lowest-hop (then
+/// smallest-id) announcer of that round, and relays next round.  First
+/// arrival is minimal hop count, so parents are exactly the hop-minimal /
+/// smallest-id convention of the sequential oracle and chains must reach
+/// the source.  Settling happens once per (node, source): k + max-hops + 1
+/// rounds total, per-link congestion up to the number of waves crossing a
+/// link in one round (recorded by the engine, never hidden).
 class ParentFixupProtocol final : public congest::Protocol {
  public:
   ParentFixupProtocol(const Graph& g, NodeId self,
                       std::vector<Weight> final_dist,
+                      std::int32_t self_source_index,
                       std::vector<NodeId>* parent_out)
-      : dist_(std::move(final_dist)), parent_(parent_out) {
+      : dist_(std::move(final_dist)),
+        self_source_(self_source_index),
+        parent_(parent_out) {
     for (const auto& e : g.in_edges(self)) {
       in_weight_.emplace_back(e.from, e.weight);
     }
@@ -37,17 +52,25 @@ class ParentFixupProtocol final : public congest::Protocol {
         std::unique(in_weight_.begin(), in_weight_.end(),
                     [](const auto& a, const auto& b) { return a.first == b.first; }),
         in_weight_.end());
+    settled_.assign(dist_.size(), false);
+    hop_.assign(dist_.size(), 0);
   }
 
   void send_phase(congest::Context& ctx) override {
     const congest::Round r = ctx.round();
     last_round_ = r;
-    if (r == 0 || r > dist_.size()) return;
-    const std::size_t i = static_cast<std::size_t>(r) - 1;
-    if (dist_[i] != kInfDist) {
-      ctx.broadcast(congest::Message(
-          kTagFinalDist, {static_cast<std::int64_t>(i), dist_[i]}));
+    if (self_source_ >= 0 &&
+        r == static_cast<congest::Round>(self_source_) + 1) {
+      const auto i = static_cast<std::size_t>(self_source_);
+      settled_[i] = true;
+      out_.push_back(i);
     }
+    for (const std::size_t i : out_) {
+      ctx.broadcast(congest::Message(
+          kTagFinalDist, {static_cast<std::int64_t>(i),
+                          static_cast<std::int64_t>(hop_[i]), dist_[i]}));
+    }
+    out_.clear();
   }
 
   void receive_phase(congest::Context& ctx) override {
@@ -58,20 +81,42 @@ class ParentFixupProtocol final : public congest::Protocol {
           [](const auto& p, NodeId v) { return p.first < v; });
       if (it == in_weight_.end() || it->first != env.from) continue;
       const auto i = static_cast<std::size_t>(env.msg.f[0]);
-      if (dist_[i] == kInfDist) continue;
-      if (env.msg.f[1] + it->second == dist_[i] &&
-          ((*parent_)[i] == graph::kNoNode || env.from < (*parent_)[i])) {
+      if (settled_[i] || dist_[i] == kInfDist) continue;
+      if (env.msg.f[2] + it->second != dist_[i]) continue;  // not tight
+      const auto hop = static_cast<std::uint32_t>(env.msg.f[1]) + 1;
+      const NodeId cur = (*parent_)[i];
+      if (cur == graph::kNoNode || hop < hop_[i] ||
+          (hop == hop_[i] && env.from < cur)) {
         (*parent_)[i] = env.from;
+        hop_[i] = hop;
       }
+      touched_.push_back(i);
     }
+    // Everything that received a tight announcement this round settles now
+    // and relays next round.
+    for (const std::size_t i : touched_) {
+      if (settled_[i]) continue;
+      settled_[i] = true;
+      out_.push_back(i);
+    }
+    touched_.clear();
   }
 
-  bool quiescent() const override { return last_round_ >= dist_.size(); }
+  bool quiescent() const override {
+    return out_.empty() &&
+           (self_source_ < 0 ||
+            last_round_ >= static_cast<congest::Round>(self_source_) + 1);
+  }
 
  private:
   std::vector<Weight> dist_;
+  std::int32_t self_source_;
   std::vector<NodeId>* parent_;
   std::vector<std::pair<NodeId, Weight>> in_weight_;
+  std::vector<bool> settled_;
+  std::vector<std::uint32_t> hop_;
+  std::vector<std::size_t> out_;      // settled last round, to relay
+  std::vector<std::size_t> touched_;  // sources heard this round
   congest::Round last_round_ = 0;
 };
 
@@ -80,6 +125,10 @@ class ParentFixupProtocol final : public congest::Protocol {
 RunStats run_parent_fixup(const Graph& g, BlockerApspResult& res) {
   const NodeId n = g.node_count();
   const std::size_t k = res.sources.size();
+  std::vector<std::int32_t> source_of(n, -1);
+  for (std::size_t i = 0; i < k; ++i) {
+    source_of[res.sources[i]] = static_cast<std::int32_t>(i);
+  }
   std::vector<std::vector<NodeId>> parents(
       n, std::vector<NodeId>(k, graph::kNoNode));
   std::vector<std::unique_ptr<congest::Protocol>> procs;
@@ -88,10 +137,10 @@ RunStats run_parent_fixup(const Graph& g, BlockerApspResult& res) {
     std::vector<Weight> dist(k);
     for (std::size_t i = 0; i < k; ++i) dist[i] = res.dist[i][v];
     procs.push_back(std::make_unique<ParentFixupProtocol>(
-        g, v, std::move(dist), &parents[v]));
+        g, v, std::move(dist), source_of[v], &parents[v]));
   }
   congest::EngineOptions opt;
-  opt.max_rounds = static_cast<congest::Round>(k) + 2;
+  opt.max_rounds = static_cast<congest::Round>(k) + n + 2;
   congest::Engine engine(g, std::move(procs), opt);
   const RunStats stats = engine.run();
   for (NodeId v = 0; v < n; ++v) {

@@ -1,0 +1,132 @@
+// Immutable in-memory distance oracle built from a finished APSP run.
+//
+// The paper's algorithms end with every node holding per-source distances
+// and last-edge (parent) pointers; until now the library printed those and
+// threw them away.  `DistanceOracle` is the consumer-facing half: it
+// flattens a full n-source run into a row-major distance matrix plus a
+// next-hop table and answers dist / next-hop / full-path queries in O(1) /
+// O(1) / O(path length) with no further graph traversal.  Oracles are
+// immutable after construction, so any number of threads may query one
+// concurrently without synchronization (the query service layers caching
+// and metrics on top, see service/query_service.hpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "congest/metrics.hpp"
+#include "graph/graph.hpp"
+
+namespace dapsp::service {
+
+using graph::NodeId;
+using graph::Weight;
+
+/// Which algorithm the enum-dispatched factory runs to populate the oracle.
+enum class Solver {
+  kPipelined,  ///< Algorithm 1 APSP (Thm I.1 ii)
+  kBlocker,    ///< Algorithm 3 APSP (Thm I.2/I.3)
+  kScaled,     ///< multiplexed per-source Algorithm 2 (Sec. II-C)
+  kApprox,     ///< (1+eps)-approx APSP (Thm I.5); distance-only oracle
+  kReference,  ///< sequential Dijkstra sweep -- not a CONGEST run; the fast
+               ///< local builder for serving large graphs and for tests
+};
+
+const char* solver_name(Solver s);
+
+/// Parses "pipelined"/"blocker"/"scaled"/"approx"/"reference"; throws
+/// std::invalid_argument otherwise.
+Solver parse_solver(const std::string& word);
+
+struct OracleBuildOptions {
+  Solver solver = Solver::kPipelined;
+  std::uint32_t h = 0;  ///< blocker hop parameter (0 = theorem balance)
+  double eps = 0.5;     ///< approx quality
+};
+
+/// Provenance attached by the builders.
+struct OracleMeta {
+  std::string label;         ///< human-readable solver description
+  bool exact = true;         ///< false for (1+eps)-approximate distances
+  congest::RunStats stats;   ///< the producing run (zeroed for kReference)
+};
+
+class DistanceOracle {
+ public:
+  DistanceOracle() = default;
+
+  NodeId node_count() const noexcept { return n_; }
+  /// False when distances are (1+eps)-approximate.
+  bool exact() const noexcept { return exact_; }
+  /// True when a next-hop table exists (every exact solver).  Approximate
+  /// distances cannot certify which edges lie on shortest paths, so the
+  /// approx oracle is distance-only.
+  bool has_paths() const noexcept { return !next_.empty(); }
+  const std::string& solver_label() const noexcept { return meta_.label; }
+  /// Stats of the CONGEST run that produced the matrices (rounds, messages).
+  const congest::RunStats& build_stats() const noexcept { return meta_.stats; }
+  /// Bytes held by the distance + next-hop tables.
+  std::size_t memory_bytes() const noexcept;
+
+  /// Distance u -> v (kInfDist when unreachable).  Unchecked hot path: ids
+  /// must be < node_count(); the query service validates untrusted input.
+  Weight dist(NodeId u, NodeId v) const noexcept {
+    return dist_[flat(u, v)];
+  }
+
+  /// First hop on a shortest path u -> v; kNoNode when u == v, v is
+  /// unreachable, or the oracle is distance-only.  Unchecked ids.
+  NodeId next_hop(NodeId u, NodeId v) const noexcept {
+    return next_.empty() ? graph::kNoNode : next_[flat(u, v)];
+  }
+
+  /// Full node sequence u ... v following next hops; nullopt when v is
+  /// unreachable, the oracle is distance-only, or ids are out of range.
+  /// For u == v returns {u}.
+  std::optional<std::vector<NodeId>> path(NodeId u, NodeId v) const;
+
+ private:
+  friend DistanceOracle make_oracle(
+      const std::vector<std::vector<Weight>>& dist,
+      const std::vector<std::vector<NodeId>>& parent, OracleMeta meta);
+  friend DistanceOracle make_oracle_from_distances(
+      const graph::Graph& g, const std::vector<std::vector<Weight>>& dist,
+      const std::vector<std::vector<std::uint32_t>>& hops, OracleMeta meta);
+
+  std::size_t flat(NodeId u, NodeId v) const noexcept {
+    return static_cast<std::size_t>(u) * n_ + v;
+  }
+
+  NodeId n_ = 0;
+  bool exact_ = true;
+  OracleMeta meta_;
+  std::vector<Weight> dist_;  // row-major [u*n + v]
+  std::vector<NodeId> next_;  // row-major; empty for distance-only oracles
+};
+
+/// Flattens a full APSP result (dist[s][v] with sources 0..n-1 in order)
+/// into an oracle.  `parent` (parent[s][v] = predecessor of v on the s-path)
+/// supplies the next-hop table; pass an empty vector for a distance-only
+/// oracle.  Throws std::logic_error on non-square input or parent chains
+/// that do not reach their source (corrupt run).
+DistanceOracle make_oracle(const std::vector<std::vector<Weight>>& dist,
+                           const std::vector<std::vector<NodeId>>& parent,
+                           OracleMeta meta);
+
+/// Same, deriving next hops from the distance matrix over g's arcs: the
+/// first hop toward v is the out-neighbor w with w(u,w) + dist(w,v) =
+/// dist(u,v), ties broken by fewer remaining hops (progress across
+/// zero-weight plateaus) then smaller id.  Used for solvers that report
+/// distances + hop counts but no parent pointers (scaled).
+DistanceOracle make_oracle_from_distances(
+    const graph::Graph& g, const std::vector<std::vector<Weight>>& dist,
+    const std::vector<std::vector<std::uint32_t>>& hops, OracleMeta meta);
+
+/// Enum-dispatched factory: runs the chosen solver on g and builds the
+/// oracle from its output.
+DistanceOracle build_oracle(const graph::Graph& g,
+                            const OracleBuildOptions& opts = {});
+
+}  // namespace dapsp::service

@@ -1,0 +1,411 @@
+#include "service/query_service.hpp"
+
+#include <atomic>
+#include <charconv>
+#include <chrono>
+#include <list>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+namespace dapsp::service {
+
+using graph::kInfDist;
+using graph::kNoNode;
+
+// ---------------------------------------------------------------------------
+// Sharded LRU cache for reconstructed paths.
+
+class QueryService::PathCache {
+ public:
+  PathCache(std::size_t capacity, std::size_t shards)
+      : shards_(std::max<std::size_t>(1, shards)),
+        per_shard_capacity_(std::max<std::size_t>(
+            1, (capacity + shards_.size() - 1) / shards_.size())) {}
+
+  bool lookup(std::uint64_t key, std::vector<NodeId>* out) {
+    Shard& s = shard(key);
+    std::lock_guard lock(s.mu);
+    const auto it = s.map.find(key);
+    if (it == s.map.end()) {
+      ++s.misses;
+      return false;
+    }
+    s.lru.splice(s.lru.begin(), s.lru, it->second);  // move to front
+    *out = it->second->second;
+    ++s.hits;
+    return true;
+  }
+
+  void insert(std::uint64_t key, const std::vector<NodeId>& path) {
+    Shard& s = shard(key);
+    std::lock_guard lock(s.mu);
+    const auto it = s.map.find(key);
+    if (it != s.map.end()) {  // raced with another miss; refresh recency
+      s.lru.splice(s.lru.begin(), s.lru, it->second);
+      return;
+    }
+    s.lru.emplace_front(key, path);
+    s.map.emplace(key, s.lru.begin());
+    if (s.map.size() > per_shard_capacity_) {
+      s.map.erase(s.lru.back().first);
+      s.lru.pop_back();
+      ++s.evictions;
+    }
+  }
+
+  void account(ServiceStats* st) const {
+    for (const Shard& s : shards_) {
+      std::lock_guard lock(s.mu);
+      st->cache_hits += s.hits;
+      st->cache_misses += s.misses;
+      st->cache_evictions += s.evictions;
+    }
+  }
+
+  void reset() {
+    for (Shard& s : shards_) {
+      std::lock_guard lock(s.mu);
+      s.hits = s.misses = s.evictions = 0;
+    }
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<std::pair<std::uint64_t, std::vector<NodeId>>> lru;
+    std::unordered_map<std::uint64_t,
+                       decltype(lru)::iterator> map;
+    std::uint64_t hits = 0, misses = 0, evictions = 0;
+  };
+
+  Shard& shard(std::uint64_t key) {
+    // splitmix64 finalizer: adjacent (u,v) keys land in different shards.
+    std::uint64_t x = key + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return shards_[(x ^ (x >> 31)) % shards_.size()];
+  }
+
+  std::vector<Shard> shards_;
+  std::size_t per_shard_capacity_;
+};
+
+// ---------------------------------------------------------------------------
+// Lock-free counters; materialized into ServiceStats on demand.
+
+struct QueryService::Recorder {
+  struct PerType {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> errors{0};
+    std::atomic<std::uint64_t> total_ns{0};
+    std::atomic<std::uint64_t> min_ns{
+        std::numeric_limits<std::uint64_t>::max()};
+    std::atomic<std::uint64_t> max_ns{0};
+  };
+  std::array<PerType, kQueryTypeCount> types;
+  std::atomic<std::uint64_t> batches{0};
+
+  void record(QueryType type, std::uint64_t ns, bool ok) {
+    PerType& t = types[static_cast<std::size_t>(type)];
+    if (ok) {
+      t.count.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      t.errors.fetch_add(1, std::memory_order_relaxed);
+    }
+    t.total_ns.fetch_add(ns, std::memory_order_relaxed);
+    update_min(t.min_ns, ns);
+    update_max(t.max_ns, ns);
+  }
+
+  void reset() {
+    for (PerType& t : types) {
+      t.count = 0;
+      t.errors = 0;
+      t.total_ns = 0;
+      t.min_ns = std::numeric_limits<std::uint64_t>::max();
+      t.max_ns = 0;
+    }
+    batches = 0;
+  }
+
+  static void update_min(std::atomic<std::uint64_t>& m, std::uint64_t v) {
+    std::uint64_t cur = m.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !m.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  static void update_max(std::atomic<std::uint64_t>& m, std::uint64_t v) {
+    std::uint64_t cur = m.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !m.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+
+QueryService::QueryService(DistanceOracle oracle, QueryServiceConfig cfg)
+    : oracle_(std::move(oracle)),
+      cfg_(cfg),
+      recorder_(std::make_unique<Recorder>()),
+      pool_(std::make_unique<util::ThreadPool>(cfg.threads)) {
+  if (cfg_.path_cache_capacity > 0) {
+    cache_ = std::make_unique<PathCache>(cfg_.path_cache_capacity,
+                                         cfg_.cache_shards);
+  }
+}
+
+QueryService::~QueryService() = default;
+
+QueryResult QueryService::execute(const Query& q) const {
+  QueryResult r;
+  r.type = q.type;
+  r.u = q.u;
+  r.v = q.v;
+  const NodeId n = oracle_.node_count();
+  if (q.u >= n || q.v >= n) {
+    r.error = "node id out of range (n=" + std::to_string(n) + ")";
+    return r;
+  }
+  switch (q.type) {
+    case QueryType::kDist:
+      r.ok = true;
+      r.dist = oracle_.dist(q.u, q.v);
+      break;
+    case QueryType::kNextHop:
+      if (!oracle_.has_paths()) {
+        r.error = "oracle is distance-only (no next-hop table)";
+        return r;
+      }
+      r.ok = true;
+      r.dist = oracle_.dist(q.u, q.v);
+      r.next_hop = oracle_.next_hop(q.u, q.v);
+      break;
+    case QueryType::kPath: {
+      if (!oracle_.has_paths()) {
+        r.error = "oracle is distance-only (no next-hop table)";
+        return r;
+      }
+      r.ok = true;
+      r.dist = oracle_.dist(q.u, q.v);
+      if (r.dist == kInfDist) break;  // unreachable: valid, empty path
+      const std::uint64_t key =
+          static_cast<std::uint64_t>(q.u) * n + q.v;
+      if (cache_ && cache_->lookup(key, &r.path)) break;
+      auto p = oracle_.path(q.u, q.v);
+      // dist is finite and the oracle has a next-hop table, so
+      // reconstruction can only fail on a corrupt table.
+      if (!p) {
+        r.ok = false;
+        r.error = "path reconstruction failed (corrupt next-hop table)";
+        return r;
+      }
+      r.path = std::move(*p);
+      if (cache_) cache_->insert(key, r.path);
+      break;
+    }
+  }
+  return r;
+}
+
+QueryResult QueryService::timed_execute(const Query& q) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  QueryResult r = execute(q);
+  const auto ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  recorder_->record(q.type, ns, r.ok);
+  return r;
+}
+
+QueryResult QueryService::query(const Query& q) const {
+  return timed_execute(q);
+}
+
+std::vector<QueryResult> QueryService::query_batch(
+    std::span<const Query> queries) const {
+  std::vector<QueryResult> results(queries.size());
+  pool_->parallel_for(queries.size(), [&](std::size_t i) {
+    results[i] = timed_execute(queries[i]);
+  });
+  recorder_->batches.fetch_add(1, std::memory_order_relaxed);
+  return results;
+}
+
+ServiceStats QueryService::stats() const {
+  ServiceStats st;
+  for (std::size_t i = 0; i < kQueryTypeCount; ++i) {
+    const auto& t = recorder_->types[i];
+    st.per_type[i].count = t.count.load();
+    st.per_type[i].errors = t.errors.load();
+    st.per_type[i].total_ns = t.total_ns.load();
+    st.per_type[i].min_ns = t.min_ns.load();
+    st.per_type[i].max_ns = t.max_ns.load();
+  }
+  st.batches = recorder_->batches.load();
+  if (cache_) cache_->account(&st);
+  return st;
+}
+
+void QueryService::reset_stats() {
+  recorder_->reset();
+  if (cache_) cache_->reset();
+}
+
+// ---------------------------------------------------------------------------
+// Text protocol.
+
+namespace {
+
+std::optional<NodeId> parse_node(std::string_view tok) {
+  std::uint32_t out = 0;
+  const auto* end = tok.data() + tok.size();
+  const auto [ptr, ec] = std::from_chars(tok.data(), end, out);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return out;
+}
+
+std::vector<std::string_view> split_ws(std::string_view line) {
+  std::vector<std::string_view> toks;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    std::size_t j = i;
+    while (j < line.size() && line[j] != ' ' && line[j] != '\t') ++j;
+    if (j > i) toks.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return toks;
+}
+
+}  // namespace
+
+std::optional<Query> QueryService::parse_query(std::string_view line,
+                                               std::string* error) {
+  const auto toks = split_ws(line);
+  if (toks.size() != 3) {
+    if (error) *error = "expected '<dist|next|path> U V'";
+    return std::nullopt;
+  }
+  Query q;
+  if (toks[0] == "dist") {
+    q.type = QueryType::kDist;
+  } else if (toks[0] == "next") {
+    q.type = QueryType::kNextHop;
+  } else if (toks[0] == "path") {
+    q.type = QueryType::kPath;
+  } else {
+    if (error) {
+      *error = "unknown query type '" + std::string(toks[0]) +
+               "' (dist|next|path)";
+    }
+    return std::nullopt;
+  }
+  const auto u = parse_node(toks[1]);
+  const auto v = parse_node(toks[2]);
+  if (!u || !v) {
+    if (error) *error = "node ids must be non-negative integers";
+    return std::nullopt;
+  }
+  q.u = *u;
+  q.v = *v;
+  return q;
+}
+
+void QueryService::write_result_text(const QueryResult& r, std::ostream& out) {
+  if (!r.ok) {
+    out << "error: " << r.error << "\n";
+    return;
+  }
+  out << query_type_name(r.type) << " " << r.u << " " << r.v << " = ";
+  if (r.dist == kInfDist) {
+    out << "unreachable\n";
+    return;
+  }
+  switch (r.type) {
+    case QueryType::kDist:
+      out << r.dist;
+      break;
+    case QueryType::kNextHop:
+      out << (r.next_hop == kNoNode ? std::string("-")
+                                    : std::to_string(r.next_hop))
+          << " (dist " << r.dist << ")";
+      break;
+    case QueryType::kPath:
+      for (std::size_t i = 0; i < r.path.size(); ++i) {
+        out << (i ? " " : "") << r.path[i];
+      }
+      out << " (dist " << r.dist << ", " << (r.path.size() - 1) << " hops)";
+      break;
+  }
+  out << "\n";
+}
+
+void QueryService::write_result_json(const QueryResult& r, std::ostream& out) {
+  out << "{\"type\":\"" << query_type_name(r.type) << "\",\"u\":" << r.u
+      << ",\"v\":" << r.v << ",\"ok\":" << (r.ok ? "true" : "false");
+  if (!r.ok) {
+    out << ",\"error\":\"" << r.error << "\"}\n";
+    return;
+  }
+  out << ",\"dist\":";
+  if (r.dist == kInfDist) {
+    out << "null";
+  } else {
+    out << r.dist;
+  }
+  if (r.type == QueryType::kNextHop && r.next_hop != kNoNode) {
+    out << ",\"next\":" << r.next_hop;
+  }
+  if (r.type == QueryType::kPath && r.dist != kInfDist) {
+    out << ",\"path\":[";
+    for (std::size_t i = 0; i < r.path.size(); ++i) {
+      out << (i ? "," : "") << r.path[i];
+    }
+    out << "]";
+  }
+  out << "}\n";
+}
+
+int QueryService::serve_stream(std::istream& in, std::ostream& out,
+                               bool json) const {
+  int malformed = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto toks = split_ws(line);
+    if (toks.empty() || toks[0].front() == '#') continue;
+    if (toks[0] == "quit" || toks[0] == "exit") break;
+    if (toks[0] == "stats") {
+      const ServiceStats st = stats();
+      if (json) {
+        out << "{\"stats\":\"" << st.summary() << "\"}\n";
+      } else {
+        out << st.summary() << "\n";
+      }
+      continue;
+    }
+    std::string error;
+    const auto q = parse_query(line, &error);
+    if (!q) {
+      ++malformed;
+      if (json) {
+        out << "{\"ok\":false,\"error\":\"" << error << "\"}\n";
+      } else {
+        out << "error: " << error << "\n";
+      }
+      continue;
+    }
+    const QueryResult r = query(*q);
+    if (json) {
+      write_result_json(r, out);
+    } else {
+      write_result_text(r, out);
+    }
+  }
+  return malformed;
+}
+
+}  // namespace dapsp::service

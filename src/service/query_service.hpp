@@ -1,0 +1,112 @@
+// Thread-safe query front-end over an immutable DistanceOracle.
+//
+// The service answers three query types (dist, next-hop, full path) for
+// untrusted callers: ids are validated, unsupported queries are reported as
+// errors instead of UB, and every query is counted in service/stats.hpp.
+// Batched queries fan out over a private util::ThreadPool; results land at
+// the caller's indices, so multi-threaded batch output is bit-identical to
+// single-threaded execution.  Reconstructed paths go through a sharded LRU
+// cache (point lookups never touch it -- a flat-matrix read is cheaper than
+// any cache).  A line-oriented text protocol ("dist 0 5", "path 2 7", ...)
+// with text or JSONL responses makes the service scriptable from the CLI.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "service/oracle.hpp"
+#include "service/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dapsp::service {
+
+struct Query {
+  QueryType type = QueryType::kDist;
+  NodeId u = 0;
+  NodeId v = 0;
+
+  friend bool operator==(const Query&, const Query&) = default;
+};
+
+struct QueryResult {
+  QueryType type = QueryType::kDist;
+  NodeId u = 0;
+  NodeId v = 0;
+  bool ok = false;            ///< false = invalid ids / unsupported query
+  std::string error;          ///< set when !ok
+  Weight dist = graph::kInfDist;  ///< kInfDist when unreachable
+  NodeId next_hop = graph::kNoNode;
+  std::vector<NodeId> path;   ///< filled for kPath when reachable
+
+  friend bool operator==(const QueryResult&, const QueryResult&) = default;
+};
+
+struct QueryServiceConfig {
+  /// Worker threads for query_batch; 0 = hardware concurrency.
+  std::size_t threads = 0;
+  /// Total reconstructed paths kept across all cache shards; 0 disables the
+  /// cache entirely (every path query reconstructs).
+  std::size_t path_cache_capacity = 4096;
+  /// Shards for the path cache (each shard has its own lock); clamped to at
+  /// least 1.
+  std::size_t cache_shards = 8;
+};
+
+class QueryService {
+ public:
+  explicit QueryService(DistanceOracle oracle, QueryServiceConfig cfg = {});
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  const DistanceOracle& oracle() const noexcept { return oracle_; }
+  const QueryServiceConfig& config() const noexcept { return cfg_; }
+
+  /// Executes one query.  Thread-safe; any number of callers may query
+  /// concurrently.
+  QueryResult query(const Query& q) const;
+
+  /// Executes a batch on the service's thread pool.  results[i] always
+  /// answers queries[i]; output is bit-identical regardless of thread count.
+  std::vector<QueryResult> query_batch(std::span<const Query> queries) const;
+
+  /// Snapshot of the counters accumulated since construction / last reset.
+  ServiceStats stats() const;
+  void reset_stats();
+
+  /// Parses one protocol line: "dist U V" | "next U V" | "path U V".
+  /// Returns nullopt and fills *error on malformed input.
+  static std::optional<Query> parse_query(std::string_view line,
+                                          std::string* error);
+
+  static void write_result_text(const QueryResult& r, std::ostream& out);
+  /// One JSON object per result (JSONL); kInfDist renders as null.
+  static void write_result_json(const QueryResult& r, std::ostream& out);
+
+  /// Reads protocol lines from `in` until EOF or "quit", answering each on
+  /// `out` (text or JSONL).  Blank lines and '#' comments are skipped; the
+  /// "stats" directive prints a summary snapshot.  Returns the number of
+  /// malformed lines (the CLI turns nonzero into a nonzero exit code).
+  int serve_stream(std::istream& in, std::ostream& out, bool json) const;
+
+ private:
+  class PathCache;
+  struct Recorder;
+
+  QueryResult execute(const Query& q) const;
+  QueryResult timed_execute(const Query& q) const;
+
+  DistanceOracle oracle_;
+  QueryServiceConfig cfg_;
+  std::unique_ptr<PathCache> cache_;          // null when capacity == 0
+  std::unique_ptr<Recorder> recorder_;
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace dapsp::service

@@ -1,0 +1,119 @@
+// Query-side latency/throughput accounting for the distance-oracle service.
+//
+// Same philosophy as congest/metrics.hpp: the quantities the service exists
+// to optimize (queries served, per-type latency, cache effectiveness) are
+// first-class results, never debug output.  `ServiceStats` is a plain value
+// snapshot -- the query service keeps atomic counters internally and
+// materializes one on request -- so snapshots compose with `operator+=`
+// (e.g. summing per-shard or per-epoch stats) exactly like RunStats.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+
+namespace dapsp::service {
+
+enum class QueryType : std::uint8_t {
+  kDist,     ///< point lookup: distance u -> v
+  kNextHop,  ///< first hop on a shortest path u -> v
+  kPath,     ///< full path reconstruction u -> v
+};
+inline constexpr std::size_t kQueryTypeCount = 3;
+
+inline const char* query_type_name(QueryType t) {
+  switch (t) {
+    case QueryType::kDist: return "dist";
+    case QueryType::kNextHop: return "next";
+    case QueryType::kPath: return "path";
+  }
+  return "?";
+}
+
+/// Counters for one query type.
+struct QueryTypeStats {
+  std::uint64_t count = 0;   ///< queries answered (including unreachable)
+  std::uint64_t errors = 0;  ///< malformed / unsupported queries
+  std::uint64_t total_ns = 0;
+  std::uint64_t min_ns = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max_ns = 0;
+
+  double mean_ns() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(total_ns) /
+                            static_cast<double>(count);
+  }
+
+  QueryTypeStats& operator+=(const QueryTypeStats& o) {
+    count += o.count;
+    errors += o.errors;
+    total_ns += o.total_ns;
+    min_ns = std::min(min_ns, o.min_ns);
+    max_ns = std::max(max_ns, o.max_ns);
+    return *this;
+  }
+};
+
+struct ServiceStats {
+  std::array<QueryTypeStats, kQueryTypeCount> per_type;
+  std::uint64_t batches = 0;  ///< query_batch calls
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+
+  const QueryTypeStats& of(QueryType t) const {
+    return per_type[static_cast<std::size_t>(t)];
+  }
+  QueryTypeStats& of(QueryType t) {
+    return per_type[static_cast<std::size_t>(t)];
+  }
+
+  std::uint64_t total_queries() const {
+    std::uint64_t n = 0;
+    for (const auto& t : per_type) n += t.count;
+    return n;
+  }
+  std::uint64_t total_errors() const {
+    std::uint64_t n = 0;
+    for (const auto& t : per_type) n += t.errors;
+    return n;
+  }
+  double cache_hit_rate() const {
+    const std::uint64_t probes = cache_hits + cache_misses;
+    return probes == 0
+               ? 0.0
+               : static_cast<double>(cache_hits) / static_cast<double>(probes);
+  }
+
+  ServiceStats& operator+=(const ServiceStats& o) {
+    for (std::size_t i = 0; i < kQueryTypeCount; ++i) {
+      per_type[i] += o.per_type[i];
+    }
+    batches += o.batches;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
+    cache_evictions += o.cache_evictions;
+    return *this;
+  }
+
+  std::string summary() const {
+    std::ostringstream os;
+    os << "queries=" << total_queries() << " errors=" << total_errors()
+       << " batches=" << batches;
+    for (std::size_t i = 0; i < kQueryTypeCount; ++i) {
+      const auto& t = per_type[i];
+      if (t.count == 0 && t.errors == 0) continue;
+      os << " " << query_type_name(static_cast<QueryType>(i)) << "[n="
+         << t.count << " mean_ns=" << static_cast<std::uint64_t>(t.mean_ns())
+         << " max_ns=" << t.max_ns << "]";
+    }
+    os << " cache[hits=" << cache_hits << " misses=" << cache_misses
+       << " evictions=" << cache_evictions << "]";
+    return os.str();
+  }
+};
+
+}  // namespace dapsp::service

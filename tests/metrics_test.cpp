@@ -1,0 +1,134 @@
+// Unit tests for congest::RunStats sequential composition (operator+=) and
+// summary() formatting.  Composition is how multi-phase algorithms (CSSSP +
+// blocker + SSSP trees + combine) report one round total, so the offset
+// arithmetic here is load-bearing for every Table-1 number.
+#include <gtest/gtest.h>
+
+#include "congest/metrics.hpp"
+
+namespace dapsp::congest {
+namespace {
+
+RunStats phase(Round rounds, std::uint64_t messages,
+               std::uint64_t congestion, Round congestion_round,
+               Round last_msg_round) {
+  RunStats s;
+  s.rounds = rounds;
+  s.total_messages = messages;
+  s.max_link_congestion = congestion;
+  s.max_congestion_round = congestion_round;
+  s.last_message_round = last_msg_round;
+  s.max_link_total = congestion;  // one busy link, single phase
+  return s;
+}
+
+TEST(RunStats, ComposeAddsRoundsAndMessages) {
+  RunStats a = phase(10, 100, 2, 4, 9);
+  const RunStats b = phase(5, 30, 1, 2, 5);
+  a += b;
+  EXPECT_EQ(a.rounds, 15u);
+  EXPECT_EQ(a.total_messages, 130u);
+}
+
+TEST(RunStats, ComposeOffsetsSecondPhaseRounds) {
+  // Rounds of the second phase happen after the first, so b's round-indexed
+  // fields shift by a.rounds.
+  RunStats a = phase(10, 100, 2, 4, 9);
+  const RunStats b = phase(5, 30, 7, 2, 5);
+  a += b;
+  // b's congestion peak (7 > 2) wins and lands at round 10 + 2.
+  EXPECT_EQ(a.max_link_congestion, 7u);
+  EXPECT_EQ(a.max_congestion_round, 12u);
+  // b sent its last message in its round 5 -> global round 15.
+  EXPECT_EQ(a.last_message_round, 15u);
+}
+
+TEST(RunStats, ComposeKeepsFirstPhasePeakOnTie) {
+  RunStats a = phase(10, 100, 3, 4, 9);
+  const RunStats b = phase(5, 30, 3, 2, 5);
+  a += b;
+  EXPECT_EQ(a.max_link_congestion, 3u);
+  EXPECT_EQ(a.max_congestion_round, 4u);  // first occurrence, not offset
+}
+
+TEST(RunStats, ComposeWithSilentSecondPhase) {
+  // A phase that sent nothing must not clobber last_message_round.
+  RunStats a = phase(10, 100, 2, 4, 9);
+  RunStats b;
+  b.rounds = 3;
+  a += b;
+  EXPECT_EQ(a.rounds, 13u);
+  EXPECT_EQ(a.last_message_round, 9u);
+  EXPECT_EQ(a.max_congestion_round, 4u);
+}
+
+TEST(RunStats, ComposeMaximaAndFlags) {
+  RunStats a = phase(2, 5, 1, 1, 2);
+  a.max_message_fields = 2;
+  RunStats b = phase(2, 5, 1, 1, 2);
+  b.max_link_total = 40;
+  b.max_message_fields = 3;
+  b.hit_round_limit = true;
+  a += b;
+  EXPECT_EQ(a.max_link_total, 40u);
+  EXPECT_EQ(a.max_message_fields, 3u);
+  EXPECT_TRUE(a.hit_round_limit);
+  // OR is sticky in the other direction too.
+  RunStats c;
+  a += c;
+  EXPECT_TRUE(a.hit_round_limit);
+}
+
+TEST(RunStats, ComposePerRoundHistogramOccupiesTail) {
+  RunStats a = phase(3, 6, 1, 1, 3);
+  a.per_round_messages = {1, 2, 3};
+  RunStats b = phase(2, 9, 1, 1, 2);
+  b.per_round_messages = {4, 5};
+  a += b;
+  ASSERT_EQ(a.per_round_messages.size(), 5u);
+  EXPECT_EQ(a.per_round_messages, (std::vector<std::uint64_t>{1, 2, 3, 4, 5}));
+
+  // One side unrecorded: the other still lands at the right offset.
+  RunStats c;
+  c.rounds = 2;
+  RunStats d = phase(1, 7, 1, 1, 1);
+  d.per_round_messages = {7};
+  c += d;
+  EXPECT_EQ(c.per_round_messages, (std::vector<std::uint64_t>{0, 0, 7}));
+}
+
+TEST(RunStats, ComposeIsAssociativeOnTotals) {
+  const RunStats p1 = phase(4, 10, 2, 3, 4);
+  const RunStats p2 = phase(6, 20, 5, 1, 6);
+  const RunStats p3 = phase(2, 5, 4, 2, 1);
+  RunStats left = p1;
+  left += p2;
+  left += p3;
+  RunStats right = p2;
+  right += p3;
+  RunStats total = p1;
+  total += right;
+  EXPECT_EQ(left.rounds, total.rounds);
+  EXPECT_EQ(left.total_messages, total.total_messages);
+  EXPECT_EQ(left.max_link_congestion, total.max_link_congestion);
+  EXPECT_EQ(left.max_congestion_round, total.max_congestion_round);
+  EXPECT_EQ(left.last_message_round, total.last_message_round);
+}
+
+TEST(RunStats, SummaryFormat) {
+  RunStats s = phase(15, 130, 7, 12, 15);
+  s.max_link_total = 42;
+  EXPECT_EQ(s.summary(),
+            "rounds=15 last_msg_round=15 messages=130 max_congestion=7 "
+            "max_link_total=42");
+  s.hit_round_limit = true;
+  EXPECT_EQ(s.summary(),
+            "rounds=15 last_msg_round=15 messages=130 max_congestion=7 "
+            "max_link_total=42 [HIT ROUND LIMIT]");
+  EXPECT_EQ(RunStats{}.summary(),
+            "rounds=0 last_msg_round=0 messages=0 max_congestion=0 "
+            "max_link_total=0");
+}
+
+}  // namespace
+}  // namespace dapsp::congest
