@@ -2,18 +2,95 @@
 // wall-clock cost per simulated round, message delivery throughput, and the
 // exact-key arithmetic.  These measure the *simulator*, not the algorithms'
 // round complexity (that's what E1-E9 report).
+//
+// The Sparse/Dense pairs run the same protocol under the active-set
+// scheduler (default) and the exhaustive dense fallback; both produce
+// bit-identical stats (tested), so their time ratio is a pure measurement of
+// the scheduler.  scripts/bench_engine.sh captures the JSON as
+// BENCH_ENGINE.json.
 #include <benchmark/benchmark.h>
 
 #include "baseline/bf_apsp.hpp"
+#include "congest/engine.hpp"
 #include "core/key.hpp"
 #include "core/pipelined_ssp.hpp"
 #include "graph/generators.hpp"
 #include "graph/properties.hpp"
+#include "harness.hpp"
 #include "util/int_math.hpp"
 
 namespace {
 
 using namespace dapsp;
+
+/// Flips the engine to the dense fallback for one benchmark's scope.
+struct DenseScope {
+  explicit DenseScope(bool on) { congest::Engine::set_force_dense(on); }
+  ~DenseScope() { congest::Engine::set_force_dense(false); }
+};
+
+void record_engine_counters(benchmark::State& state,
+                            const congest::RunStats& s) {
+  state.counters["simulated_rounds"] = static_cast<double>(s.rounds);
+  state.counters["skipped_rounds"] = static_cast<double>(s.skipped_rounds);
+  state.counters["messages"] = static_cast<double>(s.total_messages);
+  state.counters["send_s"] = s.send_seconds;
+  state.counters["deliver_s"] = s.deliver_seconds;
+  state.counters["receive_s"] = s.receive_seconds;
+}
+
+// Bellman-Ford SSSP on a long path: the frontier is one node per round, so
+// the active set is ~1/n of the graph -- the best case the active-set
+// scheduler is built for.
+void run_path_sssp(benchmark::State& state, bool dense) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const graph::Graph g = graph::path(n, {1, 4, 0.0}, 11);
+  DenseScope scope(dense);
+  for (auto _ : state) {
+    auto res = baseline::bf_sssp(g, 0);
+    benchmark::DoNotOptimize(res.dist.data());
+    record_engine_counters(state, res.stats);
+  }
+}
+
+void BM_PathSsspSparse(benchmark::State& state) {
+  run_path_sssp(state, /*dense=*/false);
+}
+BENCHMARK(BM_PathSsspSparse)->Arg(1024)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+void BM_PathSsspDense(benchmark::State& state) {
+  run_path_sssp(state, /*dense=*/true);
+}
+BENCHMARK(BM_PathSsspDense)->Arg(1024)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+// Pipelined SSSP on a cycle: Algorithm 1's schedule (d + position) fires
+// each node a handful of times across a Theta(n) round span, so almost all
+// rounds are silent for almost all nodes.
+void run_pipelined_cycle(benchmark::State& state, bool dense) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const graph::Graph g = graph::cycle(n, {1, 3, 0.0}, 12);
+  const graph::Weight delta = graph::max_finite_distance(g);
+  core::PipelinedParams p;
+  p.sources = {0};
+  p.h = n - 1;
+  p.delta = delta;
+  DenseScope scope(dense);
+  for (auto _ : state) {
+    auto res = core::pipelined_kssp(g, p);
+    benchmark::DoNotOptimize(res.dist.data());
+    record_engine_counters(state, res.stats);
+  }
+}
+
+void BM_PipelinedCycleSparse(benchmark::State& state) {
+  run_pipelined_cycle(state, /*dense=*/false);
+}
+BENCHMARK(BM_PipelinedCycleSparse)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_PipelinedCycleDense(benchmark::State& state) {
+  run_pipelined_cycle(state, /*dense=*/true);
+}
+BENCHMARK(BM_PipelinedCycleDense)->Arg(1024)->Unit(benchmark::kMillisecond);
 
 void BM_EngineFloodRound(benchmark::State& state) {
   const auto n = static_cast<graph::NodeId>(state.range(0));
@@ -67,4 +144,29 @@ BENCHMARK(BM_CeilMulSqrt);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: one warm-up comparison table (per-phase wall-clock, sparse vs
+// dense) before the google-benchmark runs, so `bench_engine_micro` with no
+// flags already shows where the time goes.
+int main(int argc, char** argv) {
+  dapsp::bench::banner(
+      "ENGINE", "Simulator substrate microbenchmarks (active-set scheduler "
+                "vs dense fallback; identical stats, different wall-clock).");
+  {
+    const dapsp::graph::Graph g =
+        dapsp::graph::path(2048, {1, 4, 0.0}, 11);
+    auto sparse = dapsp::baseline::bf_sssp(g, 0);
+    dapsp::congest::Engine::set_force_dense(true);
+    auto dense = dapsp::baseline::bf_sssp(g, 0);
+    dapsp::congest::Engine::set_force_dense(false);
+    dapsp::bench::print_phase_timing({
+        {"path-sssp n=2048 sparse", sparse.stats},
+        {"path-sssp n=2048 dense", dense.stats},
+    });
+    std::cout << '\n';
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -45,6 +45,26 @@ std::string fmt(double v, int precision) {
   return os.str();
 }
 
+std::string fmt_seconds(double seconds) {
+  if (seconds < 1e-3) return fmt(seconds * 1e6, 0) + "us";
+  if (seconds < 1.0) return fmt(seconds * 1e3, 2) + "ms";
+  return fmt(seconds, 2) + "s";
+}
+
+void print_phase_timing(
+    const std::vector<std::pair<std::string, congest::RunStats>>& runs,
+    std::ostream& os) {
+  Table t({"run", "rounds", "skipped", "send", "deliver", "receive", "total"});
+  for (const auto& [label, s] : runs) {
+    const double total = s.send_seconds + s.deliver_seconds + s.receive_seconds;
+    t.row({label, fmt(static_cast<std::uint64_t>(s.rounds)),
+           fmt(static_cast<std::uint64_t>(s.skipped_rounds)),
+           fmt_seconds(s.send_seconds), fmt_seconds(s.deliver_seconds),
+           fmt_seconds(s.receive_seconds), fmt_seconds(total)});
+  }
+  t.print(os);
+}
+
 void banner(const std::string& experiment, const std::string& description) {
   std::cout << "\n=== " << experiment << " ===\n" << description << "\n\n";
 }

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "congest/metrics.hpp"
+
 namespace dapsp::bench {
 
 /// Fixed-width table writer.
@@ -28,6 +30,16 @@ class Table {
 std::string fmt(std::uint64_t v);
 std::string fmt(std::int64_t v);
 std::string fmt(double v, int precision = 2);
+
+/// Human-readable wall-clock duration ("812us", "3.42ms", "1.07s").
+std::string fmt_seconds(double seconds);
+
+/// Prints one table of per-phase engine wall-clock (send/deliver/receive,
+/// plus skipped rounds) for a set of labelled runs -- the host-side view of
+/// RunStats' timing fields.
+void print_phase_timing(
+    const std::vector<std::pair<std::string, congest::RunStats>>& runs,
+    std::ostream& os = std::cout);
 
 /// Prints the standard experiment banner.
 void banner(const std::string& experiment, const std::string& description);

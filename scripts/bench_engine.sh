@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Builds and runs the engine microbenchmarks, writing the google-benchmark
+# JSON to BENCH_ENGINE.json at the repo root.  The Sparse/Dense benchmark
+# pairs measure the active-set scheduler against the exhaustive dense
+# fallback on the same workloads (bit-identical stats, see docs/PERF.md);
+# compare their real_time entries to read off the speedup.
+#
+# Extra arguments are forwarded to the bench binary, e.g.:
+#   scripts/bench_engine.sh --benchmark_min_time=0.01s
+set -e
+cd "$(dirname "$0")/.."
+
+if [ -f build/build.ninja ]; then
+  cmake --build build --target bench_engine_micro
+else
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build --target bench_engine_micro -j
+fi
+
+./build/bench/bench_engine_micro \
+  --benchmark_out=BENCH_ENGINE.json --benchmark_out_format=json "$@"
+
+echo "wrote $(pwd)/BENCH_ENGINE.json"

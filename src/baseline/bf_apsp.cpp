@@ -80,6 +80,10 @@ class BellmanFordProtocol final : public Protocol {
 
   bool quiescent() const override { return !dirty_; }
 
+  Round next_send_round(Round now) const override {
+    return dirty_ ? now + 1 : kNeverSends;
+  }
+
   Weight dist() const { return d_; }
   std::int64_t hops() const { return l_; }
   NodeId parent() const { return p_; }

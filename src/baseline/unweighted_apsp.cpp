@@ -109,6 +109,26 @@ class PositiveApspProtocol final : public Protocol {
     return static_cast<Round>(labels_.back().d) + labels_.size() <= last_round_;
   }
 
+  /// Schedules d + pos + 1 are strictly increasing, so the next spontaneous
+  /// send is the first schedule past `now`.  Once every schedule has passed
+  /// the node keeps polling (send_phase is then a no-op) so last_round_ --
+  /// which quiescent() compares against -- advances exactly as on the dense
+  /// path.
+  Round next_send_round(Round now) const override {
+    if (labels_.empty()) return kNeverSends;
+    std::size_t lo = 0, hi = labels_.size();
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (static_cast<Round>(labels_[mid].d) + mid + 1 <= now) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo >= labels_.size()) return now + 1;
+    return static_cast<Round>(labels_[lo].d) + lo + 1;
+  }
+
   const std::vector<Weight>& dist() const { return d_of_; }
   Round settle_round() const { return settle_round_; }
   std::uint64_t max_sends() const {

@@ -1,6 +1,7 @@
 #include "congest/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "util/rng.hpp"
@@ -13,46 +14,75 @@ using graph::NodeId;
 
 namespace {
 
-/// The engine's concrete Context: writes straight into the link buffers.
-class EngineContext final : public Context {
- public:
-  EngineContext(Engine& e, graph::NodeId self, Round round,
-                std::span<const Envelope> inbox, bool may_send)
-      : Context(self, round, inbox, may_send), engine_(e) {}
+// Process-wide A/B overrides (see Engine::set_force_dense).  Plain statics:
+// they are latched in the Engine constructor, and tests set them between
+// solver runs, never concurrently with engine construction.
+bool g_force_dense = false;
+std::size_t g_force_threads = Engine::kNoThreadOverride;
 
-  graph::NodeId node_count() const noexcept override {
-    return engine_.graph().node_count();
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Min-heap helpers over (wake round, node).
+struct WakeGreater {
+  bool operator()(const std::pair<Round, NodeId>& a,
+                  const std::pair<Round, NodeId>& b) const {
+    return a.first > b.first || (a.first == b.first && a.second > b.second);
   }
-
-  std::span<const graph::NodeId> neighbors() const noexcept override {
-    return engine_.graph().comm_neighbors(self_);
-  }
-
-  void send(graph::NodeId to, const Message& m) override {
-    if (!may_send_) {
-      throw std::logic_error("Context::send: sending in receive_phase");
-    }
-    engine_.enqueue(self_, engine_.link_slot(self_, to), m);
-  }
-
-  void broadcast(const Message& m) override {
-    if (!may_send_) {
-      throw std::logic_error("Context::broadcast: sending in receive_phase");
-    }
-    const auto deg = engine_.graph().comm_degree(self_);
-    const std::size_t base = engine_.link_base(self_);
-    for (std::size_t j = 0; j < deg; ++j) engine_.enqueue(self_, base + j, m);
-  }
-
- private:
-  Engine& engine_;
 };
 
 }  // namespace
 
-void Engine::enqueue(graph::NodeId from, std::size_t slot, const Message& m) {
-  if (link_out_[slot].empty()) touched_[from].push_back(slot);
-  link_out_[slot].push_back(m);
+void Engine::set_force_dense(bool on) noexcept { g_force_dense = on; }
+bool Engine::force_dense() noexcept { return g_force_dense; }
+void Engine::set_force_threads(std::size_t threads) noexcept {
+  g_force_threads = threads;
+}
+
+// --- NodeContext -----------------------------------------------------------
+
+NodeId NodeContext::node_count() const noexcept {
+  return engine_->graph().node_count();
+}
+
+std::span<const NodeId> NodeContext::neighbors() const noexcept {
+  return engine_->graph().comm_neighbors(self_);
+}
+
+void NodeContext::send(NodeId to, const Message& m) {
+  if (!may_send_) {
+    throw std::logic_error("Context::send: sending in receive_phase");
+  }
+  if (to != last_to_) {
+    last_slot_ = engine_->link_slot(self_, to);  // throws on non-neighbor
+    last_to_ = to;
+  }
+  engine_->enqueue(self_, last_slot_, m);
+}
+
+void NodeContext::broadcast(const Message& m) {
+  if (!may_send_) {
+    throw std::logic_error("Context::broadcast: sending in receive_phase");
+  }
+  const auto deg = engine_->graph().comm_degree(self_);
+  const std::size_t base = engine_->link_base(self_);
+  for (std::size_t j = 0; j < deg; ++j) engine_->enqueue(self_, base + j, m);
+}
+
+// --- Engine ----------------------------------------------------------------
+
+void Engine::enqueue(NodeId from, std::size_t slot, const Message& m) {
+  Outbox& ob = out_[from];
+  if (link_cnt_[slot]++ == 0) {
+    ob.touched.push_back(static_cast<std::uint32_t>(slot));
+  } else {
+    ob.has_dup = true;
+  }
+  ob.slots.push_back(static_cast<std::uint32_t>(slot));
+  ob.msgs.push_back(m);
 }
 
 Engine::Engine(const Graph& g, std::vector<std::unique_ptr<Protocol>> protocols,
@@ -60,37 +90,65 @@ Engine::Engine(const Graph& g, std::vector<std::unique_ptr<Protocol>> protocols,
     : graph_(g), protocols_(std::move(protocols)), options_(options) {
   util::check(protocols_.size() == g.node_count(),
               "Engine: need one protocol per node");
+  dense_ = options_.dense_fallback || g_force_dense;
   const NodeId n = g.node_count();
+
+  // Satellite fix: resolve the pool exactly once, here, instead of lazily
+  // re-checking on every phase call.
+  const std::size_t threads =
+      g_force_threads != kNoThreadOverride ? g_force_threads : options_.threads;
+  if (threads > 0) {
+    own_pool_ = std::make_unique<util::ThreadPool>(threads);
+    pool_ = own_pool_.get();
+  } else {
+    pool_ = &util::ThreadPool::global();
+  }
 
   link_base_.resize(n + 1, 0);
   for (NodeId v = 0; v < n; ++v) {
     link_base_[v + 1] = link_base_[v] + g.comm_degree(v);
   }
-  link_out_.resize(link_base_[n]);
-  link_lifetime_count_.assign(link_base_[n], 0);
-  touched_.resize(n);
+  const std::size_t links = link_base_[n];
+  link_target_.resize(links);
+  link_cnt_.assign(links, 0);
+  link_off_.assign(links, 0);
+  link_lifetime_count_.assign(links, 0);
+  out_.resize(n);
   inbox_.resize(n);
+  inbox_mark_.assign(n, 0);
 
-  in_links_.resize(n);
+  in_base_.assign(n + 1, 0);
   for (NodeId u = 0; u < n; ++u) {
     const auto nbrs = g.comm_neighbors(u);
     for (std::size_t j = 0; j < nbrs.size(); ++j) {
-      in_links_[nbrs[j]].push_back({u, link_base_[u] + j});
+      link_target_[link_base_[u] + j] = nbrs[j];
+      ++in_base_[nbrs[j] + 1];
     }
   }
-  // comm_neighbors is sorted, so in_links_ per receiver is already
-  // sender-ascending (u iterates ascending); no extra sort needed.
+  for (NodeId v = 0; v < n; ++v) in_base_[v + 1] += in_base_[v];
+  in_links_.resize(links);
+  {
+    std::vector<std::size_t> cursor(in_base_.begin(), in_base_.end() - 1);
+    // comm_neighbors is sorted and u iterates ascending, so each receiver's
+    // in-link list comes out sender-ascending with no extra sort.
+    for (NodeId u = 0; u < n; ++u) {
+      const auto nbrs = g.comm_neighbors(u);
+      for (std::size_t j = 0; j < nbrs.size(); ++j) {
+        in_links_[cursor[nbrs[j]]++] = {u, link_base_[u] + j};
+      }
+    }
+  }
+
+  if (!dense_) {
+    wake_round_.assign(n, 0);
+    in_next_.assign(n, 0);
+    active_next_.reserve(n);
+  }
+  contexts_.reserve(n);
+  for (NodeId v = 0; v < n; ++v) contexts_.emplace_back(*this, v);
 }
 
 Engine::~Engine() = default;
-
-util::ThreadPool& Engine::pool() {
-  if (options_.threads > 0) {
-    if (!own_pool_) own_pool_ = std::make_unique<util::ThreadPool>(options_.threads);
-    return *own_pool_;
-  }
-  return util::ThreadPool::global();
-}
 
 std::size_t Engine::link_slot(NodeId from, NodeId to) const {
   const auto nbrs = graph_.comm_neighbors(from);
@@ -101,44 +159,201 @@ std::size_t Engine::link_slot(NodeId from, NodeId to) const {
   return link_base_[from] + static_cast<std::size_t>(it - nbrs.begin());
 }
 
-void Engine::run_init_round() {
-  auto& p = pool();
-  const NodeId n = graph_.node_count();
-  p.parallel_for(n, [&](std::size_t v) {
-    EngineContext ctx(*this, static_cast<NodeId>(v), 0, {}, /*may_send=*/true);
-    protocols_[v]->init(ctx);
-  });
-  deliver();
-  p.parallel_for(n, [&](std::size_t v) {
-    EngineContext ctx(*this, static_cast<NodeId>(v), 0, inbox_[v],
-                      /*may_send=*/false);
-    protocols_[v]->receive_phase(ctx);
-  });
-  init_done_ = true;
+bool Engine::all_quiescent() const {
+  return std::all_of(protocols_.begin(), protocols_.end(),
+                     [](const auto& p) { return p->quiescent(); });
 }
 
-void Engine::deliver() {
-  // Congestion + message accounting over touched links (single-threaded:
-  // the per-round touched set is small relative to node work).
+// --- sparse scheduler ------------------------------------------------------
+
+void Engine::schedule(NodeId v, Round wake) {
+  wake_round_[v] = wake;
+  if (wake == Protocol::kNeverSends) return;
+  if (wake <= round_ + 1) {
+    if (!in_next_[v]) {
+      in_next_[v] = 1;
+      active_next_.push_back(v);
+    }
+  } else {
+    heap_.emplace_back(wake, v);
+    std::push_heap(heap_.begin(), heap_.end(), WakeGreater{});
+  }
+}
+
+void Engine::reschedule_after_phase(std::span<const NodeId> nodes) {
+  for (const NodeId v : nodes) {
+    schedule(v, protocols_[v]->next_send_round(round_));
+  }
+}
+
+/// Builds active_now_ for the (already incremented) round_: the swapped-in
+/// next-round list plus every heap entry now due.  Activation consumes the
+/// node's wake (set to the 0 sentinel) so stale heap duplicates are dropped.
+void Engine::build_active_set() {
+  active_now_.clear();
+  for (const NodeId v : active_next_) {
+    in_next_[v] = 0;
+    if (wake_round_[v] != 0 && wake_round_[v] <= round_) {
+      wake_round_[v] = 0;
+      active_now_.push_back(v);
+    }
+  }
+  active_next_.clear();
+  while (!heap_.empty() && heap_.front().first <= round_) {
+    const auto [wake, v] = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), WakeGreater{});
+    heap_.pop_back();
+    if (wake_round_[v] == wake) {
+      wake_round_[v] = 0;
+      active_now_.push_back(v);
+    }
+  }
+}
+
+/// Earliest live heap wake, discarding stale entries; kNeverSends if none.
+Round Engine::next_heap_wake() {
+  while (!heap_.empty()) {
+    const auto [wake, v] = heap_.front();
+    if (wake_round_[v] == wake) return wake;
+    std::pop_heap(heap_.begin(), heap_.end(), WakeGreater{});
+    heap_.pop_back();
+  }
+  return Protocol::kNeverSends;
+}
+
+/// Accounts `count` provably silent rounds without executing them: the
+/// counter, per-round zeros, and the skipped-round stat advance exactly as
+/// if the dense engine had run them and observed no messages.
+void Engine::skip_silent_rounds(Round count) {
+  round_ += count;
+  stats_.rounds = round_;
+  stats_.skipped_rounds += count;
   round_messages_ = 0;
-  std::uint64_t max_cong = 0;
-  for (NodeId sender = 0; sender < graph_.node_count(); ++sender) {
-    for (const std::size_t slot : touched_[sender]) {
-      const auto c = static_cast<std::uint64_t>(link_out_[slot].size());
-      round_messages_ += c;
-      max_cong = std::max(max_cong, c);
-      link_lifetime_count_[slot] += c;
-      stats_.max_link_total =
-          std::max(stats_.max_link_total, link_lifetime_count_[slot]);
-      for (const Message& m : link_out_[slot]) {
-        stats_.max_message_fields = std::max(stats_.max_message_fields, m.used);
-        if (options_.trace != nullptr) {
-          const NodeId to =
-              graph_.comm_neighbors(sender)[slot - link_base_[sender]];
-          options_.trace->on_message(round_, sender, to, m);
-        }
+  if (options_.record_per_round) {
+    stats_.per_round_messages.resize(stats_.per_round_messages.size() + count,
+                                     0);
+  }
+}
+
+// --- delivery --------------------------------------------------------------
+
+void Engine::gather_inbox(NodeId v) {
+  auto& in = inbox_[v];
+  in.clear();
+  const std::size_t end = in_base_[v + 1];
+  for (std::size_t i = in_base_[v]; i < end; ++i) {
+    const auto& [from, slot] = in_links_[i];
+    const std::uint32_t cnt = link_cnt_[slot];
+    if (cnt == 0) continue;
+    const Outbox& ob = out_[from];
+    const Message* src =
+        (ob.has_dup ? ob.sorted.data() : ob.msgs.data()) + link_off_[slot];
+    for (std::uint32_t j = 0; j < cnt; ++j) in.push_back({from, src[j]});
+  }
+  if (options_.scramble_inbox && in.size() > 1) {
+    util::Xoshiro256 rng(options_.scramble_seed ^ (v * 0x9e3779b9ULL) ^
+                         (round_ << 20));
+    for (std::size_t i = in.size(); i > 1; --i) {
+      std::swap(in[i - 1], in[rng.below(i)]);
+    }
+  }
+}
+
+/// Replays this round's messages into the trace sink in the dense engine's
+/// deterministic order: sender ascending, links in first-touch order, and
+/// send order within a link.
+void Engine::trace_messages() {
+  for (const NodeId sender : touched_senders_) {
+    const Outbox& ob = out_[sender];
+    for (const std::uint32_t slot : ob.touched) {
+      const Message* src =
+          (ob.has_dup ? ob.sorted.data() : ob.msgs.data()) + link_off_[slot];
+      const std::uint32_t cnt = link_cnt_[slot];
+      for (std::uint32_t j = 0; j < cnt; ++j) {
+        options_.trace->on_message(round_, sender, link_target_[slot], src[j]);
       }
     }
+  }
+}
+
+void Engine::deliver(DeliverScope scope) {
+  const auto t0 = Clock::now();
+  const NodeId n = graph_.node_count();
+
+  // 1. Collect this round's senders.  The all-nodes scan yields ascending
+  // order; the active-only path sorts so accounting, tracing, and lifetime
+  // updates happen in the dense engine's order regardless of how the active
+  // set was assembled.
+  touched_senders_.clear();
+  if (scope == DeliverScope::kAllNodes) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (!out_[v].slots.empty()) touched_senders_.push_back(v);
+    }
+  } else {
+    for (const NodeId v : active_now_) {
+      if (!out_[v].slots.empty()) touched_senders_.push_back(v);
+    }
+    std::sort(touched_senders_.begin(), touched_senders_.end());
+  }
+
+  // 2. Per-sender finalize + accounting partials.  Sender-local except for
+  // the link arrays, whose slots are partitioned by sender, so the pass can
+  // run on the pool; the reduction below is sequential and order-fixed, so
+  // stats are identical at every thread count.
+  partials_.resize(touched_senders_.size());
+  auto finalize_sender = [&](std::size_t i) {
+    const NodeId v = touched_senders_[i];
+    Outbox& ob = out_[v];
+    if (!ob.has_dup) {
+      // Every touched link carries exactly one message: its arena offset is
+      // simply the send index.
+      for (std::size_t j = 0; j < ob.slots.size(); ++j) {
+        link_off_[ob.slots[j]] = static_cast<std::uint32_t>(j);
+      }
+    } else {
+      // Group messages per link, preserving send order: prefix ends over the
+      // touched links, then a backward scatter that rewinds each cursor to
+      // its start offset.
+      std::uint32_t off = 0;
+      for (const std::uint32_t s : ob.touched) {
+        off += link_cnt_[s];
+        link_off_[s] = off;
+      }
+      ob.sorted.resize(ob.msgs.size());
+      for (std::size_t j = ob.slots.size(); j-- > 0;) {
+        ob.sorted[--link_off_[ob.slots[j]]] = ob.msgs[j];
+      }
+    }
+    SenderPartial p;
+    for (const std::uint32_t s : ob.touched) {
+      const std::uint64_t c = link_cnt_[s];
+      p.msgs += c;
+      p.max_cong = std::max(p.max_cong, c);
+      link_lifetime_count_[s] += c;
+      p.max_link_total = std::max(p.max_link_total, link_lifetime_count_[s]);
+    }
+    for (const Message& m : ob.msgs) {
+      p.max_fields = std::max(p.max_fields, m.used);
+    }
+    partials_[i] = p;
+  };
+  if (touched_senders_.size() >= 1024) {
+    pool_->parallel_for(touched_senders_.size(), finalize_sender);
+  } else {
+    for (std::size_t i = 0; i < touched_senders_.size(); ++i) {
+      finalize_sender(i);
+    }
+  }
+
+  // 3. Deterministic reduction.
+  round_messages_ = 0;
+  std::uint64_t max_cong = 0;
+  for (const SenderPartial& p : partials_) {
+    round_messages_ += p.msgs;
+    max_cong = std::max(max_cong, p.max_cong);
+    stats_.max_link_total = std::max(stats_.max_link_total, p.max_link_total);
+    stats_.max_message_fields =
+        std::max(stats_.max_message_fields, p.max_fields);
   }
   if (round_messages_ > 0) {
     stats_.total_messages += round_messages_;
@@ -151,30 +366,69 @@ void Engine::deliver() {
   if (options_.record_per_round) {
     stats_.per_round_messages.push_back(round_messages_);
   }
+  if (options_.trace != nullptr) trace_messages();
 
-  // Gather per receiver, in (sender, send order) order -- or, when
+  // 4. Gather per receiver, in (sender, send order) order -- or, when
   // scrambling, in a deterministic per-(receiver, round) permutation.
-  const NodeId n = graph_.node_count();
-  pool().parallel_for(n, [&](std::size_t v) {
-    auto& in = inbox_[v];
-    in.clear();
-    for (const auto& [from, slot] : in_links_[v]) {
-      for (const Message& m : link_out_[slot]) in.push_back({from, m});
-    }
-    if (options_.scramble_inbox && in.size() > 1) {
-      util::Xoshiro256 rng(options_.scramble_seed ^ (v * 0x9e3779b9ULL) ^
-                           (round_ << 20));
-      for (std::size_t i = in.size(); i > 1; --i) {
-        std::swap(in[i - 1], in[rng.below(i)]);
+  if (scope == DeliverScope::kAllNodes) {
+    receivers_.clear();
+    pool_->parallel_for(n, [&](std::size_t v) {
+      gather_inbox(static_cast<NodeId>(v));
+      // (dense path reads every inbox, so none is stale)
+    });
+  } else {
+    receivers_.clear();
+    for (const NodeId sender : touched_senders_) {
+      for (const std::uint32_t slot : out_[sender].touched) {
+        const NodeId u = link_target_[slot];
+        if (!inbox_mark_[u]) {
+          inbox_mark_[u] = 1;
+          receivers_.push_back(u);
+        }
       }
     }
-  });
-
-  // Retire outboxes.
-  for (auto& t : touched_) {
-    for (const std::size_t slot : t) link_out_[slot].clear();
-    t.clear();
+    pool_->parallel_for(receivers_.size(), [&](std::size_t i) {
+      gather_inbox(receivers_[i]);
+    });
+    for (const NodeId u : receivers_) inbox_mark_[u] = 0;
   }
+
+  // 5. Retire outboxes (capacity kept -- steady-state rounds allocate
+  // nothing).
+  for (const NodeId sender : touched_senders_) {
+    Outbox& ob = out_[sender];
+    for (const std::uint32_t slot : ob.touched) link_cnt_[slot] = 0;
+    ob.slots.clear();
+    ob.msgs.clear();
+    ob.touched.clear();
+    ob.has_dup = false;
+  }
+  stats_.deliver_seconds += seconds_since(t0);
+}
+
+// --- rounds ----------------------------------------------------------------
+
+void Engine::run_init_round() {
+  const NodeId n = graph_.node_count();
+  const auto t0 = Clock::now();
+  pool_->parallel_for(n, [&](std::size_t v) {
+    contexts_[v].rebind(0, {}, /*may_send=*/true);
+    protocols_[v]->init(contexts_[v]);
+  });
+  stats_.send_seconds += seconds_since(t0);
+  deliver(DeliverScope::kAllNodes);
+  const auto t1 = Clock::now();
+  pool_->parallel_for(n, [&](std::size_t v) {
+    contexts_[v].rebind(0, inbox_[v], /*may_send=*/false);
+    protocols_[v]->receive_phase(contexts_[v]);
+  });
+  stats_.receive_seconds += seconds_since(t1);
+  if (!dense_) {
+    for (NodeId v = 0; v < n; ++v) {
+      schedule(v, protocols_[v]->next_send_round(0));
+    }
+  }
+  init_done_ = true;
 }
 
 std::uint64_t Engine::step() {
@@ -185,19 +439,42 @@ std::uint64_t Engine::step() {
   ++round_;
   stats_.rounds = round_;
 
-  auto& p = pool();
-  const NodeId n = graph_.node_count();
-  p.parallel_for(n, [&](std::size_t v) {
-    EngineContext ctx(*this, static_cast<NodeId>(v), round_, {},
-                      /*may_send=*/true);
-    protocols_[v]->send_phase(ctx);
+  if (dense_) {
+    const NodeId n = graph_.node_count();
+    const auto t0 = Clock::now();
+    pool_->parallel_for(n, [&](std::size_t v) {
+      contexts_[v].rebind(round_, {}, /*may_send=*/true);
+      protocols_[v]->send_phase(contexts_[v]);
+    });
+    stats_.send_seconds += seconds_since(t0);
+    deliver(DeliverScope::kAllNodes);
+    const auto t1 = Clock::now();
+    pool_->parallel_for(n, [&](std::size_t v) {
+      contexts_[v].rebind(round_, inbox_[v], /*may_send=*/false);
+      protocols_[v]->receive_phase(contexts_[v]);
+    });
+    stats_.receive_seconds += seconds_since(t1);
+    return round_messages_;
+  }
+
+  build_active_set();
+  const auto t0 = Clock::now();
+  pool_->parallel_for(active_now_.size(), [&](std::size_t i) {
+    const NodeId v = active_now_[i];
+    contexts_[v].rebind(round_, {}, /*may_send=*/true);
+    protocols_[v]->send_phase(contexts_[v]);
   });
-  deliver();
-  p.parallel_for(n, [&](std::size_t v) {
-    EngineContext ctx(*this, static_cast<NodeId>(v), round_, inbox_[v],
-                      /*may_send=*/false);
-    protocols_[v]->receive_phase(ctx);
+  reschedule_after_phase(active_now_);
+  stats_.send_seconds += seconds_since(t0);
+  deliver(DeliverScope::kActiveOnly);
+  const auto t1 = Clock::now();
+  pool_->parallel_for(receivers_.size(), [&](std::size_t i) {
+    const NodeId v = receivers_[i];
+    contexts_[v].rebind(round_, inbox_[v], /*may_send=*/false);
+    protocols_[v]->receive_phase(contexts_[v]);
   });
+  reschedule_after_phase(receivers_);
+  stats_.receive_seconds += seconds_since(t1);
   return round_messages_;
 }
 
@@ -206,18 +483,30 @@ RunStats Engine::run() {
 
   while (round_ < options_.max_rounds) {
     const std::uint64_t sent = step();
-    if (options_.stop_on_quiescence && sent == 0) {
-      const bool all_quiet = std::all_of(
-          protocols_.begin(), protocols_.end(),
-          [](const auto& p) { return p->quiescent(); });
-      if (all_quiet) return stats_;
+    if (options_.stop_on_quiescence && sent == 0 && all_quiescent()) {
+      return stats_;
+    }
+    if (!dense_ && active_next_.empty()) {
+      // No node may act next round; the gap up to the earliest heap wake is
+      // provably silent (hints are sound), so the dense engine would execute
+      // it as empty rounds.  Mirror its two possible behaviors exactly:
+      // stop after one silent round if everyone is quiescent, otherwise
+      // account the whole gap at once.
+      const Round wake = next_heap_wake();
+      const Round target = wake == Protocol::kNeverSends
+                               ? options_.max_rounds
+                               : std::min(wake - 1, options_.max_rounds);
+      if (target > round_) {
+        if (options_.stop_on_quiescence && all_quiescent()) {
+          skip_silent_rounds(1);
+          return stats_;
+        }
+        skip_silent_rounds(target - round_);
+      }
     }
   }
   // Ran out of budget: only a failure if someone still wanted to talk.
-  const bool all_quiet =
-      round_messages_ == 0 &&
-      std::all_of(protocols_.begin(), protocols_.end(),
-                  [](const auto& p) { return p->quiescent(); });
+  const bool all_quiet = round_messages_ == 0 && all_quiescent();
   stats_.hit_round_limit = !all_quiet;
   return stats_;
 }

@@ -18,13 +18,26 @@
 // delivery is gathered per receiver in (sender id, send order) order, so
 // parallel and single-threaded executions are bit-identical.
 //
+// Sparse execution (the default): most algorithms leave almost every node
+// idle in almost every round -- Algorithm 1's ceil(kappa + pos) schedule
+// sends at most one message per node per round and whole stretches of
+// rounds are silent.  The engine therefore runs a node's send_phase only
+// when the node's `next_send_round()` hint says it may act (or the default
+// hint, "every round", applies), and its receive_phase only when its inbox
+// is non-empty.  `Engine::run` additionally fast-forwards the round counter
+// across provably silent gaps.  Round/message/congestion statistics are
+// bit-identical to the dense schedule (see docs/PERF.md for the argument);
+// `EngineOptions::dense_fallback` keeps the exhaustive all-nodes-per-round
+// path as the correctness oracle.
+//
 // Termination: the engine stops at `max_rounds`, or earlier when no message
-// is in flight and every protocol reports `quiescent()` — i.e. it would
+// is in flight and every protocol reports `quiescent()` -- i.e. it would
 // never spontaneously send again without new input.  Quiescence detection is
 // a simulator-level convenience (a global observer); the algorithms' own
 // termination arguments are their round bounds, which tests assert.
 #pragma once
 
+#include <limits>
 #include <memory>
 #include <span>
 #include <vector>
@@ -70,6 +83,8 @@ class Context {
   Context(NodeId self, Round round, std::span<const Envelope> inbox,
           bool may_send)
       : self_(self), round_(round), inbox_(inbox), may_send_(may_send) {}
+  Context(const Context&) = default;
+  Context& operator=(const Context&) = default;
 
   NodeId self_;
   Round round_;
@@ -81,6 +96,10 @@ class Context {
 /// the engine guarantees each phase runs exactly once per node per round.
 class Protocol {
  public:
+  /// Sentinel for next_send_round: the node will never send spontaneously
+  /// (it may still be woken by an incoming message).
+  static constexpr Round kNeverSends = std::numeric_limits<Round>::max();
+
   virtual ~Protocol() = default;
 
   /// Round 0 setup; acts as round 0's send step (sending allowed).
@@ -95,11 +114,30 @@ class Protocol {
   /// True if, absent further incoming messages, this node will never send
   /// again.  Default suits purely reactive protocols.
   virtual bool quiescent() const { return true; }
+
+  /// Sparse-scheduler hint: the earliest round > `now` in which this node
+  /// might send spontaneously (i.e. without receiving anything further), or
+  /// kNeverSends if it will stay silent until a message arrives.  The engine
+  /// re-queries after init and after every send_phase / receive_phase the
+  /// node participates in, and guarantees send_phase runs in the returned
+  /// round (sooner if a message arrives in between).
+  ///
+  /// The default, "next round, always", reproduces the dense schedule
+  /// exactly, so protocols without a hint behave as before (every round).
+  ///
+  /// Contract (required for sparse/dense bit-identical stats; see
+  /// docs/PERF.md): the hint must never be later than the node's true next
+  /// spontaneous send, and in rounds where the node neither sends nor
+  /// receives, `send_phase` must be a no-op on observable state and
+  /// `quiescent()` must not change.  `receive_phase` with an empty inbox
+  /// must likewise be a no-op (the sparse engine skips it).
+  virtual Round next_send_round(Round now) const { return now + 1; }
 };
 
-/// Observer invoked once per delivered message (during the single-threaded
-/// accounting pass, so implementations need no locking).  For debugging,
-/// visualization, and the message-wave benches.
+/// Observer invoked once per delivered message (during a single-threaded
+/// accounting pass in deterministic (sender, send order) order, so
+/// implementations need no locking).  For debugging, visualization, and the
+/// message-wave benches.
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
@@ -150,6 +188,40 @@ struct EngineOptions {
   std::size_t threads = 0;
   /// Optional message observer (not owned; must outlive the engine).
   TraceSink* trace = nullptr;
+  /// Run every node every round (the original exhaustive schedule) instead
+  /// of the sparse active-set scheduler.  Kept as the correctness oracle:
+  /// stats and protocol outcomes are bit-identical either way (tested).
+  bool dense_fallback = false;
+};
+
+/// The engine's concrete per-node Context.  One instance per node lives for
+/// the whole run and is re-bound per phase (no per-phase construction); it
+/// also caches the last resolved link slot so repeated sends to the same
+/// neighbor (parent pointers, pipelined relays) skip the binary search.
+class NodeContext final : public Context {
+ public:
+  NodeContext(Engine& e, NodeId self)
+      : Context(self, 0, {}, false), engine_(&e) {}
+  NodeContext(const NodeContext&) = default;
+  NodeContext& operator=(const NodeContext&) = default;
+
+  NodeId node_count() const noexcept override;
+  std::span<const NodeId> neighbors() const noexcept override;
+  void send(NodeId to, const Message& m) override;
+  void broadcast(const Message& m) override;
+
+  /// Engine plumbing: repoint this context at a new phase.
+  void rebind(Round round, std::span<const Envelope> inbox,
+              bool may_send) noexcept {
+    round_ = round;
+    inbox_ = inbox;
+    may_send_ = may_send;
+  }
+
+ private:
+  Engine* engine_;
+  NodeId last_to_ = graph::kNoNode;  // send-slot cache
+  std::size_t last_slot_ = 0;
 };
 
 class Engine {
@@ -168,7 +240,8 @@ class Engine {
   RunStats run();
 
   /// Executes exactly one round (for step-debugging and tests).  Returns the
-  /// number of messages sent in that round.
+  /// number of messages sent in that round.  Never fast-forwards: a silent
+  /// round advances the counter by exactly one.
   std::uint64_t step();
 
   const graph::Graph& graph() const noexcept { return graph_; }
@@ -177,6 +250,17 @@ class Engine {
   const RunStats& stats() const noexcept { return stats_; }
   Round current_round() const noexcept { return round_; }
 
+  /// Process-wide overrides for equivalence tests and A/B benches: force
+  /// every subsequently constructed engine onto the dense fallback path
+  /// and/or a fixed thread count, regardless of its EngineOptions.  Set them
+  /// before constructing engines (they are latched in the constructor);
+  /// kNoThreadOverride clears the thread override.
+  static constexpr std::size_t kNoThreadOverride =
+      std::numeric_limits<std::size_t>::max();
+  static void set_force_dense(bool on) noexcept;
+  static bool force_dense() noexcept;
+  static void set_force_threads(std::size_t threads) noexcept;
+
   // Low-level send plumbing for Context implementations (not for protocol
   // code; protocols must go through Context so the phase rules hold).
   std::size_t link_slot(NodeId from, NodeId to) const;
@@ -184,33 +268,92 @@ class Engine {
   void enqueue(NodeId from, std::size_t slot, const Message& m);
 
  private:
+  /// How deliver() discovers work: every node (init round / dense path) or
+  /// only the senders that were active this round.
+  enum class DeliverScope { kAllNodes, kActiveOnly };
+
   void run_init_round();
-  void deliver();
-  util::ThreadPool& pool();
+  void deliver(DeliverScope scope);
+  void gather_inbox(NodeId v);
+  void trace_messages();
+  bool all_quiescent() const;
+
+  // --- sparse scheduler ---
+  void schedule(NodeId v, Round wake);
+  void reschedule_after_phase(std::span<const NodeId> nodes);
+  void build_active_set();
+  Round next_heap_wake();
+  void skip_silent_rounds(Round count);
 
   const graph::Graph& graph_;
   std::vector<std::unique_ptr<Protocol>> protocols_;
   EngineOptions options_;
-  std::unique_ptr<util::ThreadPool> own_pool_;  // when options_.threads > 0
+  bool dense_ = false;
+  std::unique_ptr<util::ThreadPool> own_pool_;  // when an explicit count is set
+  util::ThreadPool* pool_ = nullptr;            // resolved once, never rechecked
   RunStats stats_;
   Round round_ = 0;
   bool init_done_ = false;
 
-  // Per directed link (CSR position in comm adjacency of the sender):
-  // messages enqueued this round.
-  std::vector<std::size_t> link_base_;              // per node, into link_out_
-  std::vector<std::vector<Message>> link_out_;
-  std::vector<std::vector<std::size_t>> touched_;   // per node, dirty links
-  std::uint64_t round_messages_ = 0;                // messages this round
+  // --- zero-allocation message plane (steady state) ---
+  //
+  // Each sender appends its round's messages to a flat per-node arena in
+  // send order; per directed link (CSR position in the sender's comm
+  // adjacency) only a count and an offset into that arena are kept.  All
+  // buffers are reused across rounds, so after warm-up a round allocates
+  // nothing.
+  struct Outbox {
+    std::vector<std::uint32_t> slots;   ///< global link slot per send
+    std::vector<Message> msgs;          ///< parallel to `slots`, send order
+    std::vector<std::uint32_t> touched; ///< distinct slots, first-touch order
+    std::vector<Message> sorted;        ///< per-link-contiguous scatter buffer
+    bool has_dup = false;               ///< some link carries > 1 message
+  };
+  std::vector<std::size_t> link_base_;       // per node, into link arrays
+  std::vector<NodeId> link_target_;          // receiver of each directed link
+  std::vector<std::uint32_t> link_cnt_;      // messages this round, per link
+  std::vector<std::uint32_t> link_off_;      // start into sender arena
   std::vector<std::uint64_t> link_lifetime_count_;  // per link, whole run
+  std::vector<Outbox> out_;                  // per sender, reused
+  std::vector<NodeId> touched_senders_;      // senders with messages, per round
+  std::uint64_t round_messages_ = 0;         // messages this round
 
-  // Incoming link list per receiver: (sender, link slot), sender-ascending.
+  // Per-sender accounting partials so the sender-side pass can run on the
+  // pool and still reduce deterministically.
+  struct SenderPartial {
+    std::uint64_t msgs = 0;
+    std::uint64_t max_cong = 0;
+    std::uint64_t max_link_total = 0;
+    std::uint32_t max_fields = 0;
+  };
+  std::vector<SenderPartial> partials_;
+
+  // Incoming link list per receiver, flattened CSR: (sender, link slot),
+  // sender-ascending per receiver.
   struct InLink {
     NodeId from;
     std::size_t slot;
   };
-  std::vector<std::vector<InLink>> in_links_;
+  std::vector<InLink> in_links_;
+  std::vector<std::size_t> in_base_;  // per node, into in_links_
   std::vector<std::vector<Envelope>> inbox_;
+  std::vector<NodeId> receivers_;         // non-empty inboxes this round
+  std::vector<std::uint8_t> inbox_mark_;  // dedup while building receivers_
+
+  // --- active-set scheduler state ---
+  //
+  // wake_round_[v] is authoritative; 0 means "activated this round, will be
+  // re-scheduled after its phase" (real wakes are always >= 1).  Nodes due
+  // exactly next round go on active_next_ (the dense-default fast path, no
+  // heap traffic); later wakes go through a lazy min-heap whose stale
+  // entries are dropped on pop by comparing against wake_round_.
+  std::vector<Round> wake_round_;
+  std::vector<std::pair<Round, NodeId>> heap_;  // min-heap on Round
+  std::vector<NodeId> active_next_;
+  std::vector<std::uint8_t> in_next_;
+  std::vector<NodeId> active_now_;
+
+  std::vector<NodeContext> contexts_;  // one per node, reused every phase
 };
 
 }  // namespace dapsp::congest

@@ -1,6 +1,7 @@
 #include "congest/metrics.hpp"
 
 #include <algorithm>
+#include <iomanip>
 #include <sstream>
 
 namespace dapsp::congest {
@@ -16,6 +17,10 @@ RunStats& RunStats::operator+=(const RunStats& o) {
   max_link_total = std::max(max_link_total, o.max_link_total);
   max_message_fields = std::max(max_message_fields, o.max_message_fields);
   hit_round_limit = hit_round_limit || o.hit_round_limit;
+  skipped_rounds += o.skipped_rounds;
+  send_seconds += o.send_seconds;
+  deliver_seconds += o.deliver_seconds;
+  receive_seconds += o.receive_seconds;
   if (!per_round_messages.empty() || !o.per_round_messages.empty()) {
     per_round_messages.resize(rounds, 0);
     // o's rounds occupy the tail; copy what was recorded.
@@ -32,8 +37,21 @@ std::string RunStats::summary() const {
   os << "rounds=" << rounds << " last_msg_round=" << last_message_round
      << " messages=" << total_messages
      << " max_congestion=" << max_link_congestion
-     << " max_link_total=" << max_link_total
-     << (hit_round_limit ? " [HIT ROUND LIMIT]" : "");
+     << " max_link_total=" << max_link_total;
+  if (skipped_rounds > 0) os << " skipped=" << skipped_rounds;
+  if (hit_round_limit) os << " [HIT ROUND LIMIT]";
+  return os.str();
+}
+
+std::string RunStats::timing_summary() const {
+  if (send_seconds == 0.0 && deliver_seconds == 0.0 && receive_seconds == 0.0 &&
+      skipped_rounds == 0) {
+    return {};
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(4) << "send=" << send_seconds
+     << "s deliver=" << deliver_seconds << "s receive=" << receive_seconds
+     << "s skipped=" << skipped_rounds;
   return os.str();
 }
 

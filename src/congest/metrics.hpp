@@ -28,10 +28,27 @@ struct RunStats {
   bool hit_round_limit = false;
   std::vector<std::uint64_t> per_round_messages;  ///< filled when recording
 
+  /// Silent rounds the sparse engine fast-forwarded instead of executing.
+  /// They are fully counted in `rounds` (and as zeros in
+  /// `per_round_messages`); this records how many never paid a simulation
+  /// step.  Always 0 on the dense fallback path.
+  Round skipped_rounds = 0;
+
+  /// Simulator wall-clock per engine phase, in seconds (host-machine
+  /// observability, NOT part of the deterministic CONGEST accounting above;
+  /// equivalence tests must ignore these).
+  double send_seconds = 0.0;
+  double deliver_seconds = 0.0;
+  double receive_seconds = 0.0;
+
   /// Sequential composition of two phases (rounds add, maxima combine).
   RunStats& operator+=(const RunStats& o);
 
   std::string summary() const;
+
+  /// "send=..s deliver=..s receive=..s skipped=.." -- empty when nothing was
+  /// recorded (all timers zero and no rounds skipped).
+  std::string timing_summary() const;
 };
 
 }  // namespace dapsp::congest

@@ -129,6 +129,18 @@ void MultiplexProtocol::receive_phase(Context& ctx) {
   }
 }
 
+Round MultiplexProtocol::next_send_round(Round now) const {
+  // Backlogged queues drain one message per link every round.
+  for (const auto& q : queue_) {
+    if (!q.empty()) return now + 1;
+  }
+  Round wake = kNeverSends;
+  for (const auto& p : instances_) {
+    wake = std::min(wake, p->next_send_round(now));
+  }
+  return wake;
+}
+
 bool MultiplexProtocol::quiescent() const {
   for (const auto& q : queue_) {
     if (!q.empty()) return false;

@@ -45,6 +45,7 @@ class MultiplexProtocol final : public Protocol {
   void send_phase(Context& ctx) override;
   void receive_phase(Context& ctx) override;
   bool quiescent() const override;
+  Round next_send_round(Round now) const override;
 
   Protocol& instance(std::size_t i) { return *instances_[i]; }
   const Protocol& instance(std::size_t i) const { return *instances_[i]; }

@@ -60,6 +60,10 @@ class BfsProtocol final : public Protocol {
 
   bool quiescent() const override { return !pending_token_; }
 
+  Round next_send_round(Round now) const override {
+    return pending_token_ ? now + 1 : kNeverSends;
+  }
+
   NodeId parent() const { return parent_; }
   std::uint32_t depth() const { return depth_; }
   const std::vector<NodeId>& children() const { return children_; }
@@ -125,6 +129,10 @@ class BroadcastProtocol final : public Protocol {
     return forward_.empty();
   }
 
+  Round next_send_round(Round now) const override {
+    return quiescent() ? kNeverSends : now + 1;
+  }
+
   bool complete() const {
     return self_ == tree_.root || have_ == total_;
   }
@@ -173,6 +181,13 @@ class ConvergeMaxProtocol final : public Protocol {
     // A node still owing its parent a report is waiting on children, not on
     // its own schedule, so "quiescent" is fine: progress is message-driven.
     return true;
+  }
+
+  Round next_send_round(Round now) const override {
+    const bool owes_report = !sent_ && self_ != tree_.root &&
+                             tree_.reached(self_) &&
+                             reports_ == tree_.children[self_].size();
+    return owes_report ? now + 1 : kNeverSends;
   }
 
   bool done() const {
@@ -240,6 +255,13 @@ class GatherProtocol final : public Protocol {
     if (self_ == tree_.root) return true;
     return streamed_ >= up_.size() &&
            (count_sent_ || !tree_.reached(self_));
+  }
+
+  Round next_send_round(Round now) const override {
+    if (self_ == tree_.root || !tree_.reached(self_)) return kNeverSends;
+    const bool count_due =
+        !count_sent_ && count_reports_ >= tree_.children[self_].size();
+    return (count_due || streamed_ < up_.size()) ? now + 1 : kNeverSends;
   }
 
   bool root_has_all() const {

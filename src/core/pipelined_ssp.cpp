@@ -99,6 +99,20 @@ class PipelinedProtocol final : public Protocol {
     return true;
   }
 
+  /// Sparse-engine hint: the schedule of the first entry send_phase would
+  /// fire (schedules ck_i + (i+1) increase strictly along the list, so the
+  /// first unsettled entry at or past scan_floor_ is the next to act; if its
+  /// schedule already passed -- list churn moved it -- it fires next round).
+  Round next_send_round(Round now) const override {
+    for (std::size_t i = scan_floor_; i < list_.size(); ++i) {
+      const std::uint64_t sched = list_[i].ck + i + 1;
+      if (list_[i].fired_sched != sched) {
+        return sched <= now ? now + 1 : static_cast<Round>(sched);
+      }
+    }
+    return kNeverSends;
+  }
+
   // --- results ---
   const std::vector<Weight>& best_d() const { return best_d_; }
   const std::vector<std::uint32_t>& best_l() const { return best_l_; }

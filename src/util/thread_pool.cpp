@@ -1,12 +1,14 @@
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 
 namespace dapsp::util {
 
 struct ThreadPool::Batch {
   std::size_t n = 0;
-  const std::function<void(std::size_t)>* fn = nullptr;
+  void* ctx = nullptr;
+  RawFn fn = nullptr;
   std::atomic<std::size_t> cursor{0};
   std::size_t chunk = 1;
   std::size_t finished_workers = 0;  // guarded by pool mutex
@@ -38,17 +40,17 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
-void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
+void ThreadPool::parallel_for_raw(std::size_t n, void* ctx, RawFn fn) {
   if (n == 0) return;
   if (workers_.empty() || n == 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) fn(ctx, i);
     return;
   }
 
   Batch batch;
   batch.n = n;
-  batch.fn = &fn;
+  batch.ctx = ctx;
+  batch.fn = fn;
   batch.chunk = std::max<std::size_t>(1, n / (thread_count() * 8));
   {
     std::lock_guard lock(mutex_);
@@ -62,7 +64,7 @@ void ThreadPool::parallel_for(std::size_t n,
     const std::size_t start = batch.cursor.fetch_add(batch.chunk);
     if (start >= n) break;
     const std::size_t end = std::min(n, start + batch.chunk);
-    for (std::size_t i = start; i < end; ++i) fn(i);
+    for (std::size_t i = start; i < end; ++i) fn(ctx, i);
   }
 
   std::unique_lock lock(mutex_);
@@ -85,7 +87,7 @@ void ThreadPool::worker_loop() {
       const std::size_t start = batch->cursor.fetch_add(batch->chunk);
       if (start >= batch->n) break;
       const std::size_t end = std::min(batch->n, start + batch->chunk);
-      for (std::size_t i = start; i < end; ++i) (*batch->fn)(i);
+      for (std::size_t i = start; i < end; ++i) batch->fn(batch->ctx, i);
     }
     {
       std::lock_guard lock(mutex_);

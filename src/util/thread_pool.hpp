@@ -3,20 +3,28 @@
 // The CONGEST engine executes all node protocols for a round, then delivers
 // all messages; both phases are embarrassingly parallel across nodes.  The
 // pool keeps workers alive across rounds to avoid per-round thread spawns.
+//
+// parallel_for is a template over the callable: the loop body is invoked
+// through a plain function pointer + context pointer, so per-index dispatch
+// never goes through std::function (no type-erased allocation, and the call
+// inlines into the chunk loop when the callable is visible).
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace dapsp::util {
 
 class ThreadPool {
  public:
+  /// Signature the chunk loops dispatch through: fn(ctx, index).
+  using RawFn = void (*)(void*, std::size_t);
+
   /// Creates `threads` workers; 0 means use the hardware concurrency
   /// (minimum 1).  With a single worker parallel_for degrades to an inline
   /// loop, which keeps single-core machines overhead-free.
@@ -31,7 +39,16 @@ class ThreadPool {
   /// Runs fn(i) for every i in [0, n), blocking until all complete.  Work is
   /// claimed in contiguous chunks via an atomic cursor, so imbalance across
   /// nodes (e.g. hub vertices with long lists) is absorbed.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  template <typename F>
+  void parallel_for(std::size_t n, F&& fn) {
+    using Fn = std::remove_reference_t<F>;
+    parallel_for_raw(n, const_cast<void*>(static_cast<const void*>(&fn)),
+                     [](void* ctx, std::size_t i) { (*static_cast<Fn*>(ctx))(i); });
+  }
+
+  /// Type-erased core of parallel_for (also usable directly when the caller
+  /// already has a C-style callback).
+  void parallel_for_raw(std::size_t n, void* ctx, RawFn fn);
 
   /// Shared process-wide pool (constructed on first use).
   static ThreadPool& global();

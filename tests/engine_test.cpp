@@ -2,8 +2,13 @@
 
 #include <numeric>
 
+#include "baseline/bf_apsp.hpp"
 #include "congest/engine.hpp"
 #include "congest/primitives.hpp"
+#include "core/approx_apsp.hpp"
+#include "core/blocker_apsp.hpp"
+#include "core/pipelined_ssp.hpp"
+#include "core/scaled_apsp.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
 #include "graph/properties.hpp"
@@ -390,6 +395,240 @@ TEST(Primitives, GatherToAllEmpty) {
   const auto all =
       gather_to_all(g, tree, std::vector<std::vector<GatherItem>>(5));
   EXPECT_TRUE(all.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Sparse/dense equivalence: the active-set scheduler must be invisible in
+// every deterministic quantity.  Each solver is run once on the dense
+// fallback (the correctness oracle) and then sparse across thread counts;
+// stats and outputs must be bit-identical.  Wall-clock timers and
+// skipped_rounds are host observability, not CONGEST accounting, and are
+// deliberately excluded.
+// ---------------------------------------------------------------------------
+
+/// The deterministic subset of RunStats.
+struct DetStats {
+  Round rounds;
+  Round last_message_round;
+  std::uint64_t total_messages;
+  std::uint64_t max_link_congestion;
+  Round max_congestion_round;
+  std::uint64_t max_link_total;
+  std::uint32_t max_message_fields;
+  bool hit_round_limit;
+  std::vector<std::uint64_t> per_round_messages;
+
+  friend bool operator==(const DetStats&, const DetStats&) = default;
+};
+
+DetStats det(const RunStats& s) {
+  return {s.rounds,
+          s.last_message_round,
+          s.total_messages,
+          s.max_link_congestion,
+          s.max_congestion_round,
+          s.max_link_total,
+          s.max_message_fields,
+          s.hit_round_limit,
+          s.per_round_messages};
+}
+
+/// Restores the process-wide engine overrides on scope exit.
+struct EngineOverrideGuard {
+  ~EngineOverrideGuard() {
+    Engine::set_force_dense(false);
+    Engine::set_force_threads(Engine::kNoThreadOverride);
+  }
+};
+
+using SolverRun = std::pair<RunStats, std::vector<std::vector<Weight>>>;
+
+/// Runs `solve` dense single-threaded, then sparse with 1 thread and with
+/// the shared pool; everything deterministic must match exactly.
+template <typename Solver>
+void expect_sparse_matches_dense(const Solver& solve, const char* label) {
+  EngineOverrideGuard guard;
+  Engine::set_force_dense(true);
+  Engine::set_force_threads(1);
+  const SolverRun dense = solve();
+  EXPECT_EQ(dense.first.skipped_rounds, 0u) << label << ": dense skipped";
+
+  Engine::set_force_dense(false);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{0}}) {
+    Engine::set_force_threads(threads);
+    const SolverRun sparse = solve();
+    EXPECT_EQ(det(sparse.first), det(dense.first))
+        << label << ": stats diverge at threads=" << threads;
+    EXPECT_EQ(sparse.second, dense.second)
+        << label << ": outputs diverge at threads=" << threads;
+  }
+}
+
+TEST(SparseDense, PipelinedApsp) {
+  const Graph g = graph::erdos_renyi(16, 0.25, {1, 6, 0.0}, 9100);
+  const Weight delta = graph::max_finite_distance(g);
+  expect_sparse_matches_dense(
+      [&] {
+        const auto res = core::pipelined_apsp(g, delta);
+        return SolverRun{res.stats, res.dist};
+      },
+      "pipelined_apsp");
+}
+
+TEST(SparseDense, PipelinedKsspScrambledInbox) {
+  const Graph g = graph::erdos_renyi(14, 0.3, {1, 5, 0.2}, 9150);
+  core::PipelinedParams p;
+  p.sources = {0, 3, 7};
+  p.h = g.node_count() - 1;
+  p.delta = graph::max_finite_distance(g);
+  p.scramble_inbox = true;
+  p.record_per_round = true;
+  expect_sparse_matches_dense(
+      [&] {
+        const auto res = core::pipelined_kssp(g, p);
+        return SolverRun{res.stats, res.dist};
+      },
+      "pipelined_kssp+scramble");
+}
+
+TEST(SparseDense, BellmanFordApsp) {
+  const Graph g = graph::erdos_renyi(15, 0.25, {1, 7, 0.0}, 9200);
+  expect_sparse_matches_dense(
+      [&] {
+        const auto res = baseline::bf_apsp(g);
+        return SolverRun{res.stats, res.dist};
+      },
+      "bf_apsp");
+}
+
+TEST(SparseDense, BlockerApsp) {
+  const Graph g = graph::erdos_renyi(12, 0.35, {1, 5, 0.0}, 9300);
+  expect_sparse_matches_dense(
+      [&] {
+        const auto res = core::blocker_apsp(g, {});
+        return SolverRun{res.stats, res.dist};
+      },
+      "blocker_apsp");
+}
+
+TEST(SparseDense, ScaledHhopApsp) {
+  const Graph g = graph::erdos_renyi(12, 0.3, {0, 5, 0.3}, 9400);
+  core::ScaledApspParams p;
+  p.h = g.node_count() - 1;
+  p.delta = graph::max_finite_distance(g);
+  expect_sparse_matches_dense(
+      [&] {
+        const auto res = core::scaled_hhop_apsp(g, p);
+        return SolverRun{res.stats, res.dist};
+      },
+      "scaled_hhop_apsp");
+}
+
+TEST(SparseDense, ApproxApsp) {
+  const Graph g = graph::erdos_renyi(14, 0.25, {0, 6, 0.4}, 9500);
+  core::ApproxApspParams p;
+  p.eps = 0.5;
+  expect_sparse_matches_dense(
+      [&] {
+        const auto res = core::approx_apsp(g, p);
+        return SolverRun{res.stats, res.dist};
+      },
+      "approx_apsp");
+}
+
+/// Node 0 stays silent until round `fire`, then broadcasts once.  Its
+/// next_send_round hint lets the sparse engine fast-forward the gap.
+class TimerProtocol final : public Protocol {
+ public:
+  TimerProtocol(NodeId self, Round fire) : self_(self), fire_(fire) {}
+
+  void send_phase(Context& ctx) override {
+    if (self_ == 0 && ctx.round() == fire_) {
+      ctx.broadcast(Message(kPing, {42}));
+      fired_ = true;
+    }
+  }
+
+  void receive_phase(Context& ctx) override {
+    got_ += static_cast<int>(ctx.inbox().size());
+  }
+
+  bool quiescent() const override { return self_ != 0 || fired_; }
+
+  Round next_send_round(Round now) const override {
+    if (self_ != 0 || now >= fire_) return kNeverSends;
+    return fire_;
+  }
+
+  int got() const { return got_; }
+
+ private:
+  NodeId self_;
+  Round fire_;
+  bool fired_ = false;
+  int got_ = 0;
+};
+
+TEST(SparseDense, FastForwardSkipsSilentGapBitIdentically) {
+  const Graph g = graph::path(8, {1, 1, 0.0}, 9600);
+  constexpr Round kFire = 40;
+  const auto make = [&] {
+    std::vector<std::unique_ptr<Protocol>> procs;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      procs.push_back(std::make_unique<TimerProtocol>(v, kFire));
+    }
+    return procs;
+  };
+  EngineOptions opt;
+  opt.record_per_round = true;
+
+  EngineOverrideGuard guard;
+  Engine::set_force_dense(true);
+  Engine dense(g, make(), opt);
+  const RunStats ds = dense.run();
+  Engine::set_force_dense(false);
+  Engine sparse(g, make(), opt);
+  const RunStats ss = sparse.run();
+
+  EXPECT_EQ(det(ss), det(ds));
+  EXPECT_EQ(ds.skipped_rounds, 0u);
+  EXPECT_GT(ss.skipped_rounds, 30u);  // the silent 2..39 gap never executed
+  EXPECT_EQ(ss.last_message_round, kFire);
+  ASSERT_EQ(ss.per_round_messages.size(), ds.per_round_messages.size());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto& dp = static_cast<const TimerProtocol&>(dense.protocol(v));
+    const auto& sp = static_cast<const TimerProtocol&>(sparse.protocol(v));
+    EXPECT_EQ(sp.got(), dp.got()) << "node " << v;
+  }
+}
+
+TEST(SparseDense, StepInterleavedWithRunMatches) {
+  const Graph g = graph::grid(4, 4, {1, 3, 0.0}, 9700);
+  EngineOptions opt;
+  opt.record_per_round = true;
+
+  EngineOverrideGuard guard;
+  Engine::set_force_dense(true);
+  Engine dense(g, make_flood(g), opt);
+  const RunStats ds = dense.run();
+  Engine::set_force_dense(false);
+
+  // step() is contractually "exactly one round" (no fast-forward); finishing
+  // with run() must land on the same deterministic stats regardless of the
+  // split point.
+  Engine stepped(g, make_flood(g), opt);
+  stepped.step();
+  stepped.step();
+  stepped.step();
+  const RunStats ss = stepped.run();
+
+  EXPECT_EQ(det(ss), det(ds));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto& dp = static_cast<const FloodProtocol&>(dense.protocol(v));
+    const auto& sp = static_cast<const FloodProtocol&>(stepped.protocol(v));
+    EXPECT_EQ(sp.value(), dp.value());
+    EXPECT_EQ(sp.received(), dp.received());
+  }
 }
 
 }  // namespace
