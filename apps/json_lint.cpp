@@ -1,0 +1,71 @@
+// Strict JSON / JSONL validator for CI and scripts.
+//
+// Reads stdin.  Default mode treats the input as JSONL: every non-empty line
+// must be a complete, valid JSON value (RFC 8259).  `--doc` validates the
+// whole input as one JSON document instead (for files like
+// BENCH_SUMMARY.json or a Chrome trace).  Exit 0 when valid; exit 1 and
+// report offending line numbers otherwise.  No third-party dependencies:
+// the validator is the same obs::json_valid the tests use.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: json_lint [--doc] < input\n"
+               "  validates stdin as JSONL (one JSON value per line);\n"
+               "  --doc validates stdin as a single JSON document\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool doc = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--doc") {
+      doc = true;
+    } else if (arg == "-h" || arg == "--help") {
+      return usage();
+    } else {
+      std::cerr << "json_lint: unknown argument '" << arg << "'\n";
+      return usage();
+    }
+  }
+
+  std::ostringstream buf;
+  buf << std::cin.rdbuf();
+  const std::string input = buf.str();
+
+  if (doc) {
+    if (dapsp::obs::json_valid(input)) {
+      std::cout << "ok: valid JSON document\n";
+      return 0;
+    }
+    std::cerr << "json_lint: invalid JSON document\n";
+    return 1;
+  }
+
+  const auto bad = dapsp::obs::jsonl_invalid_lines(input);
+  std::size_t lines = 0;
+  {
+    std::istringstream in(input);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) ++lines;
+    }
+  }
+  if (bad.empty()) {
+    std::cout << "ok: " << lines << " JSONL line(s)\n";
+    return 0;
+  }
+  for (const std::size_t ln : bad) {
+    std::cerr << "json_lint: invalid JSON on line " << ln << "\n";
+  }
+  return 1;
+}

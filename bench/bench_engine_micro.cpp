@@ -10,6 +10,9 @@
 // BENCH_ENGINE.json.
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+#include <string>
+
 #include "baseline/bf_apsp.hpp"
 #include "congest/engine.hpp"
 #include "core/key.hpp"
@@ -17,6 +20,7 @@
 #include "graph/generators.hpp"
 #include "graph/properties.hpp"
 #include "harness.hpp"
+#include "obs/trace.hpp"
 #include "util/int_math.hpp"
 
 namespace {
@@ -144,25 +148,74 @@ BENCHMARK(BM_CeilMulSqrt);
 
 }  // namespace
 
-// Custom main: one warm-up comparison table (per-phase wall-clock, sparse vs
-// dense) before the google-benchmark runs, so `bench_engine_micro` with no
-// flags already shows where the time goes.
+// Custom main: one warm-up comparison table (per-phase wall-clock and
+// per-round distribution quantiles, sparse vs dense) before the
+// google-benchmark runs, so `bench_engine_micro` with no flags already shows
+// where the time goes.
+//
+// Two extra flags (peeled off before google-benchmark parses argv, which
+// rejects anything it does not recognise) export the warm-up runs through
+// the engine trace sink -- CI uses them to publish a sample trace artifact:
+//   --dapsp-trace=FILE        Chrome trace_event JSON of the warm-up runs
+//   --dapsp-run-record=FILE   compact JSONL run record of the same runs
 int main(int argc, char** argv) {
+  std::string trace_file;
+  std::string record_file;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--dapsp-trace=", 0) == 0) {
+      trace_file = a.substr(std::string("--dapsp-trace=").size());
+    } else if (a.rfind("--dapsp-run-record=", 0) == 0) {
+      record_file = a.substr(std::string("--dapsp-run-record=").size());
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
   dapsp::bench::banner(
       "ENGINE", "Simulator substrate microbenchmarks (active-set scheduler "
                 "vs dense fallback; identical stats, different wall-clock).");
   {
+    dapsp::obs::TraceRecorder recorder;
+    const bool tracing = !trace_file.empty() || !record_file.empty();
+    if (tracing) dapsp::congest::Engine::set_global_recorder(&recorder);
     const dapsp::graph::Graph g =
         dapsp::graph::path(2048, {1, 4, 0.0}, 11);
     auto sparse = dapsp::baseline::bf_sssp(g, 0);
     dapsp::congest::Engine::set_force_dense(true);
     auto dense = dapsp::baseline::bf_sssp(g, 0);
     dapsp::congest::Engine::set_force_dense(false);
+    if (tracing) dapsp::congest::Engine::set_global_recorder(nullptr);
     dapsp::bench::print_phase_timing({
         {"path-sssp n=2048 sparse", sparse.stats},
         {"path-sssp n=2048 dense", dense.stats},
     });
     std::cout << '\n';
+    dapsp::bench::print_round_histograms({
+        {"path-sssp n=2048 sparse", sparse.stats},
+        {"path-sssp n=2048 dense", dense.stats},
+    });
+    std::cout << '\n';
+    if (!trace_file.empty()) {
+      std::ofstream f(trace_file);
+      if (!f) {
+        std::cerr << "cannot open " << trace_file << '\n';
+        return 1;
+      }
+      recorder.write_chrome_trace(f);
+      std::cout << "wrote " << trace_file << '\n';
+    }
+    if (!record_file.empty()) {
+      std::ofstream f(record_file);
+      if (!f) {
+        std::cerr << "cannot open " << record_file << '\n';
+        return 1;
+      }
+      recorder.write_run_record(f);
+      std::cout << "wrote " << record_file << '\n';
+    }
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -65,6 +65,24 @@ void print_phase_timing(
   t.print(os);
 }
 
+void print_round_histograms(
+    const std::vector<std::pair<std::string, congest::RunStats>>& runs,
+    std::ostream& os) {
+  const auto ns = [](std::uint64_t v) {
+    return fmt_seconds(static_cast<double>(v) * 1e-9);
+  };
+  Table t({"run", "rounds", "msgs p50", "msgs p90", "msgs p99", "msgs max",
+           "send p99", "deliver p99", "receive p99"});
+  for (const auto& [label, s] : runs) {
+    const auto& m = s.round_messages_hist;
+    t.row({label, fmt(static_cast<std::uint64_t>(s.rounds)), fmt(m.p50()),
+           fmt(m.p90()), fmt(m.p99()), fmt(m.max()),
+           ns(s.send_ns_hist.p99()), ns(s.deliver_ns_hist.p99()),
+           ns(s.receive_ns_hist.p99())});
+  }
+  t.print(os);
+}
+
 void banner(const std::string& experiment, const std::string& description) {
   std::cout << "\n=== " << experiment << " ===\n" << description << "\n\n";
 }

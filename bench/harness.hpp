@@ -41,6 +41,15 @@ void print_phase_timing(
     const std::vector<std::pair<std::string, congest::RunStats>>& runs,
     std::ostream& os = std::cout);
 
+/// Prints per-round distribution quantiles for a set of labelled runs: the
+/// messages-per-round histogram (deterministic) and the p99 of each phase's
+/// per-round wall-clock (host observability).  The scalar totals above hide
+/// skew; these columns show it -- a run with msgs-p99 far above msgs-p50 has
+/// a few congested rounds dominating an otherwise quiet schedule.
+void print_round_histograms(
+    const std::vector<std::pair<std::string, congest::RunStats>>& runs,
+    std::ostream& os = std::cout);
+
 /// Prints the standard experiment banner.
 void banner(const std::string& experiment, const std::string& description);
 

@@ -50,5 +50,15 @@ ${bench_entries}
 }
 EOF
 
+# The summary is assembled by shell interpolation above; prove it actually
+# parses before anything downstream consumes it (a stray quote in e.g. the
+# git revision would silently corrupt every later diff).
+if [ -x build/apps/json_lint ]; then
+  if ! build/apps/json_lint --doc < BENCH_SUMMARY.json; then
+    echo "BENCH_SUMMARY.json is not valid JSON" >&2
+    exit 1
+  fi
+fi
+
 echo "done: test_output.txt, bench_output.txt, BENCH_SUMMARY.json, BENCH_*.json"
 [ "$test_status" = ok ] && [ "$bench_status" = ok ]

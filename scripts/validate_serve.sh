@@ -1,0 +1,54 @@
+#!/usr/bin/env sh
+# Adversarial serve-protocol validation: feeds the query service hostile
+# input (quotes, backslashes, control bytes, oversized tokens, binary noise)
+# in --format json mode and pipes every line it emits through json_lint.
+# The contract under test: a JSON serve session NEVER emits an unparseable
+# line, no matter what arrives on stdin -- the regression this guards is the
+# error path echoing raw user input into {"error": "..."} unescaped.
+#
+# Usage: scripts/validate_serve.sh [path/to/dapsp_cli [path/to/json_lint]]
+# Builds the default targets if the binaries are missing.
+set -e
+cd "$(dirname "$0")/.."
+
+CLI=${1:-build/apps/dapsp_cli}
+LINT=${2:-build/apps/json_lint}
+
+if [ ! -x "$CLI" ] || [ ! -x "$LINT" ]; then
+  cmake -B build -S . >/dev/null
+  cmake --build build --target dapsp_cli json_lint -j >/dev/null
+fi
+
+payload=$(mktemp)
+trap 'rm -f "$payload" "$payload.out"' EXIT
+
+# Hostile lines: valid queries interleaved with everything a fuzzer would
+# throw at a line protocol.  `printf %b` expands the escapes, so the service
+# really sees quotes, backslashes, tabs, and raw control bytes.
+{
+  printf 'dist 0 1\n'
+  printf 'dist 0 "quoted"\n'
+  printf 'path 0 \\backslash\\\n'
+  printf 'next "a\\"b" 2\n'
+  printf 'bogus \x01\x02\x1f control\n'
+  printf 'dist 0 99999999\n'
+  printf 'dist\n'
+  printf '"""""""""""""""""""""""""""""\n'
+  printf '\\\\\\\\\\\\\\\\\\\\\\\\\\\\\n'
+  awk 'BEGIN { s = "x"; for (i = 0; i < 12; i++) s = s s; print "dist 0 " s }'
+  printf 'stats\n'
+  printf 'dist 1 2\n'
+  printf 'quit\n'
+} > "$payload"
+
+"$CLI" serve --gen cycle --n 8 --seed 3 --format json \
+  --queries "$payload" > "$payload.out" || true  # malformed lines => rc 1, expected
+
+if ! "$LINT" < "$payload.out"; then
+  echo "FAIL: serve --format json emitted unparseable JSONL" >&2
+  cat "$payload.out" >&2
+  exit 1
+fi
+
+lines=$(grep -c . "$payload.out")
+echo "ok: $lines serve output lines, all valid JSON"

@@ -5,9 +5,11 @@
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "baseline/bf_apsp.hpp"
+#include "congest/engine.hpp"
 #include "core/approx_apsp.hpp"
 #include "core/blocker_apsp.hpp"
 #include "core/bounds.hpp"
@@ -15,6 +17,8 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/properties.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
 #include "service/query_service.hpp"
 
 namespace dapsp::cli {
@@ -39,7 +43,8 @@ void write_table(const DistOutput& r, bool quiet, std::ostream& out) {
   out << "algorithm: " << r.algo << "\n"
       << "rounds: " << r.stats.rounds << " (bound " << r.bound << ")\n"
       << "messages: " << r.stats.total_messages
-      << "  max-link-congestion: " << r.stats.max_link_congestion << "\n";
+      << "  max-link-congestion: " << r.stats.max_link_congestion << "\n"
+      << "round-msgs: " << r.stats.round_messages_hist.summary() << "\n";
   if (quiet) return;
   const std::size_t n = r.dist.empty() ? 0 : r.dist[0].size();
   out << "dist:\n     ";
@@ -59,32 +64,40 @@ void write_table(const DistOutput& r, bool quiet, std::ostream& out) {
 }
 
 void write_json(const DistOutput& r, bool quiet, std::ostream& out) {
-  out << "{\n  \"algorithm\": \"" << r.algo << "\",\n"
-      << "  \"rounds\": " << r.stats.rounds << ",\n"
-      << "  \"bound\": " << r.bound << ",\n"
-      << "  \"messages\": " << r.stats.total_messages << ",\n"
-      << "  \"max_link_congestion\": " << r.stats.max_link_congestion;
+  // Through obs::JsonWriter so the algorithm label (which carries commas,
+  // parens, and whatever a future solver puts in its name) is escaped and
+  // the document always parses.
+  obs::JsonWriter w(out);
+  w.begin_object()
+      .field("algorithm", r.algo)
+      .field("rounds", static_cast<std::uint64_t>(r.stats.rounds))
+      .field("bound", r.bound)
+      .field("messages", r.stats.total_messages)
+      .field("max_link_congestion", r.stats.max_link_congestion)
+      .field("max_link_total", r.stats.max_link_total)
+      .field("skipped_rounds", static_cast<std::uint64_t>(r.stats.skipped_rounds));
+  w.key("round_messages");
+  r.stats.round_messages_hist.write_json(w);
   if (!quiet) {
-    out << ",\n  \"sources\": [";
-    for (std::size_t i = 0; i < r.sources.size(); ++i) {
-      out << (i ? "," : "") << r.sources[i];
-    }
-    out << "],\n  \"dist\": [";
-    for (std::size_t i = 0; i < r.dist.size(); ++i) {
-      out << (i ? ",\n           " : "") << "[";
-      for (std::size_t v = 0; v < r.dist[i].size(); ++v) {
-        out << (v ? "," : "");
-        if (r.dist[i][v] == kInfDist) {
-          out << "null";
+    w.key("sources").begin_array();
+    for (const NodeId s : r.sources) w.value(static_cast<std::uint64_t>(s));
+    w.end_array();
+    w.key("dist").begin_array();
+    for (const auto& row : r.dist) {
+      w.begin_array();
+      for (const Weight d : row) {
+        if (d == kInfDist) {
+          w.null();
         } else {
-          out << r.dist[i][v];
+          w.value(static_cast<std::int64_t>(d));
         }
       }
-      out << "]";
+      w.end_array();
     }
-    out << "]";
+    w.end_array();
   }
-  out << "\n}\n";
+  w.end_object();
+  out << "\n";
 }
 
 void write_csv(const DistOutput& r, std::ostream& out) {
@@ -316,6 +329,45 @@ int cmd_query(const Options& opt, const Graph& g, std::ostream& out) {
   return 0;
 }
 
+/// Process-wide trace recording for the duration of one command.  The
+/// recorder is installed via Engine::set_global_recorder so it reaches the
+/// engines the solvers construct internally (including oracle builds for
+/// serve/query); RAII guarantees the global pointer never outlives the
+/// recorder, even when the command throws.  File export is an explicit step
+/// so open failures surface as command errors, not silent destructor noise.
+class TraceScope {
+ public:
+  explicit TraceScope(const Options& opt) : opt_(opt) {
+    if (opt_.trace_file || opt_.trace_jsonl_file) {
+      recorder_ = std::make_unique<obs::TraceRecorder>();
+      congest::Engine::set_global_recorder(recorder_.get());
+    }
+  }
+  ~TraceScope() {
+    if (recorder_) congest::Engine::set_global_recorder(nullptr);
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  void export_files() const {
+    if (!recorder_) return;
+    if (opt_.trace_file) {
+      std::ofstream f(*opt_.trace_file);
+      if (!f) throw std::runtime_error("cannot open " + *opt_.trace_file);
+      recorder_->write_chrome_trace(f);
+    }
+    if (opt_.trace_jsonl_file) {
+      std::ofstream f(*opt_.trace_jsonl_file);
+      if (!f) throw std::runtime_error("cannot open " + *opt_.trace_jsonl_file);
+      recorder_->write_run_record(f);
+    }
+  }
+
+ private:
+  const Options& opt_;
+  std::unique_ptr<obs::TraceRecorder> recorder_;
+};
+
 }  // namespace
 
 Graph make_input_graph(const Options& opt) {
@@ -343,28 +395,35 @@ int run_command(const Options& opt, std::ostream& out, std::ostream& err) {
       return 0;
     }
     const Graph g = make_input_graph(opt);
+    const TraceScope trace(opt);
+    int rc = 0;
     switch (opt.command) {
       case Command::kGen:
-        return cmd_gen(opt, g, out);
+        rc = cmd_gen(opt, g, out);
+        break;
       case Command::kInfo:
-        return cmd_info(opt, g, out);
+        rc = cmd_info(opt, g, out);
+        break;
       case Command::kApsp:
         emit(opt, run_apsp(opt, g), out);
-        return 0;
+        break;
       case Command::kKssp:
         emit(opt, run_kssp(opt, g), out);
-        return 0;
+        break;
       case Command::kApprox:
         emit(opt, run_approx(opt, g), out);
-        return 0;
+        break;
       case Command::kServe:
-        return cmd_serve(opt, g, out);
+        rc = cmd_serve(opt, g, out);
+        break;
       case Command::kQuery:
-        return cmd_query(opt, g, out);
+        rc = cmd_query(opt, g, out);
+        break;
       case Command::kHelp:
         break;
     }
-    return 0;
+    trace.export_files();
+    return rc;
   } catch (const std::exception& e) {
     err << "error: " << e.what() << "\n";
     return 1;

@@ -142,6 +142,10 @@ Options parse_options(const std::vector<std::string>& args) {
       opt.dot_file = next_value(a);
     } else if (a == "--quiet") {
       opt.quiet = true;
+    } else if (a == "--trace") {
+      opt.trace_file = next_value(a);
+    } else if (a == "--trace-jsonl") {
+      opt.trace_jsonl_file = next_value(a);
     } else {
       fail("unknown flag '" + a + "'");
     }
@@ -202,6 +206,11 @@ output:
   --out FILE               write results / generated graph to FILE
   --dot FILE               write graphviz DOT of the graph
   --quiet                  stats only, no distance matrix
+
+observability (records every engine round of the command):
+  --trace FILE             Chrome trace_event JSON (chrome://tracing,
+                           ui.perfetto.dev)
+  --trace-jsonl FILE       compact JSONL run record (meta + per-round lines)
 )";
 }
 

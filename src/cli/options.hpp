@@ -61,6 +61,11 @@ struct Options {
   std::optional<std::string> out_file;   // graph text (gen) / results
   std::optional<std::string> dot_file;   // graphviz
   bool quiet = false;                    // suppress distance matrix
+
+  // Observability: record every engine round (all engine runs the command
+  // triggers, including oracle builds) and export after the run.
+  std::optional<std::string> trace_file;        // Chrome trace_event JSON
+  std::optional<std::string> trace_jsonl_file;  // compact JSONL run record
 };
 
 /// Parses argv; throws std::invalid_argument with a message on bad input.

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -19,11 +20,16 @@ namespace {
 // solver runs, never concurrently with engine construction.
 bool g_force_dense = false;
 std::size_t g_force_threads = Engine::kNoThreadOverride;
+obs::TraceRecorder* g_global_recorder = nullptr;
 
 using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::uint64_t to_ns(double seconds) {
+  return static_cast<std::uint64_t>(seconds * 1e9);
 }
 
 /// Min-heap helpers over (wake round, node).
@@ -40,6 +46,12 @@ void Engine::set_force_dense(bool on) noexcept { g_force_dense = on; }
 bool Engine::force_dense() noexcept { return g_force_dense; }
 void Engine::set_force_threads(std::size_t threads) noexcept {
   g_force_threads = threads;
+}
+void Engine::set_global_recorder(obs::TraceRecorder* rec) noexcept {
+  g_global_recorder = rec;
+}
+obs::TraceRecorder* Engine::global_recorder() noexcept {
+  return g_global_recorder;
 }
 
 // --- NodeContext -----------------------------------------------------------
@@ -91,6 +103,8 @@ Engine::Engine(const Graph& g, std::vector<std::unique_ptr<Protocol>> protocols,
   util::check(protocols_.size() == g.node_count(),
               "Engine: need one protocol per node");
   dense_ = options_.dense_fallback || g_force_dense;
+  recorder_ = options_.recorder != nullptr ? options_.recorder
+                                           : g_global_recorder;
   const NodeId n = g.node_count();
 
   // Satellite fix: resolve the pool exactly once, here, instead of lazily
@@ -146,6 +160,11 @@ Engine::Engine(const Graph& g, std::vector<std::unique_ptr<Protocol>> protocols,
   }
   contexts_.reserve(n);
   for (NodeId v = 0; v < n; ++v) contexts_.emplace_back(*this, v);
+
+  if (recorder_ != nullptr) {
+    recorder_->begin_run(dense_ ? "engine(dense)" : "engine(sparse)", n,
+                         links);
+  }
 }
 
 Engine::~Engine() = default;
@@ -225,14 +244,17 @@ Round Engine::next_heap_wake() {
 /// counter, per-round zeros, and the skipped-round stat advance exactly as
 /// if the dense engine had run them and observed no messages.
 void Engine::skip_silent_rounds(Round count) {
+  const Round first = round_ + 1;
   round_ += count;
   stats_.rounds = round_;
   stats_.skipped_rounds += count;
   round_messages_ = 0;
+  stats_.round_messages_hist.record_n(0, count);
   if (options_.record_per_round) {
     stats_.per_round_messages.resize(stats_.per_round_messages.size() + count,
                                      0);
   }
+  if (recorder_ != nullptr) recorder_->record_gap(first, count);
 }
 
 // --- delivery --------------------------------------------------------------
@@ -363,10 +385,49 @@ void Engine::deliver(DeliverScope scope) {
       stats_.max_congestion_round = round_;
     }
   }
+  stats_.round_messages_hist.record(round_messages_);
   if (options_.record_per_round) {
     stats_.per_round_messages.push_back(round_messages_);
   }
   if (options_.trace != nullptr) trace_messages();
+  if (trace_event_ != nullptr) {
+    trace_event_->messages = round_messages_;
+    trace_event_->senders =
+        static_cast<std::uint32_t>(touched_senders_.size());
+    trace_event_->max_link_congestion = max_cong;
+    const std::size_t k = recorder_->top_k();
+    if (k > 0 && !touched_senders_.empty()) {
+      // Top-K most loaded links this round, ties broken by link slot so the
+      // leaderboard is deterministic.
+      link_scratch_.clear();
+      for (const NodeId sender : touched_senders_) {
+        for (const std::uint32_t slot : out_[sender].touched) {
+          link_scratch_.emplace_back(link_cnt_[slot], slot);
+        }
+      }
+      const auto heavier = [](const auto& a, const auto& b) {
+        return a.first > b.first || (a.first == b.first && a.second < b.second);
+      };
+      if (link_scratch_.size() > k) {
+        const auto kth =
+            link_scratch_.begin() + static_cast<std::ptrdiff_t>(k);
+        std::nth_element(link_scratch_.begin(), kth, link_scratch_.end(),
+                         heavier);
+        link_scratch_.resize(k);
+      }
+      std::sort(link_scratch_.begin(), link_scratch_.end(), heavier);
+      for (const auto& [cnt, slot] : link_scratch_) {
+        // Recover the sender from the slot via link_base_ (slots partition
+        // by sender, ascending).
+        const auto it = std::upper_bound(link_base_.begin(), link_base_.end(),
+                                         static_cast<std::size_t>(slot));
+        const auto from =
+            static_cast<NodeId>(it - link_base_.begin() - 1);
+        trace_event_->top_links.push_back(
+            {from, link_target_[slot], cnt});
+      }
+    }
+  }
 
   // 4. Gather per receiver, in (sender, send order) order -- or, when
   // scrambling, in a deterministic per-(receiver, round) permutation.
@@ -403,26 +464,52 @@ void Engine::deliver(DeliverScope scope) {
     ob.touched.clear();
     ob.has_dup = false;
   }
-  stats_.deliver_seconds += seconds_since(t0);
+  const double dt = seconds_since(t0);
+  stats_.deliver_seconds += dt;
+  stats_.deliver_ns_hist.record(to_ns(dt));
+  if (trace_event_ != nullptr) {
+    trace_event_->deliver_s = dt;
+    if (scope == DeliverScope::kAllNodes) {
+      std::uint32_t receivers = 0;
+      for (NodeId v = 0; v < n; ++v) receivers += !inbox_[v].empty();
+      trace_event_->receivers = receivers;
+    } else {
+      trace_event_->receivers = static_cast<std::uint32_t>(receivers_.size());
+    }
+  }
 }
 
 // --- rounds ----------------------------------------------------------------
 
 void Engine::run_init_round() {
   const NodeId n = graph_.node_count();
+  if (recorder_ != nullptr) {
+    trace_event_ = &recorder_->round_slot();
+    trace_event_->round = 0;
+  }
   const auto t0 = Clock::now();
   pool_->parallel_for(n, [&](std::size_t v) {
     contexts_[v].rebind(0, {}, /*may_send=*/true);
     protocols_[v]->init(contexts_[v]);
   });
-  stats_.send_seconds += seconds_since(t0);
+  const double send_dt = seconds_since(t0);
+  stats_.send_seconds += send_dt;
+  stats_.send_ns_hist.record(to_ns(send_dt));
   deliver(DeliverScope::kAllNodes);
   const auto t1 = Clock::now();
   pool_->parallel_for(n, [&](std::size_t v) {
     contexts_[v].rebind(0, inbox_[v], /*may_send=*/false);
     protocols_[v]->receive_phase(contexts_[v]);
   });
-  stats_.receive_seconds += seconds_since(t1);
+  const double recv_dt = seconds_since(t1);
+  stats_.receive_seconds += recv_dt;
+  stats_.receive_ns_hist.record(to_ns(recv_dt));
+  if (trace_event_ != nullptr) {
+    trace_event_->send_s = send_dt;
+    trace_event_->receive_s = recv_dt;
+    recorder_->commit_round(*trace_event_);
+    trace_event_ = nullptr;
+  }
   if (!dense_) {
     for (NodeId v = 0; v < n; ++v) {
       schedule(v, protocols_[v]->next_send_round(0));
@@ -438,7 +525,13 @@ std::uint64_t Engine::step() {
   }
   ++round_;
   stats_.rounds = round_;
+  if (recorder_ != nullptr) {
+    trace_event_ = &recorder_->round_slot();
+    trace_event_->round = round_;
+  }
 
+  double send_dt = 0.0;
+  double recv_dt = 0.0;
   if (dense_) {
     const NodeId n = graph_.node_count();
     const auto t0 = Clock::now();
@@ -446,35 +539,46 @@ std::uint64_t Engine::step() {
       contexts_[v].rebind(round_, {}, /*may_send=*/true);
       protocols_[v]->send_phase(contexts_[v]);
     });
-    stats_.send_seconds += seconds_since(t0);
+    send_dt = seconds_since(t0);
+    stats_.send_seconds += send_dt;
+    stats_.send_ns_hist.record(to_ns(send_dt));
     deliver(DeliverScope::kAllNodes);
     const auto t1 = Clock::now();
     pool_->parallel_for(n, [&](std::size_t v) {
       contexts_[v].rebind(round_, inbox_[v], /*may_send=*/false);
       protocols_[v]->receive_phase(contexts_[v]);
     });
-    stats_.receive_seconds += seconds_since(t1);
-    return round_messages_;
+    recv_dt = seconds_since(t1);
+  } else {
+    build_active_set();
+    const auto t0 = Clock::now();
+    pool_->parallel_for(active_now_.size(), [&](std::size_t i) {
+      const NodeId v = active_now_[i];
+      contexts_[v].rebind(round_, {}, /*may_send=*/true);
+      protocols_[v]->send_phase(contexts_[v]);
+    });
+    reschedule_after_phase(active_now_);
+    send_dt = seconds_since(t0);
+    stats_.send_seconds += send_dt;
+    stats_.send_ns_hist.record(to_ns(send_dt));
+    deliver(DeliverScope::kActiveOnly);
+    const auto t1 = Clock::now();
+    pool_->parallel_for(receivers_.size(), [&](std::size_t i) {
+      const NodeId v = receivers_[i];
+      contexts_[v].rebind(round_, inbox_[v], /*may_send=*/false);
+      protocols_[v]->receive_phase(contexts_[v]);
+    });
+    reschedule_after_phase(receivers_);
+    recv_dt = seconds_since(t1);
   }
-
-  build_active_set();
-  const auto t0 = Clock::now();
-  pool_->parallel_for(active_now_.size(), [&](std::size_t i) {
-    const NodeId v = active_now_[i];
-    contexts_[v].rebind(round_, {}, /*may_send=*/true);
-    protocols_[v]->send_phase(contexts_[v]);
-  });
-  reschedule_after_phase(active_now_);
-  stats_.send_seconds += seconds_since(t0);
-  deliver(DeliverScope::kActiveOnly);
-  const auto t1 = Clock::now();
-  pool_->parallel_for(receivers_.size(), [&](std::size_t i) {
-    const NodeId v = receivers_[i];
-    contexts_[v].rebind(round_, inbox_[v], /*may_send=*/false);
-    protocols_[v]->receive_phase(contexts_[v]);
-  });
-  reschedule_after_phase(receivers_);
-  stats_.receive_seconds += seconds_since(t1);
+  stats_.receive_seconds += recv_dt;
+  stats_.receive_ns_hist.record(to_ns(recv_dt));
+  if (trace_event_ != nullptr) {
+    trace_event_->send_s = send_dt;
+    trace_event_->receive_s = recv_dt;
+    recorder_->commit_round(*trace_event_);
+    trace_event_ = nullptr;
+  }
   return round_messages_;
 }
 

@@ -48,6 +48,11 @@
 #include "congest/metrics.hpp"
 #include "graph/graph.hpp"
 
+namespace dapsp::obs {
+class TraceRecorder;
+struct TraceEvent;
+}  // namespace dapsp::obs
+
 namespace dapsp::congest {
 
 class Engine;
@@ -188,6 +193,13 @@ struct EngineOptions {
   std::size_t threads = 0;
   /// Optional message observer (not owned; must outlive the engine).
   TraceSink* trace = nullptr;
+  /// Optional per-round trace recorder (not owned; must outlive the
+  /// engine).  Receives one event per executed round -- message count,
+  /// top-K link congestion, phase wall-clock -- and one event per
+  /// fast-forwarded gap; see obs/trace.hpp.  Null (the default) costs
+  /// nothing: deterministic stats and solver outputs are identical with
+  /// the recorder on or off (tested).
+  obs::TraceRecorder* recorder = nullptr;
   /// Run every node every round (the original exhaustive schedule) instead
   /// of the sparse active-set scheduler.  Kept as the correctness oracle:
   /// stats and protocol outcomes are bit-identical either way (tested).
@@ -261,6 +273,14 @@ class Engine {
   static bool force_dense() noexcept;
   static void set_force_threads(std::size_t threads) noexcept;
 
+  /// Process-wide trace recorder, latched by every subsequently constructed
+  /// engine whose options carry no recorder of their own.  This is how the
+  /// CLI's --trace flag observes engines built deep inside the solvers
+  /// without threading a pointer through every call chain; null clears it.
+  /// Same single-threaded-setup contract as the force_* overrides.
+  static void set_global_recorder(obs::TraceRecorder* rec) noexcept;
+  static obs::TraceRecorder* global_recorder() noexcept;
+
   // Low-level send plumbing for Context implementations (not for protocol
   // code; protocols must go through Context so the phase rules hold).
   std::size_t link_slot(NodeId from, NodeId to) const;
@@ -289,6 +309,8 @@ class Engine {
   std::vector<std::unique_ptr<Protocol>> protocols_;
   EngineOptions options_;
   bool dense_ = false;
+  obs::TraceRecorder* recorder_ = nullptr;  // latched in ctor, may be global
+  obs::TraceEvent* trace_event_ = nullptr;  // this round's slot, if recording
   std::unique_ptr<util::ThreadPool> own_pool_;  // when an explicit count is set
   util::ThreadPool* pool_ = nullptr;            // resolved once, never rechecked
   RunStats stats_;
@@ -339,6 +361,8 @@ class Engine {
   std::vector<std::vector<Envelope>> inbox_;
   std::vector<NodeId> receivers_;         // non-empty inboxes this round
   std::vector<std::uint8_t> inbox_mark_;  // dedup while building receivers_
+  std::vector<std::pair<std::uint64_t, std::uint32_t>>
+      link_scratch_;                      // (count, slot) top-K staging
 
   // --- active-set scheduler state ---
   //

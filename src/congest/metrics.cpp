@@ -18,9 +18,13 @@ RunStats& RunStats::operator+=(const RunStats& o) {
   max_message_fields = std::max(max_message_fields, o.max_message_fields);
   hit_round_limit = hit_round_limit || o.hit_round_limit;
   skipped_rounds += o.skipped_rounds;
+  round_messages_hist += o.round_messages_hist;
   send_seconds += o.send_seconds;
   deliver_seconds += o.deliver_seconds;
   receive_seconds += o.receive_seconds;
+  send_ns_hist += o.send_ns_hist;
+  deliver_ns_hist += o.deliver_ns_hist;
+  receive_ns_hist += o.receive_ns_hist;
   if (!per_round_messages.empty() || !o.per_round_messages.empty()) {
     per_round_messages.resize(rounds, 0);
     // o's rounds occupy the tail; copy what was recorded.
@@ -40,6 +44,16 @@ std::string RunStats::summary() const {
      << " max_link_total=" << max_link_total;
   if (skipped_rounds > 0) os << " skipped=" << skipped_rounds;
   if (hit_round_limit) os << " [HIT ROUND LIMIT]";
+  return os.str();
+}
+
+std::string RunStats::histogram_summary() const {
+  if (round_messages_hist.empty()) return {};
+  std::ostringstream os;
+  os << "round_msgs[" << round_messages_hist.summary() << "]"
+     << " send_ns[" << send_ns_hist.summary() << "]"
+     << " deliver_ns[" << deliver_ns_hist.summary() << "]"
+     << " receive_ns[" << receive_ns_hist.summary() << "]";
   return os.str();
 }
 

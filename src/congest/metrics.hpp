@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "congest/message.hpp"
+#include "obs/histogram.hpp"
 
 namespace dapsp::congest {
 
@@ -34,12 +35,25 @@ struct RunStats {
   /// step.  Always 0 on the dense fallback path.
   Round skipped_rounds = 0;
 
+  /// Distribution of per-round message counts (one sample per simulated
+  /// round, fast-forwarded silent rounds included as zeros).  Deterministic:
+  /// bit-identical across schedulers and thread counts, like
+  /// per_round_messages but always on and O(1) space.
+  obs::Histogram round_messages_hist;
+
   /// Simulator wall-clock per engine phase, in seconds (host-machine
   /// observability, NOT part of the deterministic CONGEST accounting above;
   /// equivalence tests must ignore these).
   double send_seconds = 0.0;
   double deliver_seconds = 0.0;
   double receive_seconds = 0.0;
+
+  /// Per-round wall-clock distributions (ns) for each engine phase; host
+  /// observability like the *_seconds totals.  Executed rounds only --
+  /// fast-forwarded rounds cost no wall-clock and record no sample.
+  obs::Histogram send_ns_hist;
+  obs::Histogram deliver_ns_hist;
+  obs::Histogram receive_ns_hist;
 
   /// Sequential composition of two phases (rounds add, maxima combine).
   RunStats& operator+=(const RunStats& o);
@@ -49,6 +63,10 @@ struct RunStats {
   /// "send=..s deliver=..s receive=..s skipped=.." -- empty when nothing was
   /// recorded (all timers zero and no rounds skipped).
   std::string timing_summary() const;
+
+  /// Per-round distributions: "round_msgs[...] send_ns[...] deliver_ns[...]
+  /// receive_ns[...]" -- empty when no round was recorded.
+  std::string histogram_summary() const;
 };
 
 }  // namespace dapsp::congest

@@ -7,14 +7,21 @@
 namespace dapsp::graph {
 
 void write_graph(std::ostream& os, const Graph& g) {
+  // Undirected edges are stored in both directions; emit each once.  The
+  // condition is <=, not <, so a self-loop could never be silently dropped
+  // (GraphBuilder rejects self-loops today, but a writer must not lose data
+  // if that invariant ever changes).
+  const auto emit = [&g](const Edge& e) {
+    return g.directed() || e.from <= e.to;
+  };
   std::size_t m = 0;
   for (const Edge& e : g.edges()) {
-    if (g.directed() || e.from < e.to) ++m;
+    if (emit(e)) ++m;
   }
   os << "dapsp " << (g.directed() ? "directed" : "undirected") << ' '
      << g.node_count() << ' ' << m << '\n';
   for (const Edge& e : g.edges()) {
-    if (g.directed() || e.from < e.to) {
+    if (emit(e)) {
       os << e.from << ' ' << e.to << ' ' << e.weight << '\n';
     }
   }
@@ -33,8 +40,11 @@ Graph read_graph(std::istream& is) {
   std::string magic, mode;
   NodeId n = 0;
   std::size_t m = 0;
-  header >> magic >> mode >> n >> m;
-  if (magic != "dapsp" || (mode != "directed" && mode != "undirected")) {
+  // The extraction itself must be checked: a truncated header like
+  // "dapsp directed" would otherwise leave n = m = 0 and parse as a valid
+  // empty graph, silently discarding every edge that follows.
+  if (!(header >> magic >> mode >> n >> m) || magic != "dapsp" ||
+      (mode != "directed" && mode != "undirected")) {
     throw std::runtime_error("read_graph: bad header");
   }
   GraphBuilder b(n, mode == "directed");

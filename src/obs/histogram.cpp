@@ -1,0 +1,58 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace dapsp::obs {
+
+std::uint64_t Histogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // rank: smallest r >= 1 such that r/count >= q.
+  const auto rank = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      // The bucket's upper bound, clamped by the exact extrema.
+      return std::clamp(bucket_upper(i), min(), max());
+    }
+  }
+  return max();
+}
+
+Histogram& Histogram::operator+=(const Histogram& o) noexcept {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += o.buckets_[i];
+  count_ += o.count_;
+  sum_ += o.sum_;
+  max_ = std::max(max_, o.max_);
+  min_seen_ = std::min(min_seen_, o.min_seen_);
+  return *this;
+}
+
+std::string Histogram::summary() const {
+  std::ostringstream os;
+  os << "n=" << count_ << " mean=" << static_cast<std::uint64_t>(mean())
+     << " p50=" << p50() << " p90=" << p90() << " p99=" << p99()
+     << " max=" << max();
+  return os.str();
+}
+
+void Histogram::write_json(JsonWriter& w) const {
+  w.begin_object()
+      .field("count", count_)
+      .field("sum", sum_)
+      .field("min", min())
+      .field("max", max())
+      .field("mean", mean())
+      .field("p50", p50())
+      .field("p90", p90())
+      .field("p99", p99())
+      .end_object();
+}
+
+}  // namespace dapsp::obs

@@ -1,0 +1,119 @@
+// Log-bucketed (power-of-two) histogram for latency and per-round counts.
+//
+// Replaces the min/mean/max scalar triples that used to live in
+// service/stats.hpp: a mean hides tail latency, and an empty type's
+// UINT64_MAX min sentinel leaked straight into reports.  Buckets are
+// [2^(i-1), 2^i), so 64 fixed counters cover the whole uint64 range with
+// <= 2x relative quantile error; exact min/max/sum are tracked on the side
+// so max is precise and quantile answers are clamped into [min, max].
+// Empty histograms render every statistic as 0 -- no sentinels.
+//
+// The type is a plain value (fixed-size array, no allocation): snapshots
+// compose with `operator+=` exactly like RunStats/ServiceStats, recording
+// is a couple of increments, and deterministic inputs (per-round message
+// counts) produce bit-identical histograms across schedulers and thread
+// counts.  Concurrent writers keep their own per-bucket atomics and
+// materialize via `from_raw` (see query_service.cpp's Recorder).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace dapsp::obs {
+
+class JsonWriter;
+
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  /// Bucket for value v: 0 holds exactly {0}, bucket i >= 1 holds
+  /// [2^(i-1), 2^i).  Public so lock-free recorders can pre-bucket.
+  static constexpr std::size_t bucket_index(std::uint64_t v) noexcept {
+    return v == 0 ? 0
+                  : static_cast<std::size_t>(
+                        std::min(64 - std::countl_zero(v),
+                                 static_cast<int>(kBuckets - 1)));
+  }
+
+  /// Upper bound (inclusive) of bucket i, used as the quantile estimate.
+  static constexpr std::uint64_t bucket_upper(std::size_t i) noexcept {
+    return i == 0 ? 0
+           : i >= kBuckets - 1
+               ? ~std::uint64_t{0}
+               : (std::uint64_t{1} << i) - 1;
+  }
+
+  void record(std::uint64_t v) { record_n(v, 1); }
+
+  void record_n(std::uint64_t v, std::uint64_t n) {
+    if (n == 0) return;
+    buckets_[bucket_index(v)] += n;
+    count_ += n;
+    sum_ += v * n;
+    if (v > max_) max_ = v;
+    if (v < min_seen_) min_seen_ = v;
+  }
+
+  /// Rebuilds a histogram from externally accumulated parts (e.g. atomic
+  /// per-bucket counters).  `min`/`max` are ignored when `count` is 0.
+  static Histogram from_raw(std::span<const std::uint64_t, kBuckets> buckets,
+                            std::uint64_t count, std::uint64_t sum,
+                            std::uint64_t min, std::uint64_t max) {
+    Histogram h;
+    std::copy(buckets.begin(), buckets.end(), h.buckets_.begin());
+    h.count_ = count;
+    h.sum_ = sum;
+    if (count > 0) {
+      h.min_seen_ = min;
+      h.max_ = max;
+    }
+    return h;
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t sum() const noexcept { return sum_; }
+  bool empty() const noexcept { return count_ == 0; }
+  /// Exact extrema; 0 when empty (never a sentinel).
+  std::uint64_t min() const noexcept { return count_ == 0 ? 0 : min_seen_; }
+  std::uint64_t max() const noexcept { return max_; }
+  double mean() const noexcept {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Value v such that >= q of recorded samples are <= v, up to bucket
+  /// resolution (<= 2x).  q outside (0,1] is clamped; 0 when empty.
+  std::uint64_t quantile(double q) const noexcept;
+  std::uint64_t p50() const noexcept { return quantile(0.50); }
+  std::uint64_t p90() const noexcept { return quantile(0.90); }
+  std::uint64_t p99() const noexcept { return quantile(0.99); }
+
+  std::span<const std::uint64_t, kBuckets> buckets() const noexcept {
+    return buckets_;
+  }
+
+  Histogram& operator+=(const Histogram& o) noexcept;
+  friend bool operator==(const Histogram&, const Histogram&) = default;
+
+  /// "n=12 mean=340 p50=256 p90=2047 p99=4095 max=3891" (values in the
+  /// caller's unit; empty histograms render all zeros).
+  std::string summary() const;
+
+  /// {"count":..,"sum":..,"min":..,"max":..,"mean":..,"p50":..,"p90":..,
+  ///  "p99":..} as one JSON object on `w` (caller provides the key).
+  void write_json(JsonWriter& w) const;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_seen_ = ~std::uint64_t{0};
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace dapsp::obs

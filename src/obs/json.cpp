@@ -1,0 +1,323 @@
+#include "obs/json.hpp"
+
+#include <array>
+#include <cassert>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace dapsp::obs {
+
+// --- escaping --------------------------------------------------------------
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (u < 0x20) {
+          std::array<char, 8> buf;
+          std::snprintf(buf.data(), buf.size(), "\\u%04x", u);
+          out += buf.data();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"' << json_escape(s) << '"';
+}
+
+void write_json_double(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  // Shortest round-trip representation; always a valid JSON number.
+  std::array<char, 32> buf;
+  const auto [ptr, ec] =
+      std::to_chars(buf.data(), buf.data() + buf.size(), v);
+  if (ec != std::errc{}) {
+    os << "null";
+    return;
+  }
+  os.write(buf.data(), ptr - buf.data());
+}
+
+// --- JsonWriter ------------------------------------------------------------
+
+void JsonWriter::before_value() {
+  if (after_key_) {
+    after_key_ = false;  // value completes the "key": pair, no comma here
+    return;
+  }
+  if (need_comma_) os_ << ',';
+  need_comma_ = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  os_ << '{';
+  stack_.push_back(Frame::kObject);
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  assert(!stack_.empty() && stack_.back() == Frame::kObject);
+  stack_.pop_back();
+  os_ << '}';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  os_ << '[';
+  stack_.push_back(Frame::kArray);
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  assert(!stack_.empty() && stack_.back() == Frame::kArray);
+  stack_.pop_back();
+  os_ << ']';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  assert(!stack_.empty() && stack_.back() == Frame::kObject);
+  if (need_comma_) os_ << ',';
+  write_json_string(os_, k);
+  os_ << ':';
+  need_comma_ = true;
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  before_value();
+  write_json_string(os_, s);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  before_value();
+  os_ << (b ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  write_json_double(os_, v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  os_ << "null";
+  return *this;
+}
+
+// --- validation ------------------------------------------------------------
+//
+// Recursive-descent RFC 8259 parser that only answers valid/invalid.  Depth
+// is bounded so adversarial input ("[[[[..." ) cannot blow the stack.
+
+namespace {
+
+class Validator {
+ public:
+  explicit Validator(std::string_view s) : s_(s) {}
+
+  bool run() {
+    skip_ws();
+    if (!parse_value(0)) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  bool eof() const { return pos_ >= s_.size(); }
+  char peek() const { return s_[pos_]; }
+  bool consume(char c) {
+    if (eof() || s_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (!eof() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                      s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool literal(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_value(int depth) {
+    if (depth > kMaxDepth || eof()) return false;
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return parse_string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return parse_number();
+    }
+  }
+
+  bool parse_object(int depth) {
+    ++pos_;  // '{'
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"' || !parse_string()) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      skip_ws();
+      if (!parse_value(depth + 1)) return false;
+      skip_ws();
+      if (consume('}')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool parse_array(int depth) {
+    ++pos_;  // '['
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      skip_ws();
+      if (!parse_value(depth + 1)) return false;
+      skip_ws();
+      if (consume(']')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool parse_string() {
+    ++pos_;  // '"'
+    while (!eof()) {
+      const auto c = static_cast<unsigned char>(s_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return false;  // raw control char
+      if (c == '\\') {
+        ++pos_;
+        if (eof()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (eof() || !std::isxdigit(static_cast<unsigned char>(s_[pos_]))) {
+              return false;
+            }
+          }
+          ++pos_;
+        } else if (e == '"' || e == '\\' || e == '/' || e == 'b' || e == 'f' ||
+                   e == 'n' || e == 'r' || e == 't') {
+          ++pos_;
+        } else {
+          return false;
+        }
+      } else {
+        ++pos_;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool digit() {
+    if (eof() || !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool parse_number() {
+    consume('-');
+    if (consume('0')) {
+      // leading zero: no further integer digits allowed
+    } else {
+      if (!digit()) return false;
+      while (digit()) {
+      }
+    }
+    if (consume('.')) {
+      if (!digit()) return false;
+      while (digit()) {
+      }
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (!digit()) return false;
+      while (digit()) {
+      }
+    }
+    return true;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool json_valid(std::string_view text) { return Validator(text).run(); }
+
+std::vector<std::size_t> jsonl_invalid_lines(std::string_view text) {
+  std::vector<std::size_t> bad;
+  std::size_t lineno = 0;
+  while (!text.empty()) {
+    ++lineno;
+    const std::size_t nl = text.find('\n');
+    const std::string_view line =
+        nl == std::string_view::npos ? text : text.substr(0, nl);
+    text = nl == std::string_view::npos ? std::string_view{}
+                                        : text.substr(nl + 1);
+    const bool blank =
+        line.find_first_not_of(" \t\r") == std::string_view::npos;
+    if (!blank && !json_valid(line)) bad.push_back(lineno);
+  }
+  return bad;
+}
+
+}  // namespace dapsp::obs

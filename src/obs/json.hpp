@@ -1,0 +1,91 @@
+// Minimal JSON emission and validation shared by every machine-readable
+// line the repository writes (serve JSONL, CLI --format json, the trace
+// exporter, BENCH summaries).
+//
+// The motivating bug: ad-hoc `out << "\"" << s << "\""` sprinkled through
+// the reporting paths produced invalid JSON the moment `s` contained a
+// quote or backslash -- and the serve protocol echoes raw user input into
+// its error strings.  All string emission now funnels through
+// `write_json_string`, and `json_valid` gives tests / CI a dependency-free
+// way to assert that what we emit actually parses.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dapsp::obs {
+
+/// Returns `s` with JSON string escaping applied (quotes, backslashes,
+/// control characters as \uXXXX); no surrounding quotes.
+std::string json_escape(std::string_view s);
+
+/// Writes `s` as a JSON string literal, quotes included.
+void write_json_string(std::ostream& os, std::string_view s);
+
+/// Writes a double as a JSON number.  NaN/Inf (not representable in JSON)
+/// are written as null.
+void write_json_double(std::ostream& os, double v);
+
+/// True iff `text` is exactly one valid JSON value (leading/trailing
+/// whitespace allowed).  Strict RFC 8259 grammar, bounded nesting depth.
+bool json_valid(std::string_view text);
+
+/// Validates line-delimited JSON: every non-empty line must be a valid JSON
+/// value.  Returns the 1-based line numbers that failed (empty = all good).
+std::vector<std::size_t> jsonl_invalid_lines(std::string_view text);
+
+/// Streaming JSON writer with comma/nesting management, so call sites can
+/// never emit a structurally invalid document.  Values written at the top
+/// level (no open object/array) are emitted bare, which is what the JSONL
+/// emitters use -- one `value`/object per line.
+///
+///   JsonWriter w(out);
+///   w.begin_object().key("rounds").value(42).key("algo").value(name);
+///   w.end_object();  // + "\n" by the caller if JSONL
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member name; must be inside an object, followed by one value.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(bool b);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& null();
+
+  /// key + value in one call: w.field("n", 32)
+  template <typename T>
+  JsonWriter& field(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+  JsonWriter& field_null(std::string_view k) {
+    key(k);
+    return null();
+  }
+
+ private:
+  void before_value();
+
+  enum class Frame : std::uint8_t { kObject, kArray };
+  std::ostream& os_;
+  std::vector<Frame> stack_;
+  bool need_comma_ = false;   // a sibling was already written at this level
+  bool after_key_ = false;    // key() emitted, value pending
+};
+
+}  // namespace dapsp::obs

@@ -1,0 +1,225 @@
+#include "obs/trace.hpp"
+
+#include "obs/json.hpp"
+
+namespace dapsp::obs {
+
+TraceRecorder::TraceRecorder() : TraceRecorder(Options{}) {}
+
+TraceRecorder::TraceRecorder(Options opt)
+    : opt_(opt), events_(opt.capacity) {}
+
+void TraceRecorder::begin_run(std::string label, std::uint64_t nodes,
+                              std::uint64_t links) {
+  RunInfo info;
+  info.label = std::move(label);
+  info.nodes = nodes;
+  info.links = links;
+  runs_.push_back(std::move(info));
+}
+
+TraceEvent& TraceRecorder::round_slot() {
+  if (runs_.empty()) begin_run("run", 0, 0);  // engine always begins a run
+  TraceEvent& e = events_.push_slot();
+  e.kind = TraceEvent::Kind::kRound;
+  e.run = static_cast<std::uint32_t>(runs_.size() - 1);
+  e.round = 0;
+  e.rounds = 1;
+  e.messages = 0;
+  e.senders = 0;
+  e.receivers = 0;
+  e.max_link_congestion = 0;
+  e.send_s = e.deliver_s = e.receive_s = 0.0;
+  e.top_links.clear();  // capacity survives ring reuse
+  return e;
+}
+
+void TraceRecorder::commit_round(const TraceEvent& e) {
+  ++rounds_seen_;
+  total_messages_ += e.messages;
+  RunInfo& run = runs_.back();
+  ++run.rounds;
+  run.messages += e.messages;
+}
+
+void TraceRecorder::record_gap(std::uint64_t first_round,
+                               std::uint64_t rounds) {
+  if (rounds == 0) return;
+  if (runs_.empty()) begin_run("run", 0, 0);
+  TraceEvent& e = events_.push_slot();
+  e.kind = TraceEvent::Kind::kGap;
+  e.run = static_cast<std::uint32_t>(runs_.size() - 1);
+  e.round = first_round;
+  e.rounds = rounds;
+  e.messages = 0;
+  e.senders = 0;
+  e.receivers = 0;
+  e.max_link_congestion = 0;
+  e.send_s = e.deliver_s = e.receive_s = 0.0;
+  e.top_links.clear();
+  rounds_seen_ += rounds;
+  skipped_rounds_ += rounds;
+  runs_.back().rounds += rounds;
+}
+
+void TraceRecorder::clear() {
+  events_.clear();
+  runs_.clear();
+  rounds_seen_ = 0;
+  skipped_rounds_ = 0;
+  total_messages_ = 0;
+}
+
+// --- Chrome trace_event export ---------------------------------------------
+//
+// Phases become duration ("X") events on a cumulative wall-clock timeline
+// (microseconds, as the format requires); per-round message counts and max
+// link congestion become counter ("C") tracks.  Each engine run is its own
+// "process" so chained solver phases stack as separate lanes.
+
+void TraceRecorder::write_chrome_trace(std::ostream& os) const {
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+
+  // Process metadata: name each run lane.
+  for (std::size_t r = 0; r < runs_.size(); ++r) {
+    w.begin_object()
+        .field("name", "process_name")
+        .field("ph", "M")
+        .field("pid", static_cast<std::uint64_t>(r))
+        .field("tid", std::uint64_t{0});
+    w.key("args").begin_object().field("name", runs_[r].label).end_object();
+    w.end_object();
+  }
+
+  double cum_us = 0.0;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    const auto pid = static_cast<std::uint64_t>(e.run);
+    if (e.kind == TraceEvent::Kind::kGap) {
+      w.begin_object()
+          .field("name", "fast-forward")
+          .field("ph", "i")
+          .field("s", "t")
+          .field("pid", pid)
+          .field("tid", std::uint64_t{0})
+          .field("ts", cum_us);
+      w.key("args")
+          .begin_object()
+          .field("first_round", e.round)
+          .field("rounds", e.rounds)
+          .end_object();
+      w.end_object();
+      continue;
+    }
+    const double phase_us[3] = {e.send_s * 1e6, e.deliver_s * 1e6,
+                                e.receive_s * 1e6};
+    static constexpr const char* kPhaseName[3] = {"send", "deliver",
+                                                  "receive"};
+    double ts = cum_us;
+    for (int p = 0; p < 3; ++p) {
+      w.begin_object()
+          .field("name", kPhaseName[p])
+          .field("ph", "X")
+          .field("pid", pid)
+          .field("tid", std::uint64_t{0})
+          .field("ts", ts)
+          .field("dur", phase_us[p]);
+      w.key("args").begin_object().field("round", e.round).end_object();
+      w.end_object();
+      ts += phase_us[p];
+    }
+    w.begin_object()
+        .field("name", "messages")
+        .field("ph", "C")
+        .field("pid", pid)
+        .field("tid", std::uint64_t{0})
+        .field("ts", cum_us);
+    w.key("args")
+        .begin_object()
+        .field("messages", e.messages)
+        .field("max_link_congestion", e.max_link_congestion)
+        .end_object();
+    w.end_object();
+    cum_us = ts;
+  }
+
+  w.end_array();
+  w.field("displayTimeUnit", "ms");
+  w.key("otherData")
+      .begin_object()
+      .field("rounds_seen", rounds_seen_)
+      .field("skipped_rounds", skipped_rounds_)
+      .field("total_messages", total_messages_)
+      .field("dropped_events", dropped_events())
+      .end_object();
+  w.end_object();
+  os << "\n";
+}
+
+// --- compact JSONL run record ----------------------------------------------
+
+void TraceRecorder::write_run_record(std::ostream& os) const {
+  {
+    JsonWriter w(os);
+    w.begin_object()
+        .field("type", "meta")
+        .field("version", std::uint64_t{1})
+        .field("rounds_seen", rounds_seen_)
+        .field("skipped_rounds", skipped_rounds_)
+        .field("total_messages", total_messages_)
+        .field("events_recorded", static_cast<std::uint64_t>(events_.size()))
+        .field("events_dropped", dropped_events())
+        .field("top_k", static_cast<std::uint64_t>(opt_.top_k));
+    w.key("runs").begin_array();
+    for (const RunInfo& r : runs_) {
+      w.begin_object()
+          .field("label", r.label)
+          .field("nodes", r.nodes)
+          .field("links", r.links)
+          .field("rounds", r.rounds)
+          .field("messages", r.messages)
+          .end_object();
+    }
+    w.end_array().end_object();
+    os << "\n";
+  }
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    JsonWriter w(os);
+    if (e.kind == TraceEvent::Kind::kGap) {
+      w.begin_object()
+          .field("type", "gap")
+          .field("run", static_cast<std::uint64_t>(e.run))
+          .field("first_round", e.round)
+          .field("rounds", e.rounds)
+          .end_object();
+      os << "\n";
+      continue;
+    }
+    w.begin_object()
+        .field("type", "round")
+        .field("run", static_cast<std::uint64_t>(e.run))
+        .field("round", e.round)
+        .field("msgs", e.messages)
+        .field("senders", static_cast<std::uint64_t>(e.senders))
+        .field("receivers", static_cast<std::uint64_t>(e.receivers))
+        .field("max_link_congestion", e.max_link_congestion)
+        .field("send_ns", static_cast<std::uint64_t>(e.send_s * 1e9))
+        .field("deliver_ns", static_cast<std::uint64_t>(e.deliver_s * 1e9))
+        .field("receive_ns", static_cast<std::uint64_t>(e.receive_s * 1e9));
+    w.key("top_links").begin_array();
+    for (const LinkLoad& l : e.top_links) {
+      w.begin_object()
+          .field("from", static_cast<std::uint64_t>(l.from))
+          .field("to", static_cast<std::uint64_t>(l.to))
+          .field("n", l.messages)
+          .end_object();
+    }
+    w.end_array().end_object();
+    os << "\n";
+  }
+}
+
+}  // namespace dapsp::obs

@@ -3,11 +3,14 @@
 #include <atomic>
 #include <charconv>
 #include <chrono>
+#include <limits>
 #include <list>
 #include <mutex>
 #include <ostream>
 #include <sstream>
 #include <unordered_map>
+
+#include "obs/json.hpp"
 
 namespace dapsp::service {
 
@@ -94,38 +97,69 @@ class QueryService::PathCache {
 
 // ---------------------------------------------------------------------------
 // Lock-free counters; materialized into ServiceStats on demand.
+//
+// Successful queries feed per-bucket atomic counters mirroring
+// obs::Histogram's log-bucket layout, so a snapshot can rebuild a full
+// histogram via Histogram::from_raw.  Failed queries only bump errors /
+// error_ns: their wall-clock must not distort latency quantiles, and an
+// all-error snapshot must render min=0, not a UINT64_MAX sentinel.
 
 struct QueryService::Recorder {
   struct PerType {
+    std::array<std::atomic<std::uint64_t>, obs::Histogram::kBuckets>
+        buckets{};
     std::atomic<std::uint64_t> count{0};
-    std::atomic<std::uint64_t> errors{0};
     std::atomic<std::uint64_t> total_ns{0};
     std::atomic<std::uint64_t> min_ns{
         std::numeric_limits<std::uint64_t>::max()};
     std::atomic<std::uint64_t> max_ns{0};
+    std::atomic<std::uint64_t> errors{0};
+    std::atomic<std::uint64_t> error_ns{0};
   };
   std::array<PerType, kQueryTypeCount> types;
   std::atomic<std::uint64_t> batches{0};
 
   void record(QueryType type, std::uint64_t ns, bool ok) {
     PerType& t = types[static_cast<std::size_t>(type)];
-    if (ok) {
-      t.count.fetch_add(1, std::memory_order_relaxed);
-    } else {
+    if (!ok) {
       t.errors.fetch_add(1, std::memory_order_relaxed);
+      t.error_ns.fetch_add(ns, std::memory_order_relaxed);
+      return;
     }
+    t.buckets[obs::Histogram::bucket_index(ns)].fetch_add(
+        1, std::memory_order_relaxed);
+    t.count.fetch_add(1, std::memory_order_relaxed);
     t.total_ns.fetch_add(ns, std::memory_order_relaxed);
     update_min(t.min_ns, ns);
     update_max(t.max_ns, ns);
   }
 
+  QueryTypeStats snapshot(std::size_t i) const {
+    const PerType& t = types[i];
+    std::array<std::uint64_t, obs::Histogram::kBuckets> raw;
+    for (std::size_t b = 0; b < raw.size(); ++b) {
+      raw[b] = t.buckets[b].load(std::memory_order_relaxed);
+    }
+    QueryTypeStats out;
+    out.latency = obs::Histogram::from_raw(
+        raw, t.count.load(std::memory_order_relaxed),
+        t.total_ns.load(std::memory_order_relaxed),
+        t.min_ns.load(std::memory_order_relaxed),
+        t.max_ns.load(std::memory_order_relaxed));
+    out.errors = t.errors.load(std::memory_order_relaxed);
+    out.error_ns = t.error_ns.load(std::memory_order_relaxed);
+    return out;
+  }
+
   void reset() {
     for (PerType& t : types) {
+      for (auto& b : t.buckets) b = 0;
       t.count = 0;
-      t.errors = 0;
       t.total_ns = 0;
       t.min_ns = std::numeric_limits<std::uint64_t>::max();
       t.max_ns = 0;
+      t.errors = 0;
+      t.error_ns = 0;
     }
     batches = 0;
   }
@@ -238,12 +272,7 @@ std::vector<QueryResult> QueryService::query_batch(
 ServiceStats QueryService::stats() const {
   ServiceStats st;
   for (std::size_t i = 0; i < kQueryTypeCount; ++i) {
-    const auto& t = recorder_->types[i];
-    st.per_type[i].count = t.count.load();
-    st.per_type[i].errors = t.errors.load();
-    st.per_type[i].total_ns = t.total_ns.load();
-    st.per_type[i].min_ns = t.min_ns.load();
-    st.per_type[i].max_ns = t.max_ns.load();
+    st.per_type[i] = recorder_->snapshot(i);
   }
   st.batches = recorder_->batches.load();
   if (cache_) cache_->account(&st);
@@ -348,7 +377,11 @@ void QueryService::write_result_json(const QueryResult& r, std::ostream& out) {
   out << "{\"type\":\"" << query_type_name(r.type) << "\",\"u\":" << r.u
       << ",\"v\":" << r.v << ",\"ok\":" << (r.ok ? "true" : "false");
   if (!r.ok) {
-    out << ",\"error\":\"" << r.error << "\"}\n";
+    // r.error embeds caller-controlled text (e.g. the unknown query token);
+    // escape it or a quote in the input corrupts the JSONL stream.
+    out << ",\"error\":";
+    obs::write_json_string(out, r.error);
+    out << "}\n";
     return;
   }
   out << ",\"dist\":";
@@ -381,7 +414,11 @@ int QueryService::serve_stream(std::istream& in, std::ostream& out,
     if (toks[0] == "stats") {
       const ServiceStats st = stats();
       if (json) {
-        out << "{\"stats\":\"" << st.summary() << "\"}\n";
+        obs::JsonWriter w(out);
+        w.begin_object().key("stats");
+        st.write_json(w);
+        w.end_object();
+        out << "\n";
       } else {
         out << st.summary() << "\n";
       }
@@ -392,7 +429,10 @@ int QueryService::serve_stream(std::istream& in, std::ostream& out,
     if (!q) {
       ++malformed;
       if (json) {
-        out << "{\"ok\":false,\"error\":\"" << error << "\"}\n";
+        // The error message quotes the offending token verbatim; escape it.
+        out << "{\"ok\":false,\"error\":";
+        obs::write_json_string(out, error);
+        out << "}\n";
       } else {
         out << "error: " << error << "\n";
       }

@@ -6,14 +6,21 @@
 // snapshot -- the query service keeps atomic counters internally and
 // materializes one on request -- so snapshots compose with `operator+=`
 // (e.g. summing per-shard or per-epoch stats) exactly like RunStats.
+//
+// Latency is a full obs::Histogram per query type, not min/mean/max scalars:
+// quantiles survive composition, and an empty snapshot renders as zeros
+// instead of a UINT64_MAX min sentinel.  Failed queries never touch the
+// latency histogram -- their wall-clock goes to `error_ns` so error spikes
+// cannot inflate the reported service latency.
 #pragma once
 
-#include <algorithm>
 #include <array>
 #include <cstdint>
-#include <limits>
 #include <sstream>
 #include <string>
+
+#include "obs/histogram.hpp"
+#include "obs/json.hpp"
 
 namespace dapsp::service {
 
@@ -35,24 +42,25 @@ inline const char* query_type_name(QueryType t) {
 
 /// Counters for one query type.
 struct QueryTypeStats {
-  std::uint64_t count = 0;   ///< queries answered (including unreachable)
-  std::uint64_t errors = 0;  ///< malformed / unsupported queries
-  std::uint64_t total_ns = 0;
-  std::uint64_t min_ns = std::numeric_limits<std::uint64_t>::max();
-  std::uint64_t max_ns = 0;
+  /// Latency distribution (ns) of successful queries only.
+  obs::Histogram latency;
+  std::uint64_t errors = 0;    ///< malformed / unsupported queries
+  std::uint64_t error_ns = 0;  ///< wall-clock spent on failed queries
 
-  double mean_ns() const {
-    return count == 0 ? 0.0
-                      : static_cast<double>(total_ns) /
-                            static_cast<double>(count);
-  }
+  std::uint64_t count() const { return latency.count(); }
+  std::uint64_t total_ns() const { return latency.sum(); }
+  /// 0 when no query of this type succeeded (never a sentinel).
+  std::uint64_t min_ns() const { return latency.min(); }
+  std::uint64_t max_ns() const { return latency.max(); }
+  double mean_ns() const { return latency.mean(); }
+  std::uint64_t p50_ns() const { return latency.p50(); }
+  std::uint64_t p90_ns() const { return latency.p90(); }
+  std::uint64_t p99_ns() const { return latency.p99(); }
 
   QueryTypeStats& operator+=(const QueryTypeStats& o) {
-    count += o.count;
+    latency += o.latency;
     errors += o.errors;
-    total_ns += o.total_ns;
-    min_ns = std::min(min_ns, o.min_ns);
-    max_ns = std::max(max_ns, o.max_ns);
+    error_ns += o.error_ns;
     return *this;
   }
 };
@@ -73,7 +81,7 @@ struct ServiceStats {
 
   std::uint64_t total_queries() const {
     std::uint64_t n = 0;
-    for (const auto& t : per_type) n += t.count;
+    for (const auto& t : per_type) n += t.count();
     return n;
   }
   std::uint64_t total_errors() const {
@@ -105,14 +113,44 @@ struct ServiceStats {
        << " batches=" << batches;
     for (std::size_t i = 0; i < kQueryTypeCount; ++i) {
       const auto& t = per_type[i];
-      if (t.count == 0 && t.errors == 0) continue;
+      if (t.count() == 0 && t.errors == 0) continue;
       os << " " << query_type_name(static_cast<QueryType>(i)) << "[n="
-         << t.count << " mean_ns=" << static_cast<std::uint64_t>(t.mean_ns())
-         << " max_ns=" << t.max_ns << "]";
+         << t.count() << " mean_ns=" << static_cast<std::uint64_t>(t.mean_ns())
+         << " p99_ns=" << t.p99_ns() << " max_ns=" << t.max_ns() << "]";
     }
     os << " cache[hits=" << cache_hits << " misses=" << cache_misses
        << " evictions=" << cache_evictions << "]";
     return os.str();
+  }
+
+  /// One JSON object with full per-type histograms; used by `serve --format
+  /// json` so the "stats" directive emits machine-readable data instead of a
+  /// summary string jammed into a JSON string field.
+  void write_json(obs::JsonWriter& w) const {
+    w.begin_object()
+        .field("queries", total_queries())
+        .field("errors", total_errors())
+        .field("batches", batches);
+    w.key("types").begin_object();
+    for (std::size_t i = 0; i < kQueryTypeCount; ++i) {
+      const auto& t = per_type[i];
+      w.key(query_type_name(static_cast<QueryType>(i))).begin_object();
+      w.field("count", t.count())
+          .field("errors", t.errors)
+          .field("error_ns", t.error_ns);
+      w.key("latency_ns");
+      t.latency.write_json(w);
+      w.end_object();
+    }
+    w.end_object();
+    w.key("cache")
+        .begin_object()
+        .field("hits", cache_hits)
+        .field("misses", cache_misses)
+        .field("evictions", cache_evictions)
+        .field("hit_rate", cache_hit_rate())
+        .end_object();
+    w.end_object();
   }
 };
 

@@ -8,6 +8,7 @@
 #include "cli/commands.hpp"
 #include "cli/options.hpp"
 #include "graph/properties.hpp"
+#include "obs/json.hpp"
 #include "seq/dijkstra.hpp"
 
 namespace dapsp::cli {
@@ -98,9 +99,14 @@ TEST(CliCommands, JsonOutputParsesShape) {
   std::ostringstream out, err;
   ASSERT_EQ(run_command(o, out, err), 0);
   const std::string js = out.str();
+  EXPECT_TRUE(obs::json_valid(js)) << js;
   EXPECT_EQ(js.front(), '{');
-  EXPECT_NE(js.find("\"dist\": ["), std::string::npos);
+  EXPECT_NE(js.find("\"dist\":["), std::string::npos);
   EXPECT_NE(js.find("\"rounds\":"), std::string::npos);
+  EXPECT_NE(js.find("\"round_messages\":{"), std::string::npos);
+  // The algorithm label contains parens/commas; it must arrive as one
+  // escaped string, not break the document (json_valid above) or the shape.
+  EXPECT_NE(js.find("\"algorithm\":\"pipelined"), std::string::npos);
   // 6 rows of 6 entries -> at least 36 commas-ish; crude sanity only.
   EXPECT_GT(std::count(js.begin(), js.end(), ','), 30);
 }
@@ -172,6 +178,62 @@ TEST(CliCommands, DotExportViaInfo) {
   content << dot.rdbuf();
   EXPECT_NE(content.str().find("graph dapsp"), std::string::npos);
   std::remove(path.c_str());
+}
+
+TEST(CliOptions, ParsesTraceFlags) {
+  const Options o = parse({"apsp", "--trace", "/tmp/t.json", "--trace-jsonl",
+                           "/tmp/t.jsonl"});
+  ASSERT_TRUE(o.trace_file.has_value());
+  EXPECT_EQ(*o.trace_file, "/tmp/t.json");
+  ASSERT_TRUE(o.trace_jsonl_file.has_value());
+  EXPECT_EQ(*o.trace_jsonl_file, "/tmp/t.jsonl");
+  EXPECT_THROW(parse({"apsp", "--trace"}), std::invalid_argument);
+  EXPECT_FALSE(parse({"apsp"}).trace_file.has_value());
+}
+
+TEST(CliCommands, TraceExportEndToEnd) {
+  const std::string trace_path = "/tmp/dapsp_cli_test_trace.json";
+  const std::string jsonl_path = "/tmp/dapsp_cli_test_trace.jsonl";
+  const Options o = parse({"apsp", "--n", "10", "--p", "0.3", "--seed", "9",
+                           "--quiet", "--trace", trace_path.c_str(),
+                           "--trace-jsonl", jsonl_path.c_str()});
+  std::ostringstream out, err;
+  ASSERT_EQ(run_command(o, out, err), 0) << err.str();
+
+  std::stringstream trace;
+  {
+    std::ifstream f(trace_path);
+    ASSERT_TRUE(f.good());
+    trace << f.rdbuf();
+  }
+  EXPECT_TRUE(obs::json_valid(trace.str()));
+  EXPECT_NE(trace.str().find("\"traceEvents\""), std::string::npos);
+
+  std::stringstream jsonl;
+  {
+    std::ifstream f(jsonl_path);
+    ASSERT_TRUE(f.good());
+    jsonl << f.rdbuf();
+  }
+  EXPECT_TRUE(obs::jsonl_invalid_lines(jsonl.str()).empty());
+  // The solver ran at least one engine round, so the record has a meta line
+  // plus round events.
+  EXPECT_NE(jsonl.str().find("\"type\":\"round\""), std::string::npos);
+  std::remove(trace_path.c_str());
+  std::remove(jsonl_path.c_str());
+}
+
+TEST(CliCommands, TraceOffLeavesOutputIdentical) {
+  const auto run = [](bool traced) {
+    const std::string path = "/tmp/dapsp_cli_test_identical.json";
+    Options o = parse({"apsp", "--n", "9", "--p", "0.35", "--seed", "13"});
+    if (traced) o.trace_file = path;
+    std::ostringstream out, err;
+    EXPECT_EQ(run_command(o, out, err), 0) << err.str();
+    if (traced) std::remove(path.c_str());
+    return out.str();
+  };
+  EXPECT_EQ(run(false), run(true));
 }
 
 TEST(CliCommands, MissingFileIsGracefulError) {

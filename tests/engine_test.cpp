@@ -12,6 +12,8 @@
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
 #include "graph/properties.hpp"
+#include "obs/histogram.hpp"
+#include "obs/trace.hpp"
 
 namespace dapsp::congest {
 namespace {
@@ -406,7 +408,9 @@ TEST(Primitives, GatherToAllEmpty) {
 // deliberately excluded.
 // ---------------------------------------------------------------------------
 
-/// The deterministic subset of RunStats.
+/// The deterministic subset of RunStats (wall-clock histograms excluded,
+/// round_messages_hist included: it must be bit-identical like
+/// per_round_messages).
 struct DetStats {
   Round rounds;
   Round last_message_round;
@@ -417,6 +421,7 @@ struct DetStats {
   std::uint32_t max_message_fields;
   bool hit_round_limit;
   std::vector<std::uint64_t> per_round_messages;
+  obs::Histogram round_messages_hist;
 
   friend bool operator==(const DetStats&, const DetStats&) = default;
 };
@@ -430,7 +435,8 @@ DetStats det(const RunStats& s) {
           s.max_link_total,
           s.max_message_fields,
           s.hit_round_limit,
-          s.per_round_messages};
+          s.per_round_messages,
+          s.round_messages_hist};
 }
 
 /// Restores the process-wide engine overrides on scope exit.
@@ -600,6 +606,105 @@ TEST(SparseDense, FastForwardSkipsSilentGapBitIdentically) {
     const auto& sp = static_cast<const TimerProtocol&>(sparse.protocol(v));
     EXPECT_EQ(sp.got(), dp.got()) << "node " << v;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Trace recorder: observing a run must not change it, and what it records
+// must agree exactly with the engine's own accounting.
+// ---------------------------------------------------------------------------
+
+TEST(EngineTrace, RoundEventsMatchPerRoundMessages) {
+  const Graph g = graph::erdos_renyi(20, 0.2, {1, 4, 0.0}, 9800);
+  obs::TraceRecorder rec;
+  EngineOptions opt;
+  opt.record_per_round = true;
+  opt.recorder = &rec;
+  Engine engine(g, make_flood(g), opt);
+  const RunStats stats = engine.run();
+
+  // Expand the recorded events (rounds + gaps) back into a per-round
+  // message vector; it must equal per_round_messages sample for sample
+  // (both cover rounds 0..rounds, init round included).
+  std::vector<std::uint64_t> from_trace;
+  for (std::size_t i = 0; i < rec.size(); ++i) {
+    const obs::TraceEvent& e = rec.event(i);
+    if (e.kind == obs::TraceEvent::Kind::kGap) {
+      from_trace.insert(from_trace.end(), e.rounds, 0);
+    } else {
+      from_trace.push_back(e.messages);
+    }
+  }
+  EXPECT_EQ(from_trace, stats.per_round_messages);
+  EXPECT_EQ(rec.total_messages(), stats.total_messages);
+  EXPECT_EQ(rec.rounds_seen(), stats.rounds + 1u);  // + init round 0
+  EXPECT_EQ(rec.skipped_rounds(), stats.skipped_rounds);
+  EXPECT_EQ(rec.dropped_events(), 0u);
+  ASSERT_EQ(rec.runs().size(), 1u);
+  EXPECT_EQ(rec.runs()[0].nodes, g.node_count());
+}
+
+TEST(EngineTrace, RecorderDoesNotPerturbDeterministicStats) {
+  const Graph g = graph::erdos_renyi(16, 0.25, {1, 6, 0.0}, 9850);
+  const auto run = [&](obs::TraceRecorder* rec) {
+    EngineOptions opt;
+    opt.record_per_round = true;
+    opt.recorder = rec;
+    Engine engine(g, make_flood(g), opt);
+    const RunStats stats = engine.run();
+    std::vector<std::int64_t> values;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      values.push_back(
+          static_cast<const FloodProtocol&>(engine.protocol(v)).value());
+    }
+    return std::make_pair(det(stats), values);
+  };
+  obs::TraceRecorder rec;
+  const auto with = run(&rec);
+  const auto without = run(nullptr);
+  EXPECT_EQ(with.first, without.first);
+  EXPECT_EQ(with.second, without.second);
+  EXPECT_GT(rec.rounds_seen(), 0u);
+}
+
+TEST(EngineTrace, GapEventsCoverFastForwardedRounds) {
+  const Graph g = graph::path(8, {1, 1, 0.0}, 9860);
+  constexpr Round kFire = 40;
+  std::vector<std::unique_ptr<Protocol>> procs;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    procs.push_back(std::make_unique<TimerProtocol>(v, kFire));
+  }
+  obs::TraceRecorder rec;
+  EngineOptions opt;
+  opt.recorder = &rec;
+  Engine engine(g, std::move(procs), opt);
+  const RunStats stats = engine.run();
+  ASSERT_GT(stats.skipped_rounds, 0u);
+  EXPECT_EQ(rec.skipped_rounds(), stats.skipped_rounds);
+  std::uint64_t gap_rounds = 0;
+  bool saw_gap = false;
+  for (std::size_t i = 0; i < rec.size(); ++i) {
+    const obs::TraceEvent& e = rec.event(i);
+    if (e.kind != obs::TraceEvent::Kind::kGap) continue;
+    saw_gap = true;
+    gap_rounds += e.rounds;
+    EXPECT_GT(e.round, 0u);
+    EXPECT_LE(e.round + e.rounds - 1, stats.rounds);
+  }
+  EXPECT_TRUE(saw_gap);
+  EXPECT_EQ(gap_rounds, stats.skipped_rounds);
+}
+
+TEST(EngineTrace, RoundMessagesHistogramMatchesPerRoundVector) {
+  const Graph g = graph::erdos_renyi(18, 0.2, {1, 5, 0.0}, 9870);
+  EngineOptions opt;
+  opt.record_per_round = true;
+  Engine engine(g, make_flood(g), opt);
+  const RunStats stats = engine.run();
+  obs::Histogram expect;
+  for (const auto m : stats.per_round_messages) expect.record(m);
+  EXPECT_EQ(stats.round_messages_hist, expect);
+  EXPECT_EQ(stats.round_messages_hist.sum(), stats.total_messages);
+  EXPECT_EQ(stats.round_messages_hist.count(), stats.rounds + 1u);
 }
 
 TEST(SparseDense, StepInterleavedWithRunMatches) {

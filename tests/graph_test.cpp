@@ -236,6 +236,68 @@ TEST(Io, CommentsAndBadHeader) {
   EXPECT_THROW(read_graph(truncated), std::runtime_error);
 }
 
+TEST(Io, TruncatedHeaderThrowsInsteadOfEmptyGraph) {
+  // Regression: the header extraction was never checked, so "dapsp directed"
+  // with no counts parsed as a valid 0-node graph and silently discarded
+  // every edge line that followed.
+  for (const char* text : {
+           "dapsp directed\n0 1 7\n",
+           "dapsp undirected\n",
+           "dapsp\n",
+           "dapsp directed four 2\n0 1 7\n",
+           "dapsp directed 4\n0 1 7\n",
+       }) {
+    std::stringstream in(text);
+    EXPECT_THROW(read_graph(in), std::runtime_error) << text;
+  }
+}
+
+TEST(Io, RoundTripZeroWeightAndIsolatedNodes) {
+  // Zero weights and trailing isolated nodes must survive a round trip.
+  GraphBuilder b(6, /*directed=*/false);
+  b.add_edge(0, 1, 0).add_edge(1, 2, 5).add_edge(2, 0, 0);
+  const Graph g = std::move(b).build();
+  std::stringstream ss;
+  write_graph(ss, g);
+  const Graph h = read_graph(ss);
+  EXPECT_EQ(h.node_count(), 6u);
+  ASSERT_EQ(h.edge_count(), g.edge_count());
+  for (std::size_t i = 0; i < g.edge_count(); ++i) {
+    EXPECT_EQ(h.edges()[i], g.edges()[i]);
+  }
+}
+
+TEST(Io, RoundTripPropertyAcrossRandomGraphs) {
+  // Property test: write/read is the identity on edges for both
+  // orientations across a spread of random graphs.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    for (const bool directed : {false, true}) {
+      const Graph g = directed
+                          ? layered(4, 3, 2, {0, 9, 0.3}, 500 + seed)
+                          : erdos_renyi(12, 0.3, {0, 9, 0.3}, 600 + seed);
+      std::stringstream ss;
+      write_graph(ss, g);
+      const Graph h = read_graph(ss);
+      SCOPED_TRACE("seed=" + std::to_string(seed) +
+                   " directed=" + std::to_string(directed));
+      EXPECT_EQ(h.directed(), g.directed());
+      EXPECT_EQ(h.node_count(), g.node_count());
+      ASSERT_EQ(h.edge_count(), g.edge_count());
+      for (std::size_t i = 0; i < g.edge_count(); ++i) {
+        EXPECT_EQ(h.edges()[i], g.edges()[i]);
+      }
+    }
+  }
+}
+
+TEST(Io, SelfLoopInputFailsLoudly) {
+  // GraphBuilder rejects self-loops by design (zero-weight loops would break
+  // next-hop routing); a file containing one must fail loudly on read, never
+  // load-then-silently-drop on the next write.
+  std::stringstream in("dapsp undirected 3 2\n0 1 4\n2 2 0\n");
+  EXPECT_THROW(read_graph(in), std::logic_error);
+}
+
 TEST(Io, DotExportUndirected) {
   GraphBuilder b(3, /*directed=*/false);
   b.add_edge(0, 1, 4).add_edge(1, 2, 0);

@@ -1,0 +1,382 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace dapsp::obs {
+namespace {
+
+// --- Histogram -------------------------------------------------------------
+
+TEST(Histogram, EmptyRendersAllZeros) {
+  const Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);  // never a UINT64_MAX sentinel
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.p50(), 0u);
+  EXPECT_EQ(h.p99(), 0u);
+  const std::string s = h.summary();
+  EXPECT_NE(s.find("n=0"), std::string::npos);
+  EXPECT_EQ(s.find("18446744073709551615"), std::string::npos);
+}
+
+TEST(Histogram, BucketIndexBoundaries) {
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4), 3u);
+  EXPECT_EQ(Histogram::bucket_index(1023), 10u);
+  EXPECT_EQ(Histogram::bucket_index(1024), 11u);
+  EXPECT_EQ(Histogram::bucket_index(~std::uint64_t{0}), 63u);
+  // Bucket uppers bracket their bucket.
+  for (std::uint64_t v : {1ull, 7ull, 100ull, 65536ull, 1ull << 40}) {
+    const std::size_t i = Histogram::bucket_index(v);
+    EXPECT_LE(v, Histogram::bucket_upper(i)) << v;
+    if (i > 0) {
+      EXPECT_GT(v, Histogram::bucket_upper(i - 1)) << v;
+    }
+  }
+}
+
+TEST(Histogram, ExactExtremaAndMean) {
+  Histogram h;
+  h.record(10);
+  h.record(20);
+  h.record(300);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 330u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 300u);
+  EXPECT_DOUBLE_EQ(h.mean(), 110.0);
+}
+
+TEST(Histogram, QuantilesWithinTwoXAndClamped) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(100);  // all in [64,128)
+  // The bucket upper (127) is clamped into [min,max] = [100,100]: exact.
+  EXPECT_EQ(h.p50(), 100u);
+  EXPECT_EQ(h.p99(), 100u);
+  h.record(1000000);  // one outlier
+  EXPECT_EQ(h.quantile(1.0), 1000000u);  // clamped to the exact max
+  EXPECT_LE(h.p50(), 127u);
+  // A single-sample histogram answers every quantile with that sample.
+  Histogram one;
+  one.record(42);
+  EXPECT_EQ(one.p50(), 42u);
+  EXPECT_EQ(one.p99(), 42u);
+}
+
+TEST(Histogram, QuantileMonotoneInQ) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  std::uint64_t prev = 0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const std::uint64_t cur = h.quantile(q);
+    EXPECT_GE(cur, prev) << "q=" << q;
+    prev = cur;
+  }
+  EXPECT_GE(h.p90(), 900u / 2);  // within the 2x bucket resolution
+  EXPECT_LE(h.p90(), 2 * 900u);
+}
+
+TEST(Histogram, RecordZeroCountsTowardQuantiles) {
+  Histogram h;
+  h.record_n(0, 99);
+  h.record(1 << 20);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.p50(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 1u << 20);
+}
+
+TEST(Histogram, MergePreservesEverything) {
+  Histogram a, b;
+  a.record(5);
+  a.record(100);
+  b.record(2);
+  b.record(7000);
+  Histogram m = a;
+  m += b;
+  EXPECT_EQ(m.count(), 4u);
+  EXPECT_EQ(m.sum(), 5u + 100u + 2u + 7000u);
+  EXPECT_EQ(m.min(), 2u);
+  EXPECT_EQ(m.max(), 7000u);
+  // Merging an empty histogram is the identity.
+  Histogram before = m;
+  m += Histogram{};
+  EXPECT_EQ(m, before);
+}
+
+TEST(Histogram, FromRawMatchesDirectRecording) {
+  Histogram direct;
+  std::array<std::uint64_t, Histogram::kBuckets> raw{};
+  std::uint64_t count = 0, sum = 0, min = ~std::uint64_t{0}, max = 0;
+  for (std::uint64_t v : {3ull, 17ull, 900ull, 0ull, 123456ull}) {
+    direct.record(v);
+    ++raw[Histogram::bucket_index(v)];
+    ++count;
+    sum += v;
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  EXPECT_EQ(Histogram::from_raw(raw, count, sum, min, max), direct);
+  // Empty raw state ignores the min sentinel.
+  std::array<std::uint64_t, Histogram::kBuckets> empty{};
+  const Histogram e =
+      Histogram::from_raw(empty, 0, 0, ~std::uint64_t{0}, 0);
+  EXPECT_EQ(e, Histogram{});
+  EXPECT_EQ(e.min(), 0u);
+}
+
+TEST(Histogram, JsonOutputIsValid) {
+  Histogram h;
+  h.record(12);
+  h.record(99999);
+  std::ostringstream os;
+  JsonWriter w(os);
+  h.write_json(w);
+  EXPECT_TRUE(json_valid(os.str())) << os.str();
+  EXPECT_NE(os.str().find("\"p99\""), std::string::npos);
+}
+
+// --- JSON escaping / validation --------------------------------------------
+
+TEST(Json, EscapeControlAndQuotes) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string_view("\x01\x1f", 2)), "\\u0001\\u001f");
+}
+
+TEST(Json, WriteJsonStringAlwaysParses) {
+  const std::string nasty[] = {
+      "", "quote\"inside", "back\\slash", "new\nline", "tab\there",
+      std::string("nul\0byte", 8), "unicode \xc3\xa9 ok",
+      "all the things \"\\\b\f\n\r\t\x1b end"};
+  for (const std::string& s : nasty) {
+    std::ostringstream os;
+    write_json_string(os, s);
+    EXPECT_TRUE(json_valid(os.str())) << os.str();
+  }
+}
+
+TEST(Json, WriteJsonDoubleHandlesNonFinite) {
+  const auto render = [](double v) {
+    std::ostringstream os;
+    write_json_double(os, v);
+    return os.str();
+  };
+  EXPECT_TRUE(json_valid(render(1.5)));
+  EXPECT_EQ(render(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(render(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_TRUE(json_valid(render(-0.0)));
+}
+
+TEST(Json, ValidatorAcceptsValidDocuments) {
+  const char* good[] = {
+      "null", "true", "false", "0", "-1", "3.25", "1e9", "1.5E-3",
+      "\"str\"", "\"\\u00e9\\n\"", "[]", "[1,2,3]", "{}",
+      R"({"a":1,"b":[true,null],"c":{"d":"e"}})",
+      "  { \"pad\" : 1 }  "};
+  for (const char* t : good) EXPECT_TRUE(json_valid(t)) << t;
+}
+
+TEST(Json, ValidatorRejectsInvalidDocuments) {
+  const char* bad[] = {
+      "", "{", "}", "[1,2", "{\"a\":}", "{\"a\" 1}", "{'a':1}",
+      "01", "+1", "1.", ".5", "1e", "nul", "tru", "\"unterminated",
+      "\"bad\\escape\\q\"", "\"bad\\u12g4\"", "[1,]", "{\"a\":1,}",
+      "{\"a\":1}{", "1 2", "\"tab\tliteral\""};
+  for (const char* t : bad) EXPECT_FALSE(json_valid(t)) << t;
+}
+
+TEST(Json, ValidatorBoundsNestingDepth) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_FALSE(json_valid(deep));
+  std::string ok(100, '[');
+  ok += std::string(100, ']');
+  EXPECT_TRUE(json_valid(ok));
+}
+
+TEST(Json, JsonlInvalidLinesReportsOffenders) {
+  const std::string text =
+      "{\"ok\":true}\n"
+      "\n"
+      "not json\n"
+      "42\n"
+      "{\"broken\":\n";
+  const auto bad = jsonl_invalid_lines(text);
+  EXPECT_EQ(bad, (std::vector<std::size_t>{3, 5}));
+  EXPECT_TRUE(jsonl_invalid_lines("").empty());
+  EXPECT_TRUE(jsonl_invalid_lines("{}\n{}\n").empty());
+}
+
+// --- JsonWriter ------------------------------------------------------------
+
+TEST(JsonWriter, NestedStructureIsValidAndExact) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object()
+      .field("n", 3)
+      .field("name", "x\"y")
+      .field("flag", true);
+  w.key("arr").begin_array().value(1).value(2.5).null().end_array();
+  w.key("nested").begin_object().field("k", std::uint64_t{7}).end_object();
+  w.end_object();
+  EXPECT_TRUE(json_valid(os.str())) << os.str();
+  EXPECT_EQ(os.str(),
+            R"({"n":3,"name":"x\"y","flag":true,"arr":[1,2.5,null],)"
+            R"("nested":{"k":7}})");
+}
+
+TEST(JsonWriter, TopLevelValuesForJsonl) {
+  std::ostringstream os;
+  {
+    JsonWriter w(os);
+    w.begin_object().field("line", 1).end_object();
+  }
+  os << "\n";
+  {
+    JsonWriter w(os);
+    w.begin_object().field("line", 2).end_object();
+  }
+  os << "\n";
+  EXPECT_TRUE(jsonl_invalid_lines(os.str()).empty());
+}
+
+// --- RingBuffer ------------------------------------------------------------
+
+TEST(RingBuffer, OverwritesOldestAndCountsDropped) {
+  RingBuffer<int> rb(3);
+  for (int i = 1; i <= 5; ++i) rb.push_slot() = i;
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb.pushed(), 5u);
+  EXPECT_EQ(rb.dropped(), 2u);
+  EXPECT_EQ(rb[0], 3);  // oldest retained
+  EXPECT_EQ(rb[1], 4);
+  EXPECT_EQ(rb[2], 5);
+  rb.clear();
+  EXPECT_EQ(rb.size(), 0u);
+  EXPECT_EQ(rb.dropped(), 0u);
+}
+
+TEST(RingBuffer, SlotReuseKeepsElementCapacity) {
+  RingBuffer<std::vector<int>> rb(2);
+  rb.push_slot().assign(100, 7);
+  rb.push_slot().assign(100, 8);
+  // Third push recycles the first element's vector; its heap block stays.
+  std::vector<int>& slot = rb.push_slot();
+  EXPECT_GE(slot.capacity(), 100u);
+}
+
+// --- TraceRecorder ---------------------------------------------------------
+
+TraceRecorder make_recorded_run() {
+  TraceRecorder rec({.capacity = 16, .top_k = 2});
+  rec.begin_run("phase-a", 4, 6);
+  TraceEvent& e0 = rec.round_slot();
+  e0.round = 0;
+  e0.messages = 5;
+  e0.senders = 2;
+  e0.max_link_congestion = 2;
+  e0.send_s = 1e-6;
+  e0.deliver_s = 2e-6;
+  e0.receive_s = 3e-6;
+  e0.top_links.push_back({0, 1, 3});
+  e0.top_links.push_back({1, 2, 2});
+  rec.commit_round(e0);
+  rec.record_gap(1, 9);
+  TraceEvent& e1 = rec.round_slot();
+  e1.round = 10;
+  e1.messages = 1;
+  rec.commit_round(e1);
+  return rec;
+}
+
+TEST(TraceRecorder, AggregatesRoundsGapsAndRuns) {
+  const TraceRecorder rec = make_recorded_run();
+  EXPECT_EQ(rec.size(), 3u);
+  EXPECT_EQ(rec.rounds_seen(), 11u);  // 2 executed + 9 skipped
+  EXPECT_EQ(rec.skipped_rounds(), 9u);
+  EXPECT_EQ(rec.total_messages(), 6u);
+  ASSERT_EQ(rec.runs().size(), 1u);
+  EXPECT_EQ(rec.runs()[0].label, "phase-a");
+  EXPECT_EQ(rec.runs()[0].rounds, 11u);
+  EXPECT_EQ(rec.runs()[0].messages, 6u);
+  EXPECT_EQ(rec.event(1).kind, TraceEvent::Kind::kGap);
+  EXPECT_EQ(rec.event(1).rounds, 9u);
+}
+
+TEST(TraceRecorder, ChromeTraceIsValidJson) {
+  const TraceRecorder rec = make_recorded_run();
+  std::ostringstream os;
+  rec.write_chrome_trace(os);
+  EXPECT_TRUE(json_valid(os.str())) << os.str();
+  EXPECT_NE(os.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(os.str().find("phase-a"), std::string::npos);
+}
+
+TEST(TraceRecorder, RunRecordIsValidJsonl) {
+  const TraceRecorder rec = make_recorded_run();
+  std::ostringstream os;
+  rec.write_run_record(os);
+  const std::string text = os.str();
+  EXPECT_TRUE(jsonl_invalid_lines(text).empty()) << text;
+  // meta + 3 events
+  std::size_t lines = 0;
+  for (const char c : text) lines += c == '\n';
+  EXPECT_EQ(lines, 4u);
+  EXPECT_NE(text.find("\"type\":\"meta\""), std::string::npos);
+  EXPECT_NE(text.find("\"type\":\"gap\""), std::string::npos);
+  EXPECT_NE(text.find("\"top_links\":[{\"from\":0,\"to\":1,\"n\":3}"),
+            std::string::npos);
+}
+
+TEST(TraceRecorder, RingDropsOldestRoundsButKeepsAggregates) {
+  TraceRecorder rec({.capacity = 4, .top_k = 0});
+  rec.begin_run("long", 2, 2);
+  for (std::uint64_t r = 0; r < 10; ++r) {
+    TraceEvent& e = rec.round_slot();
+    e.round = r;
+    e.messages = 1;
+    rec.commit_round(e);
+  }
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.dropped_events(), 6u);
+  EXPECT_EQ(rec.rounds_seen(), 10u);     // aggregates see every round
+  EXPECT_EQ(rec.total_messages(), 10u);
+  EXPECT_EQ(rec.event(0).round, 6u);     // oldest retained
+  std::ostringstream os;
+  rec.write_run_record(os);
+  EXPECT_NE(os.str().find("\"events_dropped\":6"), std::string::npos);
+}
+
+TEST(TraceRecorder, ClearKeepsCapacityForgetsEverything) {
+  TraceRecorder rec = make_recorded_run();
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.rounds_seen(), 0u);
+  EXPECT_EQ(rec.total_messages(), 0u);
+  EXPECT_TRUE(rec.runs().empty());
+  std::ostringstream os;
+  rec.write_chrome_trace(os);
+  EXPECT_TRUE(json_valid(os.str()));
+}
+
+}  // namespace
+}  // namespace dapsp::obs

@@ -8,6 +8,7 @@
 
 #include "core/paths.hpp"
 #include "graph/generators.hpp"
+#include "obs/json.hpp"
 #include "service/query_service.hpp"
 #include "seq/dijkstra.hpp"
 
@@ -234,12 +235,12 @@ TEST(QueryService, StatsCountersPerType) {
   (void)svc.query({QueryType::kNextHop, 0, 5});
   (void)svc.query({QueryType::kPath, 0, 5});
   const ServiceStats st = svc.stats();
-  EXPECT_EQ(st.of(QueryType::kDist).count, 2u);
-  EXPECT_EQ(st.of(QueryType::kNextHop).count, 1u);
-  EXPECT_EQ(st.of(QueryType::kPath).count, 1u);
+  EXPECT_EQ(st.of(QueryType::kDist).count(), 2u);
+  EXPECT_EQ(st.of(QueryType::kNextHop).count(), 1u);
+  EXPECT_EQ(st.of(QueryType::kPath).count(), 1u);
   EXPECT_EQ(st.total_queries(), 4u);
   EXPECT_EQ(st.total_errors(), 0u);
-  EXPECT_GT(st.of(QueryType::kPath).total_ns, 0u);
+  EXPECT_GT(st.of(QueryType::kPath).total_ns(), 0u);
   const std::string s = st.summary();
   EXPECT_NE(s.find("queries=4"), std::string::npos);
   EXPECT_NE(s.find("dist[n=2"), std::string::npos);
@@ -247,21 +248,79 @@ TEST(QueryService, StatsCountersPerType) {
 
 TEST(QueryService, StatsCompose) {
   ServiceStats a, b;
-  a.of(QueryType::kDist) = {10, 1, 1000, 50, 200};
+  a.of(QueryType::kDist).latency.record(50);
+  a.of(QueryType::kDist).latency.record_n(105, 9);
+  a.of(QueryType::kDist).errors = 1;
+  a.of(QueryType::kDist).error_ns = 400;
   a.cache_hits = 3;
-  b.of(QueryType::kDist) = {5, 0, 500, 20, 300};
+  b.of(QueryType::kDist).latency.record(20);
+  b.of(QueryType::kDist).latency.record_n(120, 3);
+  b.of(QueryType::kDist).latency.record(300);
   b.cache_misses = 2;
   b.batches = 1;
   a += b;
-  EXPECT_EQ(a.of(QueryType::kDist).count, 15u);
+  EXPECT_EQ(a.of(QueryType::kDist).count(), 15u);
   EXPECT_EQ(a.of(QueryType::kDist).errors, 1u);
-  EXPECT_EQ(a.of(QueryType::kDist).total_ns, 1500u);
-  EXPECT_EQ(a.of(QueryType::kDist).min_ns, 20u);
-  EXPECT_EQ(a.of(QueryType::kDist).max_ns, 300u);
+  EXPECT_EQ(a.of(QueryType::kDist).error_ns, 400u);
+  EXPECT_EQ(a.of(QueryType::kDist).total_ns(), 50u + 9 * 105u + 20u +
+                                                   3 * 120u + 300u);
+  EXPECT_EQ(a.of(QueryType::kDist).min_ns(), 20u);
+  EXPECT_EQ(a.of(QueryType::kDist).max_ns(), 300u);
   EXPECT_EQ(a.cache_hits, 3u);
   EXPECT_EQ(a.cache_misses, 2u);
   EXPECT_EQ(a.batches, 1u);
   EXPECT_DOUBLE_EQ(a.cache_hit_rate(), 0.6);
+}
+
+TEST(QueryService, ErrorTimeDoesNotInflateLatency) {
+  // Regression: failed queries' wall-clock used to land in total_ns without
+  // a matching count, inflating mean_ns whenever errors occurred.
+  const Graph g = graph::path(4, {1, 2, 0.0}, 8);
+  const QueryService svc(build_oracle(g, {Solver::kReference, 0, 0.5}));
+  (void)svc.query({QueryType::kDist, 0, 3});
+  for (int i = 0; i < 50; ++i) {
+    (void)svc.query({QueryType::kDist, 0, 99});  // out of range -> error
+  }
+  const ServiceStats st = svc.stats();
+  const auto& dist = st.of(QueryType::kDist);
+  EXPECT_EQ(dist.count(), 1u);
+  EXPECT_EQ(dist.errors, 50u);
+  // Exactly the one ok sample: mean == total == max, errors untangled.
+  EXPECT_DOUBLE_EQ(dist.mean_ns(), static_cast<double>(dist.total_ns()));
+  EXPECT_EQ(dist.max_ns(), dist.total_ns());
+  EXPECT_GT(dist.error_ns, 0u);
+}
+
+TEST(QueryService, EmptyStatsRenderAsZeros) {
+  // Regression: min_ns used to be a UINT64_MAX sentinel that leaked into
+  // snapshots of types that never ran.
+  const Graph g = graph::path(3, {1, 1, 0.0}, 9);
+  const QueryService svc(build_oracle(g, {Solver::kReference, 0, 0.5}));
+  const ServiceStats st = svc.stats();
+  for (std::size_t i = 0; i < kQueryTypeCount; ++i) {
+    const auto& t = st.per_type[i];
+    EXPECT_EQ(t.count(), 0u);
+    EXPECT_EQ(t.min_ns(), 0u);
+    EXPECT_EQ(t.max_ns(), 0u);
+    EXPECT_EQ(t.mean_ns(), 0.0);
+    EXPECT_EQ(t.p99_ns(), 0u);
+  }
+  EXPECT_EQ(st.summary().find("18446744073709551615"), std::string::npos);
+}
+
+TEST(QueryService, LatencyQuantilesExposed) {
+  const Graph g = graph::erdos_renyi(12, 0.3, {1, 4, 0.0}, 21);
+  const QueryService svc(build_oracle(g, {Solver::kReference, 0, 0.5}));
+  for (int i = 0; i < 200; ++i) {
+    (void)svc.query({QueryType::kDist, 0, static_cast<NodeId>(i % 12)});
+  }
+  const ServiceStats st = svc.stats();
+  const auto& dist = st.of(QueryType::kDist);
+  EXPECT_EQ(dist.count(), 200u);
+  EXPECT_LE(dist.min_ns(), dist.p50_ns());
+  EXPECT_LE(dist.p50_ns(), dist.p90_ns());
+  EXPECT_LE(dist.p90_ns(), dist.p99_ns());
+  EXPECT_LE(dist.p99_ns(), dist.max_ns());
 }
 
 // ---------------------------------------------------------------------------
@@ -309,6 +368,66 @@ TEST(Protocol, ServeStreamTextAndJson) {
             "{\"type\":\"path\",\"u\":0,\"v\":2,\"ok\":true,\"dist\":4,"
             "\"path\":[0,1,2]}\n"
             "{\"type\":\"dist\",\"u\":2,\"v\":0,\"ok\":true,\"dist\":4}\n");
+}
+
+TEST(Protocol, JsonErrorLinesEscapeUserInput) {
+  // Regression: the unknown-token error echoes raw user input; a quote or
+  // backslash in it used to break the JSONL stream.
+  const Graph g = graph::path(3, {1, 1, 0.0}, 2);
+  const QueryService svc(build_oracle(g, {Solver::kReference, 0, 0.5}));
+  std::istringstream in(
+      "evil\" 0 1\n"
+      "back\\slash 0 1\n"
+      "\"quoted\" 1 2\n");
+  std::ostringstream out;
+  EXPECT_EQ(svc.serve_stream(in, out, /*json=*/true), 3);
+  EXPECT_TRUE(obs::jsonl_invalid_lines(out.str()).empty()) << out.str();
+  EXPECT_NE(out.str().find("evil\\\""), std::string::npos);
+}
+
+TEST(Protocol, ServeJsonFuzzEveryLineParses) {
+  // Every JSON-mode response line must parse, no matter how hostile the
+  // input: quotes, backslashes, control bytes, huge tokens, stats requests
+  // interleaved with garbage.
+  const Graph g = graph::erdos_renyi(8, 0.4, {1, 3, 0.0}, 12);
+  const QueryService svc(build_oracle(g, {Solver::kReference, 0, 0.5}));
+  std::string input;
+  const std::string nasty[] = {
+      "dist 0 1",
+      "path 0 7",
+      "dist 0 999",
+      "\"\" \"\" \"\"",
+      "d\"ist 0 1",
+      "\\ 0 1",
+      "dist \\\" 2",
+      "{\"json\":true} 0 1",
+      "stats",
+      std::string(300, '"') + " 1 2",
+      "next 0 \x01\x02",
+      "path x y",
+      "stats",
+  };
+  for (const std::string& line : nasty) input += line + "\n";
+  std::istringstream in(input);
+  std::ostringstream out;
+  (void)svc.serve_stream(in, out, /*json=*/true);
+  EXPECT_TRUE(obs::jsonl_invalid_lines(out.str()).empty()) << out.str();
+}
+
+TEST(Protocol, ServeJsonStatsLineIsStructured) {
+  const Graph g = graph::path(4, {1, 2, 0.0}, 6);
+  const QueryService svc(build_oracle(g, {Solver::kReference, 0, 0.5}));
+  std::istringstream in("dist 0 3\ndist 0 99\nstats\n");
+  std::ostringstream out;
+  EXPECT_EQ(svc.serve_stream(in, out, /*json=*/true), 0);
+  const std::string text = out.str();
+  EXPECT_TRUE(obs::jsonl_invalid_lines(text).empty()) << text;
+  // The stats line is a JSON object, not a stringified summary.
+  const auto pos = text.find("{\"stats\":{");
+  ASSERT_NE(pos, std::string::npos) << text;
+  EXPECT_NE(text.find("\"latency_ns\""), std::string::npos);
+  EXPECT_NE(text.find("\"p99\""), std::string::npos);
+  EXPECT_NE(text.find("\"errors\":1"), std::string::npos);
 }
 
 TEST(Protocol, UnreachableRendering) {
