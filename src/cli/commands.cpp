@@ -10,6 +10,7 @@
 
 #include "baseline/bf_apsp.hpp"
 #include "congest/engine.hpp"
+#include "congest/faults.hpp"
 #include "core/approx_apsp.hpp"
 #include "core/blocker_apsp.hpp"
 #include "core/bounds.hpp"
@@ -45,6 +46,14 @@ void write_table(const DistOutput& r, bool quiet, std::ostream& out) {
       << "messages: " << r.stats.total_messages
       << "  max-link-congestion: " << r.stats.max_link_congestion << "\n"
       << "round-msgs: " << r.stats.round_messages_hist.summary() << "\n";
+  if (r.stats.faults.any()) {
+    const congest::FaultStats& f = r.stats.faults;
+    out << "faults: dropped=" << f.dropped << " dup=" << f.duplicated
+        << " delayed=" << f.delayed << " deferred=" << f.deferred
+        << " crash-dropped=" << f.crash_dropped
+        << " delivered=" << f.delivered << " max-backlog=" << f.max_backlog
+        << "\n";
+  }
   if (quiet) return;
   const std::size_t n = r.dist.empty() ? 0 : r.dist[0].size();
   out << "dist:\n     ";
@@ -78,6 +87,19 @@ void write_json(const DistOutput& r, bool quiet, std::ostream& out) {
       .field("skipped_rounds", static_cast<std::uint64_t>(r.stats.skipped_rounds));
   w.key("round_messages");
   r.stats.round_messages_hist.write_json(w);
+  if (r.stats.faults.any()) {
+    const congest::FaultStats& f = r.stats.faults;
+    w.key("faults")
+        .begin_object()
+        .field("dropped", f.dropped)
+        .field("duplicated", f.duplicated)
+        .field("delayed", f.delayed)
+        .field("deferred", f.deferred)
+        .field("crash_dropped", f.crash_dropped)
+        .field("delivered", f.delivered)
+        .field("max_backlog", f.max_backlog)
+        .end_object();
+  }
   if (!quiet) {
     w.key("sources").begin_array();
     for (const NodeId s : r.sources) w.value(static_cast<std::uint64_t>(s));
@@ -368,6 +390,32 @@ class TraceScope {
   std::unique_ptr<obs::TraceRecorder> recorder_;
 };
 
+/// Process-wide fault injection for the duration of one command.  Parses
+/// --faults into a FaultPlan (applying the --fault-seed override) and
+/// installs it via Engine::set_global_fault_plan so every engine the
+/// command constructs -- including oracle builds for serve/query -- runs
+/// under the same plan.  RAII clears the global even when the command
+/// throws, so a failed faulted run cannot leak faults into a later one.
+class FaultScope {
+ public:
+  explicit FaultScope(const Options& opt) {
+    if (!opt.faults_spec) return;
+    plan_ = congest::FaultPlan::parse(*opt.faults_spec);
+    if (opt.fault_seed) plan_.seed = *opt.fault_seed;
+    congest::Engine::set_global_fault_plan(&plan_);
+    installed_ = true;
+  }
+  ~FaultScope() {
+    if (installed_) congest::Engine::set_global_fault_plan(nullptr);
+  }
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+ private:
+  congest::FaultPlan plan_;
+  bool installed_ = false;
+};
+
 }  // namespace
 
 Graph make_input_graph(const Options& opt) {
@@ -396,6 +444,7 @@ int run_command(const Options& opt, std::ostream& out, std::ostream& err) {
     }
     const Graph g = make_input_graph(opt);
     const TraceScope trace(opt);
+    const FaultScope faults(opt);
     int rc = 0;
     switch (opt.command) {
       case Command::kGen:

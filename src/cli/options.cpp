@@ -146,6 +146,10 @@ Options parse_options(const std::vector<std::string>& args) {
       opt.trace_file = next_value(a);
     } else if (a == "--trace-jsonl") {
       opt.trace_jsonl_file = next_value(a);
+    } else if (a == "--faults") {
+      opt.faults_spec = next_value(a);
+    } else if (a == "--fault-seed") {
+      opt.fault_seed = static_cast<std::uint64_t>(parse_int(a, next_value(a)));
     } else {
       fail("unknown flag '" + a + "'");
     }
@@ -211,6 +215,12 @@ observability (records every engine round of the command):
   --trace FILE             Chrome trace_event JSON (chrome://tracing,
                            ui.perfetto.dev)
   --trace-jsonl FILE       compact JSONL run record (meta + per-round lines)
+
+fault injection (applies to every engine run of the command; deterministic
+per seed -- see docs/TESTING.md for the grammar):
+  --faults SPEC            e.g. "drop=0.1,dup=0.05,delay=0.2:3,bw=2,
+                           crash=4@10..20,seed=99"
+  --fault-seed S           override the spec's seed (for sweeps)
 )";
 }
 

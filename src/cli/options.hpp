@@ -66,6 +66,13 @@ struct Options {
   // triggers, including oracle builds) and export after the run.
   std::optional<std::string> trace_file;        // Chrome trace_event JSON
   std::optional<std::string> trace_jsonl_file;  // compact JSONL run record
+
+  // Fault injection: a congest::FaultPlan spec applied to every engine run
+  // the command triggers (see congest/faults.hpp for the grammar), plus an
+  // optional seed override so sweeps can vary randomness without editing
+  // the spec.
+  std::optional<std::string> faults_spec;
+  std::optional<std::uint64_t> fault_seed;
 };
 
 /// Parses argv; throws std::invalid_argument with a message on bad input.

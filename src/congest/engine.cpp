@@ -4,6 +4,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "congest/faults.hpp"
 #include "obs/trace.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -21,6 +22,7 @@ namespace {
 bool g_force_dense = false;
 std::size_t g_force_threads = Engine::kNoThreadOverride;
 obs::TraceRecorder* g_global_recorder = nullptr;
+const FaultPlan* g_global_fault_plan = nullptr;
 
 using Clock = std::chrono::steady_clock;
 
@@ -52,6 +54,12 @@ void Engine::set_global_recorder(obs::TraceRecorder* rec) noexcept {
 }
 obs::TraceRecorder* Engine::global_recorder() noexcept {
   return g_global_recorder;
+}
+void Engine::set_global_fault_plan(const FaultPlan* plan) noexcept {
+  g_global_fault_plan = plan;
+}
+const FaultPlan* Engine::global_fault_plan() noexcept {
+  return g_global_fault_plan;
 }
 
 // --- NodeContext -----------------------------------------------------------
@@ -153,6 +161,20 @@ Engine::Engine(const Graph& g, std::vector<std::unique_ptr<Protocol>> protocols,
     }
   }
 
+  const FaultPlan* plan =
+      options_.faults != nullptr ? options_.faults : g_global_fault_plan;
+  if (plan != nullptr && plan->enabled()) {
+    std::vector<NodeId> link_from(links);
+    for (NodeId u = 0; u < n; ++u) {
+      for (std::size_t s = link_base_[u]; s < link_base_[u + 1]; ++s) {
+        link_from[s] = u;
+      }
+    }
+    faults_ =
+        std::make_unique<FaultPlane>(*plan, n, std::move(link_from),
+                                     link_target_);
+  }
+
   if (!dense_) {
     wake_round_.assign(n, 0);
     in_next_.assign(n, 0);
@@ -179,6 +201,16 @@ std::size_t Engine::link_slot(NodeId from, NodeId to) const {
 }
 
 bool Engine::all_quiescent() const {
+  if (faults_ != nullptr && faults_->plan().has_crashes()) {
+    // A crashed node that never revives can never act again; waiting on its
+    // quiescent() would spin the run to max_rounds.  A node that will revive
+    // keeps its say.
+    for (NodeId v = 0; v < graph_.node_count(); ++v) {
+      if (faults_->down_forever(v, round_)) continue;
+      if (!protocols_[v]->quiescent()) return false;
+    }
+    return true;
+  }
   return std::all_of(protocols_.begin(), protocols_.end(),
                      [](const auto& p) { return p->quiescent(); });
 }
@@ -201,6 +233,12 @@ void Engine::schedule(NodeId v, Round wake) {
 
 void Engine::reschedule_after_phase(std::span<const NodeId> nodes) {
   for (const NodeId v : nodes) {
+    if (faults_ != nullptr && faults_->node_down(v, round_)) {
+      // Park the node's wake at its revive round (kNever == kNeverSends, so
+      // a permanent crash simply never re-enters the schedule).
+      schedule(v, faults_->revive_round(v));
+      continue;
+    }
     schedule(v, protocols_[v]->next_send_round(round_));
   }
 }
@@ -431,7 +469,39 @@ void Engine::deliver(DeliverScope scope) {
 
   // 4. Gather per receiver, in (sender, send order) order -- or, when
   // scrambling, in a deterministic per-(receiver, round) permutation.
-  if (scope == DeliverScope::kAllNodes) {
+  if (faults_ != nullptr) {
+    // Fault path: the round's sends pass through the fault plane instead of
+    // the direct link arrays.  Admission order is (sender ascending, link in
+    // first-touch order, send order within a link) -- deterministic because
+    // touched_senders_ was sorted above and the fate draws are counter-based
+    // -- and release() fills the inboxes from whatever is due this round.
+    // Both schedules funnel through this single-threaded path, so sparse,
+    // dense, and every thread count see identical faults.
+    faults_->begin_round();
+    for (const NodeId sender : touched_senders_) {
+      const Outbox& ob = out_[sender];
+      for (const std::uint32_t slot : ob.touched) {
+        const Message* src =
+            (ob.has_dup ? ob.sorted.data() : ob.msgs.data()) + link_off_[slot];
+        faults_->admit(round_, slot, src, link_cnt_[slot]);
+      }
+    }
+    receivers_.clear();
+    faults_->release(round_, inbox_, inbox_mark_, receivers_);
+    for (const NodeId u : receivers_) inbox_mark_[u] = 0;
+    if (options_.scramble_inbox) {
+      for (const NodeId v : receivers_) {
+        auto& in = inbox_[v];
+        if (in.size() <= 1) continue;
+        util::Xoshiro256 rng(options_.scramble_seed ^ (v * 0x9e3779b9ULL) ^
+                             (round_ << 20));
+        for (std::size_t i = in.size(); i > 1; --i) {
+          std::swap(in[i - 1], in[rng.below(i)]);
+        }
+      }
+    }
+    stats_.faults += faults_->round_stats();
+  } else if (scope == DeliverScope::kAllNodes) {
     receivers_.clear();
     pool_->parallel_for(n, [&](std::size_t v) {
       gather_inbox(static_cast<NodeId>(v));
@@ -469,7 +539,15 @@ void Engine::deliver(DeliverScope scope) {
   stats_.deliver_ns_hist.record(to_ns(dt));
   if (trace_event_ != nullptr) {
     trace_event_->deliver_s = dt;
-    if (scope == DeliverScope::kAllNodes) {
+    if (faults_ != nullptr) {
+      trace_event_->receivers = static_cast<std::uint32_t>(receivers_.size());
+      const FaultStats& fs = faults_->round_stats();
+      trace_event_->faults_dropped = fs.dropped;
+      trace_event_->faults_duplicated = fs.duplicated;
+      trace_event_->faults_delayed = fs.delayed;
+      trace_event_->faults_deferred = fs.deferred;
+      trace_event_->faults_crash_dropped = fs.crash_dropped;
+    } else if (scope == DeliverScope::kAllNodes) {
       std::uint32_t receivers = 0;
       for (NodeId v = 0; v < n; ++v) receivers += !inbox_[v].empty();
       trace_event_->receivers = receivers;
@@ -489,6 +567,9 @@ void Engine::run_init_round() {
   }
   const auto t0 = Clock::now();
   pool_->parallel_for(n, [&](std::size_t v) {
+    if (faults_ != nullptr && faults_->node_down(static_cast<NodeId>(v), 0)) {
+      return;
+    }
     contexts_[v].rebind(0, {}, /*may_send=*/true);
     protocols_[v]->init(contexts_[v]);
   });
@@ -497,10 +578,21 @@ void Engine::run_init_round() {
   stats_.send_ns_hist.record(to_ns(send_dt));
   deliver(DeliverScope::kAllNodes);
   const auto t1 = Clock::now();
-  pool_->parallel_for(n, [&](std::size_t v) {
-    contexts_[v].rebind(0, inbox_[v], /*may_send=*/false);
-    protocols_[v]->receive_phase(contexts_[v]);
-  });
+  if (faults_ != nullptr) {
+    // Only nodes the fault plane actually delivered to run a receive phase
+    // (an empty-inbox receive is a no-op by the Protocol contract, and the
+    // other inboxes are stale); down receivers never made it into the list.
+    pool_->parallel_for(receivers_.size(), [&](std::size_t i) {
+      const NodeId v = receivers_[i];
+      contexts_[v].rebind(0, inbox_[v], /*may_send=*/false);
+      protocols_[v]->receive_phase(contexts_[v]);
+    });
+  } else {
+    pool_->parallel_for(n, [&](std::size_t v) {
+      contexts_[v].rebind(0, inbox_[v], /*may_send=*/false);
+      protocols_[v]->receive_phase(contexts_[v]);
+    });
+  }
   const double recv_dt = seconds_since(t1);
   stats_.receive_seconds += recv_dt;
   stats_.receive_ns_hist.record(to_ns(recv_dt));
@@ -512,6 +604,10 @@ void Engine::run_init_round() {
   }
   if (!dense_) {
     for (NodeId v = 0; v < n; ++v) {
+      if (faults_ != nullptr && faults_->node_down(v, 0)) {
+        schedule(v, faults_->revive_round(v));
+        continue;
+      }
       schedule(v, protocols_[v]->next_send_round(0));
     }
   }
@@ -536,6 +632,10 @@ std::uint64_t Engine::step() {
     const NodeId n = graph_.node_count();
     const auto t0 = Clock::now();
     pool_->parallel_for(n, [&](std::size_t v) {
+      if (faults_ != nullptr &&
+          faults_->node_down(static_cast<NodeId>(v), round_)) {
+        return;
+      }
       contexts_[v].rebind(round_, {}, /*may_send=*/true);
       protocols_[v]->send_phase(contexts_[v]);
     });
@@ -544,16 +644,25 @@ std::uint64_t Engine::step() {
     stats_.send_ns_hist.record(to_ns(send_dt));
     deliver(DeliverScope::kAllNodes);
     const auto t1 = Clock::now();
-    pool_->parallel_for(n, [&](std::size_t v) {
-      contexts_[v].rebind(round_, inbox_[v], /*may_send=*/false);
-      protocols_[v]->receive_phase(contexts_[v]);
-    });
+    if (faults_ != nullptr) {
+      pool_->parallel_for(receivers_.size(), [&](std::size_t i) {
+        const NodeId v = receivers_[i];
+        contexts_[v].rebind(round_, inbox_[v], /*may_send=*/false);
+        protocols_[v]->receive_phase(contexts_[v]);
+      });
+    } else {
+      pool_->parallel_for(n, [&](std::size_t v) {
+        contexts_[v].rebind(round_, inbox_[v], /*may_send=*/false);
+        protocols_[v]->receive_phase(contexts_[v]);
+      });
+    }
     recv_dt = seconds_since(t1);
   } else {
     build_active_set();
     const auto t0 = Clock::now();
     pool_->parallel_for(active_now_.size(), [&](std::size_t i) {
       const NodeId v = active_now_[i];
+      if (faults_ != nullptr && faults_->node_down(v, round_)) return;
       contexts_[v].rebind(round_, {}, /*may_send=*/true);
       protocols_[v]->send_phase(contexts_[v]);
     });
@@ -587,7 +696,9 @@ RunStats Engine::run() {
 
   while (round_ < options_.max_rounds) {
     const std::uint64_t sent = step();
-    if (options_.stop_on_quiescence && sent == 0 && all_quiescent()) {
+    const bool frames_pending = faults_ != nullptr && faults_->has_pending();
+    if (options_.stop_on_quiescence && sent == 0 && !frames_pending &&
+        all_quiescent()) {
       return stats_;
     }
     if (!dense_ && active_next_.empty()) {
@@ -596,12 +707,21 @@ RunStats Engine::run() {
       // it as empty rounds.  Mirror its two possible behaviors exactly:
       // stop after one silent round if everyone is quiescent, otherwise
       // account the whole gap at once.
-      const Round wake = next_heap_wake();
+      Round wake = next_heap_wake();
+      if (frames_pending) {
+        // A round that releases fault-plane frames is not silent: clamp the
+        // fast-forward so the due round executes.  Bandwidth-starved frames
+        // are due immediately (ready <= round_), hence the floor at the very
+        // next round.
+        const Round due = faults_->next_due_round();
+        wake = std::min(wake, due > round_ + 1 ? due : round_ + 1);
+      }
       const Round target = wake == Protocol::kNeverSends
                                ? options_.max_rounds
                                : std::min(wake - 1, options_.max_rounds);
       if (target > round_) {
-        if (options_.stop_on_quiescence && all_quiescent()) {
+        if (options_.stop_on_quiescence && !frames_pending &&
+            all_quiescent()) {
           skip_silent_rounds(1);
           return stats_;
         }
@@ -610,7 +730,8 @@ RunStats Engine::run() {
     }
   }
   // Ran out of budget: only a failure if someone still wanted to talk.
-  const bool all_quiet = round_messages_ == 0 && all_quiescent();
+  const bool all_quiet = round_messages_ == 0 && all_quiescent() &&
+                         (faults_ == nullptr || !faults_->has_pending());
   stats_.hit_round_limit = !all_quiet;
   return stats_;
 }

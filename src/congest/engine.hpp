@@ -56,6 +56,8 @@ struct TraceEvent;
 namespace dapsp::congest {
 
 class Engine;
+struct FaultPlan;
+class FaultPlane;
 
 /// Per-node, per-round view handed to protocol code.
 ///
@@ -204,6 +206,12 @@ struct EngineOptions {
   /// of the sparse active-set scheduler.  Kept as the correctness oracle:
   /// stats and protocol outcomes are bit-identical either way (tested).
   bool dense_fallback = false;
+  /// Optional fault plan (not owned; must outlive the engine).  Null, or a
+  /// plan with no fault enabled, costs nothing: the engine never constructs
+  /// the fault plane and the delivery path is the pre-fault code, so outputs
+  /// and RunStats are bit-identical to a faultless build (tested).  See
+  /// congest/faults.hpp for semantics.
+  const FaultPlan* faults = nullptr;
 };
 
 /// The engine's concrete per-node Context.  One instance per node lives for
@@ -281,6 +289,13 @@ class Engine {
   static void set_global_recorder(obs::TraceRecorder* rec) noexcept;
   static obs::TraceRecorder* global_recorder() noexcept;
 
+  /// Process-wide fault plan, latched by every subsequently constructed
+  /// engine whose options carry no plan of their own -- how the CLI's
+  /// --faults flag reaches engines built deep inside the solvers.  Null
+  /// clears it; same single-threaded-setup contract as the overrides above.
+  static void set_global_fault_plan(const FaultPlan* plan) noexcept;
+  static const FaultPlan* global_fault_plan() noexcept;
+
   // Low-level send plumbing for Context implementations (not for protocol
   // code; protocols must go through Context so the phase rules hold).
   std::size_t link_slot(NodeId from, NodeId to) const;
@@ -310,6 +325,9 @@ class Engine {
   EngineOptions options_;
   bool dense_ = false;
   obs::TraceRecorder* recorder_ = nullptr;  // latched in ctor, may be global
+  /// Constructed only when an enabled plan was attached (options or global);
+  /// every fault branch in the engine is guarded on this being non-null.
+  std::unique_ptr<FaultPlane> faults_;
   obs::TraceEvent* trace_event_ = nullptr;  // this round's slot, if recording
   std::unique_ptr<util::ThreadPool> own_pool_;  // when an explicit count is set
   util::ThreadPool* pool_ = nullptr;            // resolved once, never rechecked

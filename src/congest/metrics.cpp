@@ -18,6 +18,7 @@ RunStats& RunStats::operator+=(const RunStats& o) {
   max_message_fields = std::max(max_message_fields, o.max_message_fields);
   hit_round_limit = hit_round_limit || o.hit_round_limit;
   skipped_rounds += o.skipped_rounds;
+  faults += o.faults;
   round_messages_hist += o.round_messages_hist;
   send_seconds += o.send_seconds;
   deliver_seconds += o.deliver_seconds;
@@ -43,6 +44,13 @@ std::string RunStats::summary() const {
      << " max_congestion=" << max_link_congestion
      << " max_link_total=" << max_link_total;
   if (skipped_rounds > 0) os << " skipped=" << skipped_rounds;
+  if (faults.any()) {
+    os << " faults{dropped=" << faults.dropped << " dup=" << faults.duplicated
+       << " delayed=" << faults.delayed << " deferred=" << faults.deferred
+       << " crash_dropped=" << faults.crash_dropped
+       << " delivered=" << faults.delivered
+       << " max_backlog=" << faults.max_backlog << "}";
+  }
   if (hit_round_limit) os << " [HIT ROUND LIMIT]";
   return os.str();
 }

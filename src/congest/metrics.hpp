@@ -13,6 +13,37 @@
 
 namespace dapsp::congest {
 
+/// Counters for injected faults (see congest/faults.hpp).  All fields are
+/// deterministic: a (seed, plan) pair produces bit-identical counts across
+/// thread counts and schedulers.  All zero when no fault plan is installed.
+struct FaultStats {
+  std::uint64_t dropped = 0;        ///< messages destroyed by drop_prob
+  std::uint64_t duplicated = 0;     ///< extra copies injected by dup_prob
+  std::uint64_t delayed = 0;        ///< copies rescheduled to a later round
+  std::uint64_t deferred = 0;       ///< copies held back by a bandwidth cap
+  std::uint64_t crash_dropped = 0;  ///< deliveries discarded at a down node
+  std::uint64_t delivered = 0;      ///< copies that reached a live inbox
+  std::uint64_t max_backlog = 0;    ///< peak messages buffered in the plane
+
+  bool any() const {
+    return dropped | duplicated | delayed | deferred | crash_dropped |
+           delivered | max_backlog;
+  }
+
+  FaultStats& operator+=(const FaultStats& o) {
+    dropped += o.dropped;
+    duplicated += o.duplicated;
+    delayed += o.delayed;
+    deferred += o.deferred;
+    crash_dropped += o.crash_dropped;
+    delivered += o.delivered;
+    max_backlog = max_backlog > o.max_backlog ? max_backlog : o.max_backlog;
+    return *this;
+  }
+
+  friend bool operator==(const FaultStats&, const FaultStats&) = default;
+};
+
 struct RunStats {
   Round rounds = 0;               ///< rounds executed (init round 0 excluded)
   Round last_message_round = 0;   ///< last round in which any message was sent
@@ -34,6 +65,9 @@ struct RunStats {
   /// `per_round_messages`); this records how many never paid a simulation
   /// step.  Always 0 on the dense fallback path.
   Round skipped_rounds = 0;
+
+  /// Injected-fault counters; all zero unless a FaultPlan was attached.
+  FaultStats faults;
 
   /// Distribution of per-round message counts (one sample per simulated
   /// round, fast-forwarded silent rounds included as zeros).  Deterministic:

@@ -30,6 +30,8 @@ TraceEvent& TraceRecorder::round_slot() {
   e.receivers = 0;
   e.max_link_congestion = 0;
   e.send_s = e.deliver_s = e.receive_s = 0.0;
+  e.faults_dropped = e.faults_duplicated = e.faults_delayed = 0;
+  e.faults_deferred = e.faults_crash_dropped = 0;
   e.top_links.clear();  // capacity survives ring reuse
   return e;
 }
@@ -56,6 +58,8 @@ void TraceRecorder::record_gap(std::uint64_t first_round,
   e.receivers = 0;
   e.max_link_congestion = 0;
   e.send_s = e.deliver_s = e.receive_s = 0.0;
+  e.faults_dropped = e.faults_duplicated = e.faults_delayed = 0;
+  e.faults_deferred = e.faults_crash_dropped = 0;
   e.top_links.clear();
   rounds_seen_ += rounds;
   skipped_rounds_ += rounds;
@@ -136,11 +140,18 @@ void TraceRecorder::write_chrome_trace(std::ostream& os) const {
         .field("pid", pid)
         .field("tid", std::uint64_t{0})
         .field("ts", cum_us);
-    w.key("args")
-        .begin_object()
-        .field("messages", e.messages)
-        .field("max_link_congestion", e.max_link_congestion)
-        .end_object();
+    w.key("args").begin_object();
+    w.field("messages", e.messages)
+        .field("max_link_congestion", e.max_link_congestion);
+    if (e.faults_dropped | e.faults_duplicated | e.faults_delayed |
+        e.faults_deferred | e.faults_crash_dropped) {
+      w.field("faults_dropped", e.faults_dropped)
+          .field("faults_duplicated", e.faults_duplicated)
+          .field("faults_delayed", e.faults_delayed)
+          .field("faults_deferred", e.faults_deferred)
+          .field("faults_crash_dropped", e.faults_crash_dropped);
+    }
+    w.end_object();
     w.end_object();
     cum_us = ts;
   }
@@ -209,6 +220,17 @@ void TraceRecorder::write_run_record(std::ostream& os) const {
         .field("send_ns", static_cast<std::uint64_t>(e.send_s * 1e9))
         .field("deliver_ns", static_cast<std::uint64_t>(e.deliver_s * 1e9))
         .field("receive_ns", static_cast<std::uint64_t>(e.receive_s * 1e9));
+    if (e.faults_dropped | e.faults_duplicated | e.faults_delayed |
+        e.faults_deferred | e.faults_crash_dropped) {
+      w.key("faults")
+          .begin_object()
+          .field("dropped", e.faults_dropped)
+          .field("duplicated", e.faults_duplicated)
+          .field("delayed", e.faults_delayed)
+          .field("deferred", e.faults_deferred)
+          .field("crash_dropped", e.faults_crash_dropped)
+          .end_object();
+    }
     w.key("top_links").begin_array();
     for (const LinkLoad& l : e.top_links) {
       w.begin_object()

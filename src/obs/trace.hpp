@@ -99,6 +99,13 @@ struct TraceEvent {
   double send_s = 0.0;          ///< wall-clock, host observability only
   double deliver_s = 0.0;
   double receive_s = 0.0;
+  /// Injected-fault counters for this round (congest/faults.hpp); all zero
+  /// -- and omitted from the run record -- unless a fault plan was active.
+  std::uint64_t faults_dropped = 0;
+  std::uint64_t faults_duplicated = 0;
+  std::uint64_t faults_delayed = 0;
+  std::uint64_t faults_deferred = 0;
+  std::uint64_t faults_crash_dropped = 0;
   /// Most-loaded links this round, descending, at most `Options::top_k`.
   std::vector<LinkLoad> top_links;
 };

@@ -1,8 +1,11 @@
 #include "service/oracle.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
+#include "congest/engine.hpp"
+#include "congest/faults.hpp"
 #include "core/approx_apsp.hpp"
 #include "core/blocker_apsp.hpp"
 #include "core/pipelined_ssp.hpp"
@@ -110,6 +113,46 @@ void fill_next_hops_from_parents(NodeId s, NodeId n,
   }
 }
 
+/// Fault-plan safety net for engine-backed builds: when the process-global
+/// fault plan is active, an unreachable entry in the result may mean the
+/// faults (a crashed cut vertex, unrecovered losses) severed pairs that the
+/// real graph connects -- silently serving kInfDist for them would be a
+/// wrong answer wearing an honest face.  Compare the oracle's infinite
+/// entries against plain BFS reachability on g and fail loudly on mismatch.
+void check_fault_partition(const Graph& g, const DistanceOracle& o) {
+  const congest::FaultPlan* plan = congest::Engine::global_fault_plan();
+  if (plan == nullptr || !plan->enabled()) return;
+  const NodeId n = g.node_count();
+  std::vector<std::uint8_t> seen(n);
+  std::vector<NodeId> queue;
+  for (NodeId s = 0; s < n; ++s) {
+    std::fill(seen.begin(), seen.end(), 0);
+    queue.assign(1, s);
+    seen[s] = 1;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      for (const auto& e : g.out_edges(queue[head])) {
+        if (!seen[e.to]) {
+          seen[e.to] = 1;
+          queue.push_back(e.to);
+        }
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (seen[v] && o.dist(s, v) == kInfDist) {
+        throw std::runtime_error(
+            "build_oracle: fault plan \"" + plan->spec() +
+            "\" partitioned the run: " + std::to_string(v) +
+            " is reachable from " + std::to_string(s) +
+            " in the graph but the solver found no distance (crashed node "
+            "on every path, or losses the protocol could not recover)");
+      }
+    }
+  }
+}
+
+DistanceOracle build_oracle_impl(const Graph& g,
+                                 const OracleBuildOptions& opts);
+
 }  // namespace
 
 DistanceOracle make_oracle(const std::vector<std::vector<Weight>>& dist,
@@ -174,6 +217,16 @@ DistanceOracle make_oracle_from_distances(
 
 DistanceOracle build_oracle(const Graph& g, const OracleBuildOptions& opts) {
   util::check(g.node_count() > 0, "build_oracle: empty graph");
+  DistanceOracle o = build_oracle_impl(g, opts);
+  // kReference never touches the engine, so no fault plan can have bent it.
+  if (opts.solver != Solver::kReference) check_fault_partition(g, o);
+  return o;
+}
+
+namespace {
+
+DistanceOracle build_oracle_impl(const Graph& g,
+                                 const OracleBuildOptions& opts) {
   const NodeId n = g.node_count();
   switch (opts.solver) {
     case Solver::kPipelined: {
@@ -224,5 +277,7 @@ DistanceOracle build_oracle(const Graph& g, const OracleBuildOptions& opts) {
   }
   throw std::logic_error("build_oracle: unhandled solver");
 }
+
+}  // namespace
 
 }  // namespace dapsp::service

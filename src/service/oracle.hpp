@@ -126,6 +126,14 @@ DistanceOracle make_oracle_from_distances(
 
 /// Enum-dispatched factory: runs the chosen solver on g and builds the
 /// oracle from its output.
+///
+/// Fault safety: when a process-global fault plan is active
+/// (congest::Engine::set_global_fault_plan) and the solver ran on the
+/// engine, the builder cross-checks the result against BFS reachability on
+/// g and throws std::runtime_error if any truly reachable pair came out
+/// unreachable -- e.g. a crash-stopped cut vertex partitioned the run.  A
+/// faulted build either serves correct reachability or fails loudly; it
+/// never silently serves kInfDist for a connected pair.
 DistanceOracle build_oracle(const graph::Graph& g,
                             const OracleBuildOptions& opts = {});
 

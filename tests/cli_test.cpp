@@ -236,6 +236,49 @@ TEST(CliCommands, TraceOffLeavesOutputIdentical) {
   EXPECT_EQ(run(false), run(true));
 }
 
+TEST(CliOptions, ParsesFaultFlags) {
+  const Options o = parse({"apsp", "--faults", "drop=0.1,seed=3",
+                           "--fault-seed", "99"});
+  ASSERT_TRUE(o.faults_spec.has_value());
+  EXPECT_EQ(*o.faults_spec, "drop=0.1,seed=3");
+  ASSERT_TRUE(o.fault_seed.has_value());
+  EXPECT_EQ(*o.fault_seed, 99u);
+  EXPECT_THROW(parse({"apsp", "--faults"}), std::invalid_argument);
+  EXPECT_FALSE(parse({"apsp"}).faults_spec.has_value());
+  EXPECT_NE(usage().find("--faults"), std::string::npos);
+}
+
+TEST(CliCommands, FaultRunReportsCountersAndBadSpecFails) {
+  Options o = parse({"apsp", "--n", "10", "--p", "0.4", "--seed", "5",
+                     "--quiet", "--faults", "drop=0.3,seed=8"});
+  std::ostringstream out, err;
+  ASSERT_EQ(run_command(o, out, err), 0) << err.str();
+  EXPECT_NE(out.str().find("faults: dropped="), std::string::npos)
+      << out.str();
+
+  // --fault-seed reroutes the randomness: a different seed must not crash
+  // and (for this spec) changes the drop pattern.
+  o.fault_seed = 1234;
+  std::ostringstream out2, err2;
+  ASSERT_EQ(run_command(o, out2, err2), 0) << err2.str();
+
+  const Options bad = parse({"apsp", "--n", "6", "--faults", "drop=2.0"});
+  std::ostringstream out3, err3;
+  EXPECT_EQ(run_command(bad, out3, err3), 1);
+  EXPECT_NE(err3.str().find("error:"), std::string::npos);
+}
+
+TEST(CliCommands, FaultsOffLeavesOutputIdentical) {
+  const auto run = [](bool faulted) {
+    Options o = parse({"apsp", "--n", "9", "--p", "0.35", "--seed", "13"});
+    if (faulted) o.faults_spec = "seed=77";  // parsed but disabled
+    std::ostringstream out, err;
+    EXPECT_EQ(run_command(o, out, err), 0) << err.str();
+    return out.str();
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
 TEST(CliCommands, MissingFileIsGracefulError) {
   const Options o = parse({"info", "--graph", "/nonexistent/nope.txt"});
   std::ostringstream out, err;

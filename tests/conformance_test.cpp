@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "core/blocker_apsp.hpp"
+#include "core/bounds.hpp"
 #include "core/pipelined_ssp.hpp"
 #include "graph/generators.hpp"
 #include "graph/properties.hpp"
@@ -129,6 +130,77 @@ TEST(ConformanceBlockerApsp, RandomizedSweep) {
     }
   }
   EXPECT_GE(cases, 100u);
+}
+
+// ---------------------------------------------------------------------------
+// Round-bound conformance: the *measured* round count (not just the settle
+// round) must respect the paper's closed-form bounds across an n-sweep.
+// These recompute the formulas from core/bounds.hpp independently of the
+// solver's own theoretical_bound bookkeeping, so a bookkeeping bug cannot
+// hide a bound violation.
+// ---------------------------------------------------------------------------
+
+TEST(ConformanceRoundBounds, PipelinedSspAcrossSizes) {
+  // Theorem I.1(i) single source: every shortest path has settled by round
+  // 2*sqrt(h*Delta) + h + 1.  The paper's bound speaks about settling; the
+  // engine then runs a handful of extra rounds draining in-flight traffic
+  // before it can *detect* quiescence, so those trailing rounds are bounded
+  // by the solver's own budget, not the closed form.
+  for (NodeId n = 6; n <= 30; n += 6) {
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      const Graph g = graph::erdos_renyi(n, 0.3, {0, 6, 0.2}, seed * 53 + n);
+      PipelinedParams p;
+      p.sources = {0};
+      p.h = n - 1;
+      p.delta = graph::max_finite_hop_distance(g, p.h);
+      const KsspResult res = pipelined_kssp(g, p);
+      const std::uint64_t paper =
+          bounds::hk_ssp(p.h, 1, static_cast<std::uint64_t>(p.delta));
+      ASSERT_LE(res.settle_round, paper) << "n=" << n << " seed=" << seed;
+      ASSERT_LE(res.stats.rounds, res.theoretical_bound)
+          << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST(ConformanceRoundBounds, PipelinedApspAcrossSizes) {
+  // Theorem I.1(ii): APSP within 2n*sqrt(Delta) + 2n rounds.
+  for (NodeId n = 6; n <= 22; n += 4) {
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+      const Graph g = graph::erdos_renyi(n, 0.35, {0, 5, 0.2}, seed * 71 + n);
+      const Weight delta = graph::max_finite_distance(g);
+      const KsspResult res = pipelined_apsp(g, delta);
+      const std::uint64_t paper =
+          bounds::apsp_pipelined(n, static_cast<std::uint64_t>(delta));
+      ASSERT_LE(res.settle_round, paper) << "n=" << n << " seed=" << seed;
+      // The run must also respect the solver's own (list-capacity-refined)
+      // Lemma II.14 bookkeeping, which can sit above or below the idealized
+      // closed form but never below the measured rounds.
+      ASSERT_LE(res.stats.rounds, res.theoretical_bound)
+          << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST(ConformanceRoundBounds, PipelinedKsspAcrossSourceCounts) {
+  // Theorem I.1(iii): k-SSP within 2*sqrt(n*k*Delta) + n + k rounds.
+  const NodeId n = 18;
+  for (std::size_t k = 1; k <= 9; k += 4) {
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+      const Graph g = graph::erdos_renyi(n, 0.3, {1, 5, 0.0}, seed * 17 + k);
+      std::vector<NodeId> sources;
+      for (std::size_t i = 0; i < k; ++i) {
+        sources.push_back(static_cast<NodeId>((i * 5) % n));
+      }
+      const Weight delta = graph::max_finite_distance(g);
+      const KsspResult res = pipelined_kssp_full(g, sources, delta);
+      const std::uint64_t paper = bounds::k_ssp_pipelined(
+          n, res.sources.size(), static_cast<std::uint64_t>(delta));
+      ASSERT_LE(res.settle_round, paper) << "k=" << k << " seed=" << seed;
+      ASSERT_LE(res.stats.rounds, res.theoretical_bound)
+          << "k=" << k << " seed=" << seed;
+    }
+  }
 }
 
 }  // namespace

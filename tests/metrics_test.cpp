@@ -130,5 +130,45 @@ TEST(RunStats, SummaryFormat) {
             "max_link_total=0");
 }
 
+TEST(FaultStatsTest, AnyAndCompose) {
+  FaultStats a;
+  EXPECT_FALSE(a.any());
+  a.dropped = 3;
+  a.max_backlog = 7;
+  EXPECT_TRUE(a.any());
+  FaultStats b;
+  b.duplicated = 2;
+  b.delivered = 10;
+  b.max_backlog = 4;
+  a += b;
+  EXPECT_EQ(a.dropped, 3u);
+  EXPECT_EQ(a.duplicated, 2u);
+  EXPECT_EQ(a.delivered, 10u);
+  // Backlogs are peaks, not totals: composing phases keeps the max.
+  EXPECT_EQ(a.max_backlog, 7u);
+  FaultStats only_delivered;
+  only_delivered.delivered = 1;
+  EXPECT_TRUE(only_delivered.any());
+}
+
+TEST(RunStats, SummaryIncludesFaultsOnlyWhenAny) {
+  RunStats s = phase(5, 10, 2, 3, 5);
+  EXPECT_EQ(s.summary().find("faults{"), std::string::npos);
+  s.faults.dropped = 4;
+  s.faults.delivered = 6;
+  s.faults.max_backlog = 2;
+  const std::string sum = s.summary();
+  EXPECT_NE(sum.find("faults{dropped=4"), std::string::npos) << sum;
+  EXPECT_NE(sum.find("delivered=6"), std::string::npos) << sum;
+  EXPECT_NE(sum.find("max_backlog=2"), std::string::npos) << sum;
+  // Fault counters fold into += like every other accumulated stat.
+  RunStats t = phase(3, 4, 1, 1, 2);
+  t.faults.dropped = 1;
+  t.faults.max_backlog = 9;
+  s += t;
+  EXPECT_EQ(s.faults.dropped, 5u);
+  EXPECT_EQ(s.faults.max_backlog, 9u);
+}
+
 }  // namespace
 }  // namespace dapsp::congest

@@ -1,0 +1,207 @@
+// Property-based differential harness: every solver against sequential
+// Dijkstra, across seeded graph families.
+//
+// Each (family, solver) pair sweeps several sizes x seeds, so the suite
+// covers well over a hundred generated cases.  For exact solvers the
+// properties are strict equality of every distance plus a full validity
+// check of every reconstructed path (each hop is a real edge, the weight
+// sum equals the reported distance); for the approximate solver the
+// distance must land in the [d, (1+eps)d] sandwich and zero-distance pairs
+// must be exact.  On failure the offending graph is printed as a
+// `read_graph` payload, so any red case can be replayed with
+// `dapsp_cli --graph FILE` without re-deriving the generator arguments.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "seq/dijkstra.hpp"
+#include "service/oracle.hpp"
+
+namespace dapsp::service {
+namespace {
+
+using graph::Graph;
+using graph::kInfDist;
+using graph::NodeId;
+using graph::Weight;
+
+enum class Family { kPath, kStar, kGrid, kRandom, kZeroCycle };
+
+const char* family_name(Family f) {
+  switch (f) {
+    case Family::kPath: return "path";
+    case Family::kStar: return "star";
+    case Family::kGrid: return "grid";
+    case Family::kRandom: return "random";
+    case Family::kZeroCycle: return "zero_cycle";
+  }
+  return "?";
+}
+
+/// One generated instance.  `n` is a size knob, not always the exact node
+/// count (grid rounds to rows x cols).
+Graph make_family(Family f, NodeId n, std::uint64_t seed) {
+  switch (f) {
+    case Family::kPath:
+      return graph::path(n, {0, 6, 0.2}, seed, /*directed=*/false);
+    case Family::kStar:
+      return graph::star(n, {1, 9, 0.0}, seed);
+    case Family::kGrid:
+      return graph::grid(3, (n + 2) / 3, {0, 4, 0.1}, seed);
+    case Family::kRandom:
+      return graph::erdos_renyi(n, 0.35, {0, 5, 0.25}, seed,
+                                /*directed=*/(seed % 2) == 1);
+    case Family::kZeroCycle:
+      // Zero-heavy cycle: long zero-weight plateaus stress tie-breaking and
+      // hop accounting in every solver.
+      return graph::cycle(n, {0, 1, 0.7}, seed, /*directed=*/false);
+  }
+  throw std::logic_error("unknown family");
+}
+
+/// The failing graph, replayable: paste into a file and run
+/// `dapsp_cli <cmd> --graph FILE` or feed to graph::read_graph.
+std::string replay_payload(const Graph& g, const std::string& where) {
+  std::ostringstream os;
+  os << where << "; replay payload (graph::read_graph / --graph):\n";
+  graph::write_graph(os, g);
+  return os.str();
+}
+
+/// Weight of the cheapest u->v arc; kInfDist when absent.
+Weight arc_weight(const Graph& g, NodeId u, NodeId v) {
+  Weight best = kInfDist;
+  for (const auto& e : g.out_edges(u)) {
+    if (e.to == v && e.weight < best) best = e.weight;
+  }
+  return best;
+}
+
+/// Checks one reconstructed path: endpoints, real edges, weight sum.
+void check_path(const Graph& g, const DistanceOracle& o, NodeId u, NodeId v,
+                Weight want, const std::string& ctx) {
+  const auto p = o.path(u, v);
+  if (want == kInfDist) {
+    EXPECT_FALSE(p.has_value()) << ctx;
+    return;
+  }
+  ASSERT_TRUE(p.has_value()) << ctx;
+  ASSERT_GE(p->size(), 1u) << ctx;
+  EXPECT_EQ(p->front(), u) << ctx;
+  EXPECT_EQ(p->back(), v) << ctx;
+  Weight sum = 0;
+  for (std::size_t i = 0; i + 1 < p->size(); ++i) {
+    const Weight w = arc_weight(g, (*p)[i], (*p)[i + 1]);
+    ASSERT_NE(w, kInfDist)
+        << ctx << ": path hop " << (*p)[i] << "->" << (*p)[i + 1]
+        << " is not an edge";
+    sum += w;
+  }
+  EXPECT_EQ(sum, want) << ctx << ": path weight sum != distance";
+}
+
+struct Case {
+  Family family;
+  Solver solver;
+};
+
+class SolverProperty : public ::testing::TestWithParam<Case> {};
+
+TEST_P(SolverProperty, MatchesDijkstraOnSeededSweep) {
+  const Case& c = GetParam();
+  OracleBuildOptions opts;
+  opts.solver = c.solver;
+  opts.eps = 0.5;
+  std::uint64_t cases = 0;
+  for (NodeId n = 5; n <= 13; n += 4) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      const Graph g = make_family(c.family, n, seed * 37 + n);
+      const DistanceOracle o = build_oracle(g, opts);
+      ++cases;
+      std::ostringstream tag;
+      tag << family_name(c.family) << "/" << solver_name(c.solver)
+          << " n=" << n << " seed=" << seed;
+      const std::string ctx = replay_payload(g, tag.str());
+      const NodeId nn = g.node_count();
+      ASSERT_EQ(o.node_count(), nn) << ctx;
+      for (NodeId s = 0; s < nn; ++s) {
+        const auto dj = seq::dijkstra(g, s);
+        for (NodeId v = 0; v < nn; ++v) {
+          const Weight want = dj.dist[v];
+          const Weight got = o.dist(s, v);
+          if (o.exact()) {
+            ASSERT_EQ(got, want) << ctx << " pair " << s << "->" << v;
+          } else if (want == kInfDist) {
+            ASSERT_EQ(got, kInfDist) << ctx << " pair " << s << "->" << v;
+          } else {
+            ASSERT_GE(got, want) << ctx << " pair " << s << "->" << v;
+            if (want == 0) {
+              ASSERT_EQ(got, 0) << ctx << " pair " << s << "->" << v;
+            } else {
+              ASSERT_LE(static_cast<double>(got),
+                        (1.0 + opts.eps) * static_cast<double>(want))
+                  << ctx << " pair " << s << "->" << v;
+            }
+          }
+          if (o.has_paths()) {
+            check_path(g, o, s, v, want,
+                       ctx + " path " + std::to_string(s) + "->" +
+                           std::to_string(v));
+          }
+        }
+      }
+    }
+  }
+  // 3 sizes x 4 seeds per (family, solver); the full suite of 25 params
+  // exercises 300 generated graphs.
+  EXPECT_GE(cases, 12u);
+}
+
+std::vector<Case> all_cases() {
+  std::vector<Case> out;
+  for (const Family f : {Family::kPath, Family::kStar, Family::kGrid,
+                         Family::kRandom, Family::kZeroCycle}) {
+    for (const Solver s : {Solver::kPipelined, Solver::kBlocker,
+                           Solver::kScaled, Solver::kApprox,
+                           Solver::kReference}) {
+      out.push_back({f, s});
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, SolverProperty, ::testing::ValuesIn(all_cases()),
+    [](const ::testing::TestParamInfo<Case>& param_info) {
+      return std::string(family_name(param_info.param.family)) + "_" +
+             solver_name(param_info.param.solver);
+    });
+
+TEST(SolverPropertyReplay, PayloadRoundTrips) {
+  // The failure message's replay payload must parse back to the same graph,
+  // otherwise a red case cannot actually be replayed.
+  const Graph g = make_family(Family::kRandom, 9, 42);
+  std::ostringstream os;
+  graph::write_graph(os, g);
+  std::istringstream is(os.str());
+  const Graph back = graph::read_graph(is);
+  ASSERT_EQ(back.node_count(), g.node_count());
+  ASSERT_EQ(back.edge_count(), g.edge_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto a = g.out_edges(v);
+    const auto b = back.out_edges(v);
+    ASSERT_EQ(a.size(), b.size()) << v;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].to, b[i].to) << v;
+      EXPECT_EQ(a[i].weight, b[i].weight) << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dapsp::service
