@@ -13,9 +13,16 @@
 // solvers themselves at small n.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "graph/generators.hpp"
+#include "serve/sharded_oracle.hpp"
+#include "serve/snapshot_manager.hpp"
+#include "serve/wire.hpp"
 #include "service/query_service.hpp"
 #include "util/rng.hpp"
 
@@ -143,6 +150,143 @@ BENCHMARK(BM_OracleBuild)
     ->Arg(static_cast<int>(service::Solver::kScaled))
     ->Arg(static_cast<int>(service::Solver::kApprox))
     ->Arg(static_cast<int>(service::Solver::kReference));
+
+// ---------------------------------------------------------------------------
+// Serving-tier load scenarios (sharded snapshots, hot swap, wire protocols).
+
+constexpr service::OracleBuildOptions kRefBuild{service::Solver::kReference,
+                                                0, 0.5};
+
+/// Sustained many-client load with continuous background rebuild + swap:
+/// Arg = client thread count.  Each iteration runs every client through
+/// 8 batches of 4096 point queries while the main thread alternates the
+/// serving graph and hot-swaps freshly built 4-shard snapshots.  Every
+/// response is verified against the two reference closures -- a batch that
+/// matches neither (a dropped, wrong, or epoch-mixed answer) aborts the
+/// bench with SkipWithError, so the reported QPS is certified-correct
+/// throughput under swap pressure, not just survivable traffic.
+void BM_ServeSustainedQPS(benchmark::State& state) {
+  const std::size_t clients = static_cast<std::size_t>(state.range(0));
+  const graph::Graph ga = serve_graph();
+  const graph::Graph gb =
+      graph::erdos_renyi(kServeN, 6.0 / kServeN, {0, 8, 0.2}, 43);
+  const DistanceOracle& refA = serve_oracle();
+  static const DistanceOracle refB = service::build_oracle(gb, kRefBuild);
+
+  QueryServiceConfig cfg;
+  cfg.threads = 2;
+  QueryService svc(serve::build_sharded_oracle(ga, kRefBuild, 4), cfg);
+  serve::SnapshotManager manager(svc, ga, kRefBuild, 4);
+
+  const auto batch = random_queries(QueryType::kDist, 4096, 4096, 11);
+  constexpr int kBatchesPerClient = 8;
+  std::atomic<std::uint64_t> violations{0};
+  const auto client = [&] {
+    for (int b = 0; b < kBatchesPerClient; ++b) {
+      const auto results = svc.query_batch(batch);
+      bool all_a = true, all_b = true;
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (!results[i].ok) {
+          all_a = all_b = false;
+          break;
+        }
+        all_a = all_a && results[i].dist == refA.dist(batch[i].u, batch[i].v);
+        all_b = all_b && results[i].dist == refB.dist(batch[i].u, batch[i].v);
+      }
+      if (!all_a && !all_b) violations.fetch_add(1);
+    }
+  };
+
+  int cycle = 0;
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) threads.emplace_back(client);
+    // Two full rebuild+swap cycles land while this iteration's traffic runs.
+    for (int swaps = 0; swaps < 2; ++swaps) {
+      manager.set_graph(++cycle % 2 ? gb : ga);
+      manager.rebuild_now();
+    }
+    for (auto& t : threads) t.join();
+  }
+  if (violations.load() != 0) {
+    state.SkipWithError("response matched neither snapshot (dropped or "
+                        "epoch-mixed answer under swap)");
+    return;
+  }
+  const auto st = svc.stats();
+  state.counters["swaps"] = static_cast<double>(st.swaps);
+  state.counters["errors"] = static_cast<double>(st.total_errors());
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(clients * kBatchesPerClient * batch.size()));
+}
+BENCHMARK(BM_ServeSustainedQPS)->Arg(2)->Arg(8)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Per-line text protocol: the baseline the batch+binary path is measured
+/// against.  One "dist U V" line per query, parsed and answered one at a
+/// time through serve_stream.
+void BM_ServeTextProtocol(benchmark::State& state) {
+  const QueryService svc(serve_oracle());
+  const auto queries = random_queries(QueryType::kDist, 1 << 14, 1 << 14, 12);
+  std::string request;
+  for (const Query& q : queries) {
+    request += "dist " + std::to_string(q.u) + " " + std::to_string(q.v) +
+               "\n";
+  }
+  for (auto _ : state) {
+    std::istringstream in(request);
+    std::ostringstream out;
+    const int malformed = svc.serve_stream(in, out, /*json=*/false);
+    if (malformed != 0) state.SkipWithError("malformed text request");
+    benchmark::DoNotOptimize(out.str().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(queries.size()));
+}
+BENCHMARK(BM_ServeTextProtocol);
+
+/// Text protocol with the "batch N" directive: same line format, but the
+/// body executes as one pipelined query_batch.
+void BM_ServeTextBatchDirective(benchmark::State& state) {
+  const QueryService svc(serve_oracle());
+  const auto queries = random_queries(QueryType::kDist, 1 << 14, 1 << 14, 12);
+  std::string request = "batch " + std::to_string(queries.size()) + "\n";
+  for (const Query& q : queries) {
+    request += "dist " + std::to_string(q.u) + " " + std::to_string(q.v) +
+               "\n";
+  }
+  for (auto _ : state) {
+    std::istringstream in(request);
+    std::ostringstream out;
+    const int malformed = svc.serve_stream(in, out, /*json=*/false);
+    if (malformed != 0) state.SkipWithError("malformed batch request");
+    benchmark::DoNotOptimize(out.str().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(queries.size()));
+}
+BENCHMARK(BM_ServeTextBatchDirective);
+
+/// Length-prefixed binary batch frames through serve_binary: no per-query
+/// tokenizing or decimal formatting, one frame per 16k queries.
+void BM_ServeBinaryBatch(benchmark::State& state) {
+  const QueryService svc(serve_oracle());
+  const auto queries = random_queries(QueryType::kDist, 1 << 14, 1 << 14, 12);
+  std::string request;
+  serve::wire::append_batch_request(request, queries);
+  for (auto _ : state) {
+    std::istringstream in(request);
+    std::ostringstream out;
+    const int errors = serve::wire::serve_binary(svc, in, out);
+    if (errors != 0) state.SkipWithError("binary request rejected");
+    benchmark::DoNotOptimize(out.str().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(queries.size()));
+}
+BENCHMARK(BM_ServeBinaryBatch);
 
 }  // namespace
 

@@ -1,5 +1,6 @@
 #include "cli/commands.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <fstream>
@@ -20,6 +21,9 @@
 #include "graph/properties.hpp"
 #include "obs/json.hpp"
 #include "obs/trace.hpp"
+#include "serve/sharded_oracle.hpp"
+#include "serve/snapshot_manager.hpp"
+#include "serve/wire.hpp"
 #include "service/query_service.hpp"
 
 namespace dapsp::cli {
@@ -269,47 +273,77 @@ int cmd_gen(const Options& opt, const Graph& g, std::ostream& out) {
   return 0;
 }
 
-/// Builds the oracle + query service for serve/query from the options.
-service::QueryService make_service(const Options& opt, const Graph& g,
-                                   std::ostream& out, double* build_ms) {
+service::OracleBuildOptions make_build_options(const Options& opt) {
   service::OracleBuildOptions b;
   b.solver = service::parse_solver(opt.solver);
   b.h = opt.h;
   b.eps = opt.eps;
+  return b;
+}
+
+/// Builds the oracle snapshot + query service for serve/query from the
+/// options.  --shards > 1 partitions the closure into vertex-range shards
+/// (bit-identical answers either way); the human-readable header is
+/// suppressed by --quiet and for json (machine-readable stream) and binary
+/// (framed stream) output.
+service::QueryService make_service(const Options& opt, const Graph& g,
+                                   std::ostream& out, double* build_ms) {
+  const service::OracleBuildOptions b = make_build_options(opt);
   const auto t0 = std::chrono::steady_clock::now();
-  service::DistanceOracle oracle = service::build_oracle(g, b);
+  std::shared_ptr<service::OracleSnapshot> snap;
+  if (opt.shards <= 1) {
+    snap = service::make_flat_snapshot(service::build_oracle(g, b));
+  } else {
+    snap = serve::build_sharded_oracle(g, b, opt.shards);
+  }
   *build_ms = std::chrono::duration<double, std::milli>(
                   std::chrono::steady_clock::now() - t0)
                   .count();
-  if (opt.format != Format::kJson) {
-    out << "oracle: n=" << oracle.node_count() << " solver=["
-        << oracle.solver_label() << "]"
-        << " exact=" << (oracle.exact() ? "yes" : "no")
-        << " paths=" << (oracle.has_paths() ? "yes" : "no")
-        << " mem=" << (oracle.memory_bytes() / 1024) << "KiB"
+  if (!opt.quiet &&
+      (opt.format == Format::kTable || opt.format == Format::kCsv)) {
+    out << "oracle: n=" << snap->node_count() << " solver=["
+        << snap->solver_label() << "]"
+        << " exact=" << (snap->exact() ? "yes" : "no")
+        << " paths=" << (snap->has_paths() ? "yes" : "no")
+        << " shards=" << snap->shard_count()
+        << " mem=" << (snap->memory_bytes() / 1024) << "KiB"
         << " build=" << std::fixed << std::setprecision(1) << *build_ms
-        << "ms rounds=" << oracle.build_stats().rounds << "\n";
+        << "ms rounds=" << snap->build_stats().rounds << "\n";
     out.unsetf(std::ios::fixed);
   }
   service::QueryServiceConfig cfg;
   cfg.threads = opt.threads;
   cfg.path_cache_capacity = opt.cache_capacity;
-  return service::QueryService(std::move(oracle), cfg);
+  cfg.max_batch = opt.max_batch;
+  return service::QueryService(std::move(snap), cfg);
 }
 
 int cmd_serve(const Options& opt, const Graph& g, std::ostream& out) {
   double build_ms = 0;
-  const service::QueryService svc = make_service(opt, g, out, &build_ms);
+  service::QueryService svc = make_service(opt, g, out, &build_ms);
+  // The manager gives the session's "rebuild" directive a real hot swap:
+  // same graph + build options, fresh snapshot, published atomically under
+  // whatever traffic the serve loop is carrying.
+  serve::SnapshotManager manager(svc, g, make_build_options(opt),
+                                 std::max<std::size_t>(opt.shards, 1));
+  service::ServeOptions serve_opts;
+  serve_opts.json = opt.format == Format::kJson;
+  serve_opts.on_rebuild = [&manager] { return manager.rebuild_now(); };
   std::ifstream file;
   if (opt.queries_file) {
-    file.open(*opt.queries_file);
+    const auto mode = opt.format == Format::kBinary
+                          ? std::ios::in | std::ios::binary
+                          : std::ios::in;
+    file.open(*opt.queries_file, mode);
     if (!file) throw std::runtime_error("cannot open " + *opt.queries_file);
   }
   std::istream& in = opt.queries_file ? static_cast<std::istream&>(file)
                                       : std::cin;
   const int malformed =
-      svc.serve_stream(in, out, opt.format == Format::kJson);
-  if (!opt.quiet && opt.format != Format::kJson) {
+      opt.format == Format::kBinary
+          ? serve::wire::serve_binary(svc, in, out, serve_opts)
+          : svc.serve_stream(in, out, serve_opts);
+  if (!opt.quiet && opt.format == Format::kTable) {
     out << svc.stats().summary() << "\n";
   }
   return malformed == 0 ? 0 : 1;

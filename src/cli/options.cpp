@@ -125,6 +125,14 @@ Options parse_options(const std::vector<std::string>& args) {
       const std::int64_t v = parse_int(a, next_value(a));
       if (v < 0) fail("--cache must be >= 0");
       opt.cache_capacity = static_cast<std::size_t>(v);
+    } else if (a == "--shards") {
+      const std::int64_t v = parse_int(a, next_value(a));
+      if (v < 1) fail("--shards must be >= 1");
+      opt.shards = static_cast<std::size_t>(v);
+    } else if (a == "--max-batch") {
+      const std::int64_t v = parse_int(a, next_value(a));
+      if (v < 1) fail("--max-batch must be >= 1");
+      opt.max_batch = static_cast<std::size_t>(v);
     } else if (a == "--format") {
       const std::string v = next_value(a);
       if (v == "table") {
@@ -133,8 +141,10 @@ Options parse_options(const std::vector<std::string>& args) {
         opt.format = Format::kJson;
       } else if (v == "csv") {
         opt.format = Format::kCsv;
+      } else if (v == "binary") {
+        opt.format = Format::kBinary;
       } else {
-        fail("unknown --format '" + v + "' (table|json|csv)");
+        fail("unknown --format '" + v + "' (table|json|csv|binary)");
       }
     } else if (a == "--out") {
       opt.out_file = next_value(a);
@@ -164,6 +174,9 @@ Options parse_options(const std::vector<std::string>& args) {
   }
   if (opt.eps <= 0) fail("--eps must be positive");
   if (opt.wmin < 0 || opt.wmax < opt.wmin) fail("bad weight range");
+  if (opt.format == Format::kBinary && opt.command != Command::kServe) {
+    fail("--format binary is only supported by the serve command");
+  }
   return opt;
 }
 
@@ -179,7 +192,10 @@ commands:
   kssp     exact k-source shortest paths (needs --sources)
   approx   (1+eps)-approximate APSP
   serve    build a distance oracle, then answer query lines from stdin
-           (or --queries FILE) until EOF/quit; "stats" prints counters
+           (or --queries FILE) until EOF/quit; "stats" prints counters,
+           "batch N" pipelines the next N lines, "rebuild" hot-swaps a
+           freshly built snapshot; --format binary speaks the framed
+           batch protocol (see docs/SERVICE.md) instead of text lines
   query    build a distance oracle, run a one-shot query batch (--q/--queries)
   help     this text
 
@@ -204,9 +220,12 @@ service (serve/query; query lines are "dist U V" | "next U V" | "path U V"):
   --queries FILE           read query lines from FILE
   --threads N              batch query workers (0 = hardware)     [0]
   --cache N                path-cache capacity (0 disables)       [4096]
+  --shards N               vertex-range oracle shards             [1]
+  --max-batch N            largest accepted batch                 [65536]
 
 output:
   --format table|json|csv  result format                         [table]
+  --format binary          framed binary protocol (serve only)
   --out FILE               write results / generated graph to FILE
   --dot FILE               write graphviz DOT of the graph
   --quiet                  stats only, no distance matrix

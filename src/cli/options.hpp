@@ -27,7 +27,7 @@ enum class Command {
 };
 
 enum class Algo { kPipelined, kBlocker, kBellmanFord };
-enum class Format { kTable, kJson, kCsv };
+enum class Format { kTable, kJson, kCsv, kBinary };
 
 struct Options {
   Command command = Command::kHelp;
@@ -55,6 +55,8 @@ struct Options {
   std::vector<std::string> query_strings;   // repeated --q "path 0 5"
   std::size_t threads = 0;                  // batch workers; 0 = hardware
   std::size_t cache_capacity = 4096;        // cached paths; 0 disables
+  std::size_t shards = 1;                   // vertex-range oracle shards
+  std::size_t max_batch = 1 << 16;          // largest accepted batch
 
   // Output.
   Format format = Format::kTable;

@@ -1,0 +1,114 @@
+#include "serve/snapshot_manager.hpp"
+
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "serve/sharded_oracle.hpp"
+
+namespace dapsp::serve {
+
+SnapshotManager::SnapshotManager(service::QueryService& svc, graph::Graph g,
+                                 service::OracleBuildOptions opts,
+                                 std::size_t shards)
+    : svc_(svc),
+      opts_(opts),
+      shards_(shards),
+      graph_(std::move(g)),
+      worker_([this] { worker_loop(); }) {}
+
+SnapshotManager::~SnapshotManager() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+void SnapshotManager::set_graph(graph::Graph g) {
+  std::lock_guard lock(mu_);
+  graph_ = std::move(g);
+}
+
+void SnapshotManager::rebuild_async() {
+  {
+    std::lock_guard lock(mu_);
+    pending_ = true;
+  }
+  cv_.notify_one();
+}
+
+void SnapshotManager::wait_idle() {
+  std::unique_lock lock(mu_);
+  idle_cv_.wait(lock, [this] { return !pending_ && !building_; });
+}
+
+service::RebuildOutcome SnapshotManager::rebuild_now() {
+  rebuild_async();
+  wait_idle();
+  const Stats st = stats();
+  service::RebuildOutcome out;
+  out.ok = st.last_error.empty();
+  out.epoch = st.last_epoch;
+  out.build_ns = st.last_build_ns;
+  out.error = st.last_error;
+  return out;
+}
+
+SnapshotManager::Stats SnapshotManager::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+void SnapshotManager::worker_loop() {
+  for (;;) {
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return pending_ || stop_; });
+      // Drain the pending slot even on shutdown so rebuild_now callers racing
+      // the destructor still observe their request completing.
+      if (stop_ && !pending_) return;
+      pending_ = false;
+      building_ = true;
+    }
+    run_one_rebuild();
+    {
+      std::lock_guard lock(mu_);
+      building_ = false;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void SnapshotManager::run_one_rebuild() {
+  // Copy the input under the lock, build without it: set_graph and new
+  // rebuild_async calls stay non-blocking for the whole build.
+  graph::Graph g;
+  {
+    std::lock_guard lock(mu_);
+    g = graph_;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    auto snap = build_sharded_oracle(g, opts_, shards_);
+    const auto build_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    const std::uint64_t epoch = svc_.swap_snapshot(std::move(snap), build_ns);
+    std::lock_guard lock(mu_);
+    ++stats_.rebuilds_ok;
+    stats_.last_build_ns = build_ns;
+    stats_.last_epoch = epoch;
+    stats_.last_error.clear();
+  } catch (const std::exception& e) {
+    // The serving snapshot is untouched: a failed build is an observability
+    // event, not an outage.
+    std::lock_guard lock(mu_);
+    ++stats_.rebuilds_failed;
+    stats_.last_error = e.what();
+  }
+}
+
+}  // namespace dapsp::serve

@@ -1,0 +1,90 @@
+// Background oracle rebuilds with atomic hot swap.
+//
+// A SnapshotManager owns one worker thread and a latest-wins rebuild slot.
+// `rebuild_async` (or the blocking `rebuild_now`) constructs a replacement
+// ShardedOracle on the worker from the manager's current graph + build
+// options and publishes it through QueryService::swap_snapshot -- readers
+// never block; queries in flight when the swap lands finish on the snapshot
+// they started with, and the old snapshot is destroyed when its last
+// in-flight reference drops (epoch/shared_ptr retirement).  Rebuild
+// durations are recorded into the service's rebuild-latency histogram and
+// surface in the stats JSONL next to per-shard occupancy.
+//
+// `set_graph` swaps the input the next rebuild runs on (e.g. re-weighted
+// edges), which is how the sustained-load bench alternates snapshots under
+// traffic.  Build failures (a fault plan partitioning the run, a solver
+// throw) leave the serving snapshot untouched and are reported in stats()
+// -- a failed rebuild never degrades live traffic.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "graph/graph.hpp"
+#include "service/oracle.hpp"
+#include "service/query_service.hpp"
+
+namespace dapsp::serve {
+
+class SnapshotManager {
+ public:
+  struct Stats {
+    std::uint64_t rebuilds_ok = 0;
+    std::uint64_t rebuilds_failed = 0;
+    std::uint64_t last_build_ns = 0;
+    std::uint64_t last_epoch = 0;
+    std::string last_error;  ///< most recent failure, empty when none
+  };
+
+  /// The service must outlive the manager.  `shards` is the shard count for
+  /// every snapshot this manager builds.
+  SnapshotManager(service::QueryService& svc, graph::Graph g,
+                  service::OracleBuildOptions opts, std::size_t shards);
+  ~SnapshotManager();  ///< drains the pending slot, then joins the worker
+
+  SnapshotManager(const SnapshotManager&) = delete;
+  SnapshotManager& operator=(const SnapshotManager&) = delete;
+
+  /// Replaces the graph the next rebuild runs on (the serving snapshot is
+  /// unaffected until that rebuild publishes).
+  void set_graph(graph::Graph g);
+
+  /// Requests a rebuild and returns immediately.  Requests made while a
+  /// build is running coalesce into one pending slot (latest wins): the
+  /// worker always builds from the newest graph, so queueing cannot fall
+  /// behind a fast mutation stream.
+  void rebuild_async();
+
+  /// Blocks until no rebuild is running or pending.
+  void wait_idle();
+
+  /// Requests a rebuild and waits for it (and anything already queued) to
+  /// publish; returns the outcome of the newest completed rebuild.
+  service::RebuildOutcome rebuild_now();
+
+  Stats stats() const;
+
+ private:
+  void worker_loop();
+  void run_one_rebuild();
+
+  service::QueryService& svc_;
+  const service::OracleBuildOptions opts_;
+  const std::size_t shards_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;       // wakes the worker
+  std::condition_variable idle_cv_;  // wakes wait_idle
+  graph::Graph graph_;               // input of the next rebuild
+  bool pending_ = false;
+  bool building_ = false;
+  bool stop_ = false;
+  Stats stats_;
+
+  std::thread worker_;
+};
+
+}  // namespace dapsp::serve

@@ -1,0 +1,441 @@
+#include "serve/wire.hpp"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace dapsp::serve::wire {
+
+namespace {
+
+constexpr char kReqMagic0 = 'D';
+constexpr char kReqMagic1 = 'Q';
+constexpr char kRespMagic0 = 'D';
+constexpr char kRespMagic1 = 'R';
+constexpr std::uint8_t kVersion = 1;
+
+constexpr std::uint8_t kOpBatch = 0x01;
+constexpr std::uint8_t kOpStats = 0x02;
+constexpr std::uint8_t kOpQuit = 0x03;
+constexpr std::uint8_t kOpRebuild = 0x04;
+constexpr std::uint8_t kOpBatchResp = 0x81;
+constexpr std::uint8_t kOpStatsResp = 0x82;
+constexpr std::uint8_t kOpRebuildResp = 0x83;
+constexpr std::uint8_t kOpError = 0xEE;
+
+// Per-query wire size inside a batch request: qtype + u + v.
+constexpr std::size_t kQueryWireBytes = 1 + 4 + 4;
+
+// --- little-endian primitives ---------------------------------------------
+
+void put_u16(std::string& buf, std::uint16_t v) {
+  buf.push_back(static_cast<char>(v & 0xFF));
+  buf.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void put_u32(std::string& buf, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(std::string& buf, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_i64(std::string& buf, std::int64_t v) {
+  put_u64(buf, static_cast<std::uint64_t>(v));
+}
+
+/// Bounds-checked cursor over one frame payload.  `ok` latches false on the
+/// first short read so callers can decode optimistically and test once.
+struct Reader {
+  const unsigned char* p;
+  std::size_t len;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  explicit Reader(std::string_view payload)
+      : p(reinterpret_cast<const unsigned char*>(payload.data())),
+        len(payload.size()) {}
+
+  bool need(std::size_t n) {
+    if (!ok || len - pos < n) {
+      ok = false;
+      return false;
+    }
+    return true;
+  }
+  std::uint8_t u8() {
+    if (!need(1)) return 0;
+    return p[pos++];
+  }
+  std::uint16_t u16() {
+    if (!need(2)) return 0;
+    std::uint16_t v = static_cast<std::uint16_t>(p[pos]) |
+                      static_cast<std::uint16_t>(p[pos + 1]) << 8;
+    pos += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    if (!need(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) {
+      v = v << 8 | p[pos + static_cast<std::size_t>(i)];
+    }
+    pos += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!need(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) {
+      v = v << 8 | p[pos + static_cast<std::size_t>(i)];
+    }
+    pos += 8;
+    return v;
+  }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  std::string bytes(std::size_t n) {
+    if (!need(n)) return {};
+    std::string out(reinterpret_cast<const char*>(p + pos), n);
+    pos += n;
+    return out;
+  }
+};
+
+void frame_and_write(std::ostream& out, const std::string& payload) {
+  std::string prefix;
+  put_u32(prefix, static_cast<std::uint32_t>(payload.size()));
+  out.write(prefix.data(), static_cast<std::streamsize>(prefix.size()));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out.flush();
+}
+
+void begin_request(std::string& buf, std::uint8_t opcode) {
+  buf.push_back(kReqMagic0);
+  buf.push_back(kReqMagic1);
+  buf.push_back(static_cast<char>(kVersion));
+  buf.push_back(static_cast<char>(opcode));
+}
+
+std::string make_error_payload(ErrorCode code, std::string_view msg) {
+  std::string p;
+  p.push_back(kRespMagic0);
+  p.push_back(kRespMagic1);
+  p.push_back(static_cast<char>(kVersion));
+  p.push_back(static_cast<char>(kOpError));
+  put_u16(p, static_cast<std::uint16_t>(code));
+  put_u32(p, static_cast<std::uint32_t>(msg.size()));
+  p.append(msg);
+  return p;
+}
+
+void append_result(std::string& p, const service::QueryResult& r) {
+  p.push_back(static_cast<char>(r.type));
+  if (!r.ok) {
+    p.push_back('\0');
+    put_u32(p, static_cast<std::uint32_t>(r.error.size()));
+    p.append(r.error);
+    return;
+  }
+  p.push_back('\1');
+  put_i64(p, r.dist);
+  put_u32(p, r.next_hop);
+  put_u32(p, static_cast<std::uint32_t>(r.path.size()));
+  for (const graph::NodeId v : r.path) put_u32(p, v);
+}
+
+/// Reads exactly `want` payload bytes after a complete length prefix.
+/// Returns false on EOF mid-payload (unrecoverable truncation).
+bool read_exact(std::istream& in, std::string& buf, std::size_t want) {
+  buf.resize(want);
+  in.read(buf.data(), static_cast<std::streamsize>(want));
+  return static_cast<std::size_t>(in.gcount()) == want;
+}
+
+}  // namespace
+
+const char* error_code_name(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kBadMagic: return "bad_magic";
+    case ErrorCode::kBadVersion: return "bad_version";
+    case ErrorCode::kBadOpcode: return "bad_opcode";
+    case ErrorCode::kTruncated: return "truncated";
+    case ErrorCode::kFrameTooLarge: return "frame_too_large";
+    case ErrorCode::kBatchTooLarge: return "batch_too_large";
+    case ErrorCode::kBadQueryType: return "bad_query_type";
+  }
+  return "?";
+}
+
+void append_batch_request(std::string& buf,
+                          std::span<const service::Query> queries) {
+  std::string p;
+  begin_request(p, kOpBatch);
+  put_u32(p, static_cast<std::uint32_t>(queries.size()));
+  for (const service::Query& q : queries) {
+    p.push_back(static_cast<char>(q.type));
+    put_u32(p, q.u);
+    put_u32(p, q.v);
+  }
+  put_u32(buf, static_cast<std::uint32_t>(p.size()));
+  buf.append(p);
+}
+
+void append_stats_request(std::string& buf) {
+  std::string p;
+  begin_request(p, kOpStats);
+  put_u32(buf, static_cast<std::uint32_t>(p.size()));
+  buf.append(p);
+}
+
+void append_quit_request(std::string& buf) {
+  std::string p;
+  begin_request(p, kOpQuit);
+  put_u32(buf, static_cast<std::uint32_t>(p.size()));
+  buf.append(p);
+}
+
+void append_rebuild_request(std::string& buf) {
+  std::string p;
+  begin_request(p, kOpRebuild);
+  put_u32(buf, static_cast<std::uint32_t>(p.size()));
+  buf.append(p);
+}
+
+std::optional<Response> read_response(std::istream& in) {
+  std::string lenbuf(4, '\0');
+  in.read(lenbuf.data(), 4);
+  if (in.gcount() == 0) return std::nullopt;  // clean EOF between frames
+  if (in.gcount() != 4) throw std::runtime_error("wire: truncated length");
+  Reader lr(lenbuf);
+  const std::uint32_t len = lr.u32();
+  if (len > kMaxFrameBytes) throw std::runtime_error("wire: response too big");
+  std::string payload;
+  if (!read_exact(in, payload, len)) {
+    throw std::runtime_error("wire: truncated response payload");
+  }
+  Reader r(payload);
+  const char m0 = static_cast<char>(r.u8());
+  const char m1 = static_cast<char>(r.u8());
+  const std::uint8_t ver = r.u8();
+  const std::uint8_t op = r.u8();
+  if (!r.ok || m0 != kRespMagic0 || m1 != kRespMagic1 || ver != kVersion) {
+    throw std::runtime_error("wire: bad response header");
+  }
+  Response resp;
+  switch (op) {
+    case kOpBatchResp: {
+      resp.kind = Response::Kind::kBatch;
+      const std::uint32_t count = r.u32();
+      resp.results.reserve(count);
+      for (std::uint32_t i = 0; r.ok && i < count; ++i) {
+        service::QueryResult qr;
+        qr.type = static_cast<service::QueryType>(r.u8());
+        const std::uint8_t ok = r.u8();
+        if (ok == 0) {
+          const std::uint32_t mlen = r.u32();
+          qr.error = r.bytes(mlen);
+          qr.ok = false;
+        } else {
+          qr.ok = true;
+          qr.dist = r.i64();
+          qr.next_hop = r.u32();
+          const std::uint32_t plen = r.u32();
+          qr.path.reserve(plen);
+          for (std::uint32_t j = 0; r.ok && j < plen; ++j) {
+            qr.path.push_back(r.u32());
+          }
+        }
+        resp.results.push_back(std::move(qr));
+      }
+      break;
+    }
+    case kOpStatsResp: {
+      resp.kind = Response::Kind::kStats;
+      const std::uint32_t jlen = r.u32();
+      resp.stats_json = r.bytes(jlen);
+      break;
+    }
+    case kOpRebuildResp: {
+      resp.kind = Response::Kind::kRebuild;
+      resp.epoch = r.u64();
+      resp.build_ns = r.u64();
+      break;
+    }
+    case kOpError: {
+      resp.kind = Response::Kind::kError;
+      resp.code = static_cast<ErrorCode>(r.u16());
+      const std::uint32_t mlen = r.u32();
+      resp.message = r.bytes(mlen);
+      break;
+    }
+    default:
+      throw std::runtime_error("wire: unknown response opcode");
+  }
+  if (!r.ok) throw std::runtime_error("wire: short response body");
+  return resp;
+}
+
+int serve_binary(const service::QueryService& svc, std::istream& in,
+                 std::ostream& out, const service::ServeOptions& opts) {
+  int errors = 0;
+  const auto fail = [&](ErrorCode code, const std::string& msg) {
+    ++errors;
+    frame_and_write(out, make_error_payload(code, msg));
+  };
+  for (;;) {
+    std::string lenbuf(4, '\0');
+    in.read(lenbuf.data(), 4);
+    if (in.gcount() == 0) return errors;  // clean EOF at a frame boundary
+    if (in.gcount() != 4) {
+      fail(ErrorCode::kTruncated, "stream ended inside a length prefix");
+      return errors;
+    }
+    Reader lr(lenbuf);
+    const std::uint32_t len = lr.u32();
+    if (len > kMaxFrameBytes) {
+      // The declared payload may not even exist; resync is impossible.
+      fail(ErrorCode::kFrameTooLarge,
+           "frame of " + std::to_string(len) + " bytes exceeds limit of " +
+               std::to_string(kMaxFrameBytes));
+      return errors;
+    }
+    std::string payload;
+    if (!read_exact(in, payload, len)) {
+      fail(ErrorCode::kTruncated, "stream ended inside a frame payload");
+      return errors;
+    }
+    // From here every error is recoverable: the bad frame is fully consumed,
+    // so answer with an ERROR frame and keep serving.
+    Reader r(payload);
+    const char m0 = static_cast<char>(r.u8());
+    const char m1 = static_cast<char>(r.u8());
+    if (!r.ok || m0 != kReqMagic0 || m1 != kReqMagic1) {
+      fail(ErrorCode::kBadMagic, "request does not start with 'DQ'");
+      continue;
+    }
+    const std::uint8_t ver = r.u8();
+    if (!r.ok || ver != kVersion) {
+      fail(ErrorCode::kBadVersion,
+           "unsupported protocol version " + std::to_string(ver));
+      continue;
+    }
+    const std::uint8_t op = r.u8();
+    if (!r.ok) {
+      fail(ErrorCode::kTruncated, "request header shorter than 4 bytes");
+      continue;
+    }
+    switch (op) {
+      case kOpQuit:
+        return errors;
+      case kOpStats: {
+        std::ostringstream json;
+        obs::JsonWriter w(json);
+        svc.stats().write_json(w);
+        std::string p;
+        p.push_back(kRespMagic0);
+        p.push_back(kRespMagic1);
+        p.push_back(static_cast<char>(kVersion));
+        p.push_back(static_cast<char>(kOpStatsResp));
+        const std::string doc = json.str();
+        put_u32(p, static_cast<std::uint32_t>(doc.size()));
+        p.append(doc);
+        frame_and_write(out, p);
+        break;
+      }
+      case kOpRebuild: {
+        if (!opts.on_rebuild) {
+          fail(ErrorCode::kBadOpcode,
+               "rebuild is not available on this session");
+          break;
+        }
+        const service::RebuildOutcome rb = opts.on_rebuild();
+        if (!rb.ok) {
+          // A failed rebuild is a server-side condition, not a protocol
+          // error: report it without counting toward the malformed total.
+          frame_and_write(out, make_error_payload(ErrorCode::kBadOpcode,
+                                                  "rebuild failed: " +
+                                                      rb.error));
+          break;
+        }
+        std::string p;
+        p.push_back(kRespMagic0);
+        p.push_back(kRespMagic1);
+        p.push_back(static_cast<char>(kVersion));
+        p.push_back(static_cast<char>(kOpRebuildResp));
+        put_u64(p, rb.epoch);
+        put_u64(p, rb.build_ns);
+        frame_and_write(out, p);
+        break;
+      }
+      case kOpBatch: {
+        const std::uint32_t count = r.u32();
+        if (!r.ok) {
+          fail(ErrorCode::kTruncated, "batch frame missing its count");
+          break;
+        }
+        if (count > svc.config().max_batch) {
+          fail(ErrorCode::kBatchTooLarge,
+               "batch of " + std::to_string(count) +
+                   " queries exceeds max_batch=" +
+                   std::to_string(svc.config().max_batch));
+          break;
+        }
+        if (payload.size() - r.pos != count * kQueryWireBytes) {
+          fail(ErrorCode::kTruncated,
+               "batch body holds " +
+                   std::to_string((payload.size() - r.pos) / kQueryWireBytes) +
+                   " queries but declares " + std::to_string(count));
+          break;
+        }
+        std::vector<service::Query> queries;
+        queries.reserve(count);
+        bool bad_type = false;
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const std::uint8_t t = r.u8();
+          service::Query q;
+          q.u = r.u32();
+          q.v = r.u32();
+          if (t >= service::kQueryTypeCount) {
+            bad_type = true;
+            break;
+          }
+          q.type = static_cast<service::QueryType>(t);
+          queries.push_back(q);
+        }
+        if (bad_type) {
+          // Reject the whole batch: partial answers would desynchronize the
+          // caller's results[i] <-> queries[i] pairing.
+          fail(ErrorCode::kBadQueryType,
+               "batch contains a query type outside dist/next/path");
+          break;
+        }
+        const std::vector<service::QueryResult> results =
+            svc.query_batch(queries);
+        std::string p;
+        p.push_back(kRespMagic0);
+        p.push_back(kRespMagic1);
+        p.push_back(static_cast<char>(kVersion));
+        p.push_back(static_cast<char>(kOpBatchResp));
+        put_u32(p, static_cast<std::uint32_t>(results.size()));
+        for (const service::QueryResult& qr : results) append_result(p, qr);
+        frame_and_write(out, p);
+        break;
+      }
+      default:
+        fail(ErrorCode::kBadOpcode,
+             "unknown request opcode " + std::to_string(op));
+        break;
+    }
+  }
+}
+
+}  // namespace dapsp::serve::wire

@@ -1,0 +1,96 @@
+// Length-prefixed binary query protocol for the distance-oracle service.
+//
+// The text/JSONL protocol pays per-line tokenizing and decimal formatting on
+// every query; the binary protocol ships many (s, t) pairs per frame and
+// answers them through QueryService::query_batch (per-shard dispatch on the
+// thread pool), which is what gives batch+binary its throughput edge in
+// BENCH_QUERY.json.  Framing:
+//
+//   frame    := u32le payload_len | payload            (len <= kMaxFrameBytes)
+//   request  := 'D' 'Q' u8 version=1 u8 opcode | body
+//     0x01 BATCH   body := u32le count | count x { u8 qtype u32le u u32le v }
+//     0x02 STATS   body := empty (response carries the stats JSON document)
+//     0x03 QUIT    body := empty (ends the session, no response)
+//     0x04 REBUILD body := empty (runs the session's rebuild hook)
+//   response := 'D' 'R' u8 version=1 u8 opcode | body
+//     0x81 BATCH   body := u32le count | count x result
+//       result(ok)  := u8 qtype 0x01 i64le dist u32le next
+//                      u32le path_len | path_len x u32le
+//       result(err) := u8 qtype 0x00 u32le msg_len | msg bytes
+//     0x82 STATS   body := u32le json_len | json bytes
+//     0x83 REBUILD body := u64le epoch u64le build_ns
+//     0xEE ERROR   body := u16le code u32le msg_len | msg bytes
+//
+// qtype is 0=dist 1=next 2=path; dist/next use the library sentinels
+// (kInfDist, kNoNode) verbatim.  Malformed input is answered with a
+// structured ERROR frame, never best-effort partial output: recoverable
+// frames (bad magic/version/opcode, oversized or corrupt batch body) are
+// consumed whole and serving continues; a truncated length prefix or
+// payload cannot be resynchronized and ends the session after the ERROR
+// frame.  Oversized batches (count > config().max_batch) are rejected with
+// kBatchTooLarge before any query executes.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "service/query_service.hpp"
+
+namespace dapsp::serve::wire {
+
+inline constexpr std::size_t kMaxFrameBytes = 64u << 20;  ///< 64 MiB
+
+enum class ErrorCode : std::uint16_t {
+  kBadMagic = 1,      ///< payload does not start with 'D','Q'
+  kBadVersion = 2,    ///< unknown protocol version
+  kBadOpcode = 3,     ///< unknown request opcode
+  kTruncated = 4,     ///< stream ended inside a frame, or body shorter
+                      ///< than its declared count
+  kFrameTooLarge = 5, ///< length prefix exceeds kMaxFrameBytes
+  kBatchTooLarge = 6, ///< batch count exceeds the service's max_batch
+  kBadQueryType = 7,  ///< qtype byte outside {0,1,2}
+};
+
+const char* error_code_name(ErrorCode c);
+
+// --- client-side encoding (tests, benches, remote callers) ----------------
+
+void append_batch_request(std::string& buf,
+                          std::span<const service::Query> queries);
+void append_stats_request(std::string& buf);
+void append_quit_request(std::string& buf);
+void append_rebuild_request(std::string& buf);
+
+// --- client-side decoding --------------------------------------------------
+
+/// One parsed response frame.
+struct Response {
+  enum class Kind { kBatch, kStats, kRebuild, kError };
+  Kind kind = Kind::kError;
+  std::vector<service::QueryResult> results;  ///< kBatch
+  std::string stats_json;                     ///< kStats
+  std::uint64_t epoch = 0;                    ///< kRebuild
+  std::uint64_t build_ns = 0;                 ///< kRebuild
+  ErrorCode code = ErrorCode::kBadMagic;      ///< kError
+  std::string message;                        ///< kError
+};
+
+/// Reads one response frame; nullopt on clean EOF at a frame boundary.
+/// Throws std::runtime_error on a corrupt response stream (a server bug,
+/// not expected input).
+std::optional<Response> read_response(std::istream& in);
+
+// --- server loop -----------------------------------------------------------
+
+/// Reads request frames from `in` until EOF or a QUIT frame, answering each
+/// on `out`; BATCH frames execute through svc.query_batch (one snapshot per
+/// frame, results in request order).  Returns the number of ERROR frames
+/// emitted, mirroring serve_stream's malformed-line count.
+int serve_binary(const service::QueryService& svc, std::istream& in,
+                 std::ostream& out, const service::ServeOptions& opts = {});
+
+}  // namespace dapsp::serve::wire

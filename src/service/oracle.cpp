@@ -87,10 +87,11 @@ std::vector<Weight> flatten(const std::vector<std::vector<Weight>>& dist) {
 
 /// next_hop(s, v) for every v of one source: all nodes on the shortest path
 /// s -> v share the same first hop, so one backward walk per unresolved node
-/// resolves its whole parent chain at once.
+/// resolves its whole parent chain at once.  `stack` is caller-provided
+/// scratch so a full-matrix build reuses one allocation across sources.
 void fill_next_hops_from_parents(NodeId s, NodeId n,
-                                 const std::vector<Weight>& dist_row,
-                                 const std::vector<NodeId>& parent_row,
+                                 std::span<const Weight> dist_row,
+                                 std::span<const NodeId> parent_row,
                                  NodeId* next_row, std::vector<NodeId>& stack) {
   for (NodeId v = 0; v < n; ++v) {
     if (v == s || dist_row[v] == kInfDist || next_row[v] != kNoNode) continue;
@@ -154,6 +155,14 @@ DistanceOracle build_oracle_impl(const Graph& g,
                                  const OracleBuildOptions& opts);
 
 }  // namespace
+
+void next_hops_from_parents(NodeId s, NodeId n,
+                            std::span<const Weight> dist_row,
+                            std::span<const NodeId> parent_row,
+                            NodeId* next_row) {
+  std::vector<NodeId> stack;
+  fill_next_hops_from_parents(s, n, dist_row, parent_row, next_row, stack);
+}
 
 DistanceOracle make_oracle(const std::vector<std::vector<Weight>>& dist,
                            const std::vector<std::vector<NodeId>>& parent,

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -87,6 +88,19 @@ class DistanceOracle {
   /// For u == v returns {u}.
   std::optional<std::vector<NodeId>> path(NodeId u, NodeId v) const;
 
+  /// Row u of the distance table (all targets of one source).  The serving
+  /// tier partitions oracles into vertex-range shards by copying/moving
+  /// whole rows; exposing them avoids recomputing the closure per shard.
+  std::span<const Weight> dist_row(NodeId u) const noexcept {
+    return {dist_.data() + flat(u, 0), static_cast<std::size_t>(n_)};
+  }
+  /// Row u of the next-hop table; empty span for distance-only oracles.
+  std::span<const NodeId> next_row(NodeId u) const noexcept {
+    if (next_.empty()) return {};
+    return {next_.data() + flat(u, 0), static_cast<std::size_t>(n_)};
+  }
+  const OracleMeta& meta() const noexcept { return meta_; }
+
  private:
   friend DistanceOracle make_oracle(
       const std::vector<std::vector<Weight>>& dist,
@@ -114,6 +128,18 @@ class DistanceOracle {
 DistanceOracle make_oracle(const std::vector<std::vector<Weight>>& dist,
                            const std::vector<std::vector<NodeId>>& parent,
                            OracleMeta meta);
+
+/// Fills next_row[v] (first hop s -> v) for one source from its distance and
+/// parent rows; `next_row` must hold n entries initialized to kNoNode.  This
+/// is the per-source routine make_oracle runs for every row, exposed so the
+/// sharded serving tier (serve/sharded_oracle.*) can fill shard rows
+/// directly -- bit-identical to the flat construction -- without ever
+/// materializing the full matrix.  Throws std::logic_error on parent chains
+/// that cycle or fail to reach their source.
+void next_hops_from_parents(NodeId s, NodeId n,
+                            std::span<const Weight> dist_row,
+                            std::span<const NodeId> parent_row,
+                            NodeId* next_row);
 
 /// Same, deriving next hops from the distance matrix over g's arcs: the
 /// first hop toward v is the out-neighbor w with w(u,w) + dist(w,v) =

@@ -1,6 +1,5 @@
 #include "service/query_service.hpp"
 
-#include <atomic>
 #include <charconv>
 #include <chrono>
 #include <limits>
@@ -19,6 +18,12 @@ using graph::kNoNode;
 
 // ---------------------------------------------------------------------------
 // Sharded LRU cache for reconstructed paths.
+//
+// Every entry is stamped with the epoch of the snapshot that produced it; a
+// lookup only hits when the stored epoch matches the querying snapshot's
+// epoch, so a swap implicitly invalidates the whole cache without touching
+// it (stale entries age out through normal LRU turnover or are overwritten
+// in place on the next miss for their pair).
 
 class QueryService::PathCache {
  public:
@@ -27,29 +32,36 @@ class QueryService::PathCache {
         per_shard_capacity_(std::max<std::size_t>(
             1, (capacity + shards_.size() - 1) / shards_.size())) {}
 
-  bool lookup(std::uint64_t key, std::vector<NodeId>* out) {
+  bool lookup(std::uint64_t key, std::uint64_t epoch,
+              std::vector<NodeId>* out) {
     Shard& s = shard(key);
     std::lock_guard lock(s.mu);
     const auto it = s.map.find(key);
-    if (it == s.map.end()) {
+    if (it == s.map.end() || it->second->second.epoch != epoch) {
+      // Absent, or computed against a snapshot that has since been swapped
+      // out: a stale path must never be served.
       ++s.misses;
       return false;
     }
     s.lru.splice(s.lru.begin(), s.lru, it->second);  // move to front
-    *out = it->second->second;
+    *out = it->second->second.path;
     ++s.hits;
     return true;
   }
 
-  void insert(std::uint64_t key, const std::vector<NodeId>& path) {
+  void insert(std::uint64_t key, std::uint64_t epoch,
+              const std::vector<NodeId>& path) {
     Shard& s = shard(key);
     std::lock_guard lock(s.mu);
     const auto it = s.map.find(key);
-    if (it != s.map.end()) {  // raced with another miss; refresh recency
+    if (it != s.map.end()) {
+      // Raced with another miss, or overwriting a stale-epoch entry; refresh
+      // recency and take the new snapshot's answer.
       s.lru.splice(s.lru.begin(), s.lru, it->second);
+      it->second->second = Entry{epoch, path};
       return;
     }
-    s.lru.emplace_front(key, path);
+    s.lru.emplace_front(key, Entry{epoch, path});
     s.map.emplace(key, s.lru.begin());
     if (s.map.size() > per_shard_capacity_) {
       s.map.erase(s.lru.back().first);
@@ -75,9 +87,13 @@ class QueryService::PathCache {
   }
 
  private:
+  struct Entry {
+    std::uint64_t epoch = 0;
+    std::vector<NodeId> path;
+  };
   struct Shard {
     mutable std::mutex mu;
-    std::list<std::pair<std::uint64_t, std::vector<NodeId>>> lru;
+    std::list<std::pair<std::uint64_t, Entry>> lru;
     std::unordered_map<std::uint64_t,
                        decltype(lru)::iterator> map;
     std::uint64_t hits = 0, misses = 0, evictions = 0;
@@ -102,7 +118,8 @@ class QueryService::PathCache {
 // obs::Histogram's log-bucket layout, so a snapshot can rebuild a full
 // histogram via Histogram::from_raw.  Failed queries only bump errors /
 // error_ns: their wall-clock must not distort latency quantiles, and an
-// all-error snapshot must render min=0, not a UINT64_MAX sentinel.
+// all-error snapshot must render min=0, not a UINT64_MAX sentinel.  Swap
+// and rebuild latencies are rare events recorded under a small mutex.
 
 struct QueryService::Recorder {
   struct PerType {
@@ -119,6 +136,11 @@ struct QueryService::Recorder {
   std::array<PerType, kQueryTypeCount> types;
   std::atomic<std::uint64_t> batches{0};
 
+  mutable std::mutex swap_mu;
+  std::uint64_t swaps = 0;            // guarded by swap_mu
+  obs::Histogram swap_ns;             // guarded by swap_mu
+  obs::Histogram rebuild_ns;          // guarded by swap_mu
+
   void record(QueryType type, std::uint64_t ns, bool ok) {
     PerType& t = types[static_cast<std::size_t>(type)];
     if (!ok) {
@@ -132,6 +154,13 @@ struct QueryService::Recorder {
     t.total_ns.fetch_add(ns, std::memory_order_relaxed);
     update_min(t.min_ns, ns);
     update_max(t.max_ns, ns);
+  }
+
+  void record_swap(std::uint64_t publish_ns, std::uint64_t build_ns) {
+    std::lock_guard lock(swap_mu);
+    ++swaps;
+    swap_ns.record(publish_ns);
+    if (build_ns > 0) rebuild_ns.record(build_ns);
   }
 
   QueryTypeStats snapshot(std::size_t i) const {
@@ -162,6 +191,10 @@ struct QueryService::Recorder {
       t.error_ns = 0;
     }
     batches = 0;
+    std::lock_guard lock(swap_mu);
+    swaps = 0;
+    swap_ns = obs::Histogram{};
+    rebuild_ns = obs::Histogram{};
   }
 
   static void update_min(std::atomic<std::uint64_t>& m, std::uint64_t v) {
@@ -181,8 +214,12 @@ struct QueryService::Recorder {
 // ---------------------------------------------------------------------------
 
 QueryService::QueryService(DistanceOracle oracle, QueryServiceConfig cfg)
-    : oracle_(std::move(oracle)),
-      cfg_(cfg),
+    : QueryService(std::make_shared<FlatSnapshot>(std::move(oracle)), cfg) {}
+
+QueryService::QueryService(std::shared_ptr<OracleSnapshot> snapshot,
+                           QueryServiceConfig cfg)
+    : cfg_(cfg),
+      snap_(std::shared_ptr<const OracleSnapshot>(std::move(snapshot))),
       recorder_(std::make_unique<Recorder>()),
       pool_(std::make_unique<util::ThreadPool>(cfg.threads)) {
   if (cfg_.path_cache_capacity > 0) {
@@ -193,12 +230,38 @@ QueryService::QueryService(DistanceOracle oracle, QueryServiceConfig cfg)
 
 QueryService::~QueryService() = default;
 
-QueryResult QueryService::execute(const Query& q) const {
+std::uint64_t QueryService::swap_snapshot(
+    std::shared_ptr<OracleSnapshot> next, std::uint64_t rebuild_ns) {
+  const auto t0 = std::chrono::steady_clock::now();
+  // Stamp the epoch while we still hold the only reference, then publish.
+  // Readers that loaded the old snapshot keep serving from it until their
+  // queries finish; its destructor runs when the last reference drops.
+  const std::uint64_t e =
+      epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+  next->set_epoch(e);
+  std::shared_ptr<const OracleSnapshot> retired{std::move(next)};
+  {
+    std::lock_guard lock(snap_mu_);
+    snap_.swap(retired);
+  }
+  // `retired` now holds the previous snapshot; if no in-flight query pins
+  // it, its destructor runs here -- outside the lock, so a slow teardown
+  // never stalls readers.
+  const auto ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  recorder_->record_swap(ns, rebuild_ns);
+  return e;
+}
+
+QueryResult QueryService::execute(const OracleSnapshot& snap,
+                                  const Query& q) const {
   QueryResult r;
   r.type = q.type;
   r.u = q.u;
   r.v = q.v;
-  const NodeId n = oracle_.node_count();
+  const NodeId n = snap.node_count();
   if (q.u >= n || q.v >= n) {
     r.error = "node id out of range (n=" + std::to_string(n) + ")";
     return r;
@@ -206,30 +269,30 @@ QueryResult QueryService::execute(const Query& q) const {
   switch (q.type) {
     case QueryType::kDist:
       r.ok = true;
-      r.dist = oracle_.dist(q.u, q.v);
+      r.dist = snap.dist(q.u, q.v);
       break;
     case QueryType::kNextHop:
-      if (!oracle_.has_paths()) {
+      if (!snap.has_paths()) {
         r.error = "oracle is distance-only (no next-hop table)";
         return r;
       }
       r.ok = true;
-      r.dist = oracle_.dist(q.u, q.v);
-      r.next_hop = oracle_.next_hop(q.u, q.v);
+      r.dist = snap.dist(q.u, q.v);
+      r.next_hop = snap.next_hop(q.u, q.v);
       break;
     case QueryType::kPath: {
-      if (!oracle_.has_paths()) {
+      if (!snap.has_paths()) {
         r.error = "oracle is distance-only (no next-hop table)";
         return r;
       }
       r.ok = true;
-      r.dist = oracle_.dist(q.u, q.v);
+      r.dist = snap.dist(q.u, q.v);
       if (r.dist == kInfDist) break;  // unreachable: valid, empty path
       const std::uint64_t key =
           static_cast<std::uint64_t>(q.u) * n + q.v;
-      if (cache_ && cache_->lookup(key, &r.path)) break;
-      auto p = oracle_.path(q.u, q.v);
-      // dist is finite and the oracle has a next-hop table, so
+      if (cache_ && cache_->lookup(key, snap.epoch(), &r.path)) break;
+      auto p = snap.path(q.u, q.v);
+      // dist is finite and the snapshot has a next-hop table, so
       // reconstruction can only fail on a corrupt table.
       if (!p) {
         r.ok = false;
@@ -237,16 +300,17 @@ QueryResult QueryService::execute(const Query& q) const {
         return r;
       }
       r.path = std::move(*p);
-      if (cache_) cache_->insert(key, r.path);
+      if (cache_) cache_->insert(key, snap.epoch(), r.path);
       break;
     }
   }
   return r;
 }
 
-QueryResult QueryService::timed_execute(const Query& q) const {
+QueryResult QueryService::timed_execute(const OracleSnapshot& snap,
+                                        const Query& q) const {
   const auto t0 = std::chrono::steady_clock::now();
-  QueryResult r = execute(q);
+  QueryResult r = execute(snap, q);
   const auto ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - t0)
@@ -256,14 +320,20 @@ QueryResult QueryService::timed_execute(const Query& q) const {
 }
 
 QueryResult QueryService::query(const Query& q) const {
-  return timed_execute(q);
+  // Pin the serving snapshot for the duration of this query: a concurrent
+  // swap retires the old snapshot only after this reference drops.
+  const std::shared_ptr<const OracleSnapshot> snap = snapshot();
+  return timed_execute(*snap, q);
 }
 
 std::vector<QueryResult> QueryService::query_batch(
     std::span<const Query> queries) const {
+  // One snapshot for the whole batch: a swap mid-batch never yields a
+  // response mixing epochs.
+  const std::shared_ptr<const OracleSnapshot> snap = snapshot();
   std::vector<QueryResult> results(queries.size());
   pool_->parallel_for(queries.size(), [&](std::size_t i) {
-    results[i] = timed_execute(queries[i]);
+    results[i] = timed_execute(*snap, queries[i]);
   });
   recorder_->batches.fetch_add(1, std::memory_order_relaxed);
   return results;
@@ -276,6 +346,15 @@ ServiceStats QueryService::stats() const {
   }
   st.batches = recorder_->batches.load();
   if (cache_) cache_->account(&st);
+  {
+    std::lock_guard lock(recorder_->swap_mu);
+    st.swaps = recorder_->swaps;
+    st.swap_ns = recorder_->swap_ns;
+    st.rebuild_ns = recorder_->rebuild_ns;
+  }
+  const std::shared_ptr<const OracleSnapshot> snap = snapshot();
+  st.snapshot_epoch = snap->epoch();
+  st.shards = snap->shard_layout();
   return st;
 }
 
@@ -308,6 +387,20 @@ std::vector<std::string_view> split_ws(std::string_view line) {
     i = j;
   }
   return toks;
+}
+
+/// Structured serve-loop error: in JSON mode carries a machine-readable
+/// `code` alongside the human message (the message may echo user input, so
+/// it goes through the escaping writer).
+void write_serve_error(std::ostream& out, bool json, std::string_view code,
+                       const std::string& msg) {
+  if (json) {
+    out << "{\"ok\":false,\"code\":\"" << code << "\",\"error\":";
+    obs::write_json_string(out, msg);
+    out << "}\n";
+  } else {
+    out << "error: " << msg << "\n";
+  }
 }
 
 }  // namespace
@@ -403,8 +496,75 @@ void QueryService::write_result_json(const QueryResult& r, std::ostream& out) {
   out << "}\n";
 }
 
+void QueryService::serve_batch_directive(std::istream& in, std::ostream& out,
+                                         const ServeOptions& opts,
+                                         std::uint64_t count,
+                                         int* malformed) const {
+  if (count > cfg_.max_batch) {
+    // Reject the batch whole: consume and discard its body so an oversized
+    // request never degrades into best-effort line-by-line answers, then
+    // report one structured error for it.
+    std::string line;
+    for (std::uint64_t seen = 0; seen < count && std::getline(in, line);) {
+      const auto toks = split_ws(line);
+      if (toks.empty() || toks[0].front() == '#') continue;
+      ++seen;
+    }
+    ++*malformed;
+    write_serve_error(out, opts.json, "batch_too_large",
+                      "batch of " + std::to_string(count) +
+                          " exceeds max batch size " +
+                          std::to_string(cfg_.max_batch));
+    return;
+  }
+  // Collect the body (blank lines and comments are skipped, as outside a
+  // batch).  EOF before `count` query lines rejects the batch whole.
+  std::vector<std::string> lines;
+  lines.reserve(static_cast<std::size_t>(count));
+  std::string line;
+  while (lines.size() < count && std::getline(in, line)) {
+    const auto toks = split_ws(line);
+    if (toks.empty() || toks[0].front() == '#') continue;
+    lines.push_back(line);
+  }
+  if (lines.size() < count) {
+    ++*malformed;
+    write_serve_error(out, opts.json, "batch_truncated",
+                      "batch of " + std::to_string(count) +
+                          " truncated by end of input after " +
+                          std::to_string(lines.size()) + " lines");
+    return;
+  }
+  // Parse every line; parse failures keep their position so responses line
+  // up 1:1 with requests.
+  std::vector<std::optional<Query>> parsed(lines.size());
+  std::vector<std::string> parse_errors(lines.size());
+  std::vector<Query> good;
+  good.reserve(lines.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    parsed[i] = parse_query(lines[i], &parse_errors[i]);
+    if (parsed[i]) good.push_back(*parsed[i]);
+  }
+  const std::vector<QueryResult> results = query_batch(good);
+  std::size_t next_result = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (!parsed[i]) {
+      ++*malformed;
+      write_serve_error(out, opts.json, "parse_error", parse_errors[i]);
+      continue;
+    }
+    const QueryResult& r = results[next_result++];
+    if (opts.json) {
+      write_result_json(r, out);
+    } else {
+      write_result_text(r, out);
+    }
+  }
+}
+
 int QueryService::serve_stream(std::istream& in, std::ostream& out,
-                               bool json) const {
+                               const ServeOptions& opts) const {
+  const bool json = opts.json;
   int malformed = 0;
   std::string line;
   while (std::getline(in, line)) {
@@ -424,18 +584,53 @@ int QueryService::serve_stream(std::istream& in, std::ostream& out,
       }
       continue;
     }
+    if (toks[0] == "batch") {
+      std::uint64_t count = 0;
+      bool count_ok = toks.size() == 2;
+      if (count_ok) {
+        const auto* end = toks[1].data() + toks[1].size();
+        const auto [ptr, ec] = std::from_chars(toks[1].data(), end, count);
+        count_ok = ec == std::errc{} && ptr == end;
+      }
+      if (!count_ok) {
+        ++malformed;
+        write_serve_error(out, json, "parse_error",
+                          "batch needs a count: 'batch N'");
+        continue;
+      }
+      serve_batch_directive(in, out, opts, count, &malformed);
+      continue;
+    }
+    if (toks[0] == "rebuild") {
+      if (!opts.on_rebuild) {
+        ++malformed;
+        write_serve_error(out, json, "rebuild_unavailable",
+                          "no rebuild hook installed for this session");
+        continue;
+      }
+      const RebuildOutcome rc = opts.on_rebuild();
+      if (json) {
+        out << "{\"rebuild\":{\"ok\":" << (rc.ok ? "true" : "false");
+        if (rc.ok) {
+          out << ",\"epoch\":" << rc.epoch << ",\"build_ns\":" << rc.build_ns;
+        } else {
+          out << ",\"error\":";
+          obs::write_json_string(out, rc.error);
+        }
+        out << "}}\n";
+      } else if (rc.ok) {
+        out << "rebuild: epoch=" << rc.epoch << " build_ns=" << rc.build_ns
+            << "\n";
+      } else {
+        out << "error: rebuild failed: " << rc.error << "\n";
+      }
+      continue;
+    }
     std::string error;
     const auto q = parse_query(line, &error);
     if (!q) {
       ++malformed;
-      if (json) {
-        // The error message quotes the offending token verbatim; escape it.
-        out << "{\"ok\":false,\"error\":";
-        obs::write_json_string(out, error);
-        out << "}\n";
-      } else {
-        out << "error: " << error << "\n";
-      }
+      write_serve_error(out, json, "parse_error", error);
       continue;
     }
     const QueryResult r = query(*q);

@@ -1,25 +1,40 @@
-// Thread-safe query front-end over an immutable DistanceOracle.
+// Thread-safe query front-end over hot-swappable oracle snapshots.
 //
 // The service answers three query types (dist, next-hop, full path) for
 // untrusted callers: ids are validated, unsupported queries are reported as
 // errors instead of UB, and every query is counted in service/stats.hpp.
-// Batched queries fan out over a private util::ThreadPool; results land at
-// the caller's indices, so multi-threaded batch output is bit-identical to
-// single-threaded execution.  Reconstructed paths go through a sharded LRU
-// cache (point lookups never touch it -- a flat-matrix read is cheaper than
-// any cache).  A line-oriented text protocol ("dist 0 5", "path 2 7", ...)
-// with text or JSONL responses makes the service scriptable from the CLI.
+// Queries execute against an `OracleSnapshot` (flat or sharded, see
+// service/snapshot.hpp) behind a shared_ptr slot: `swap_snapshot` publishes
+// a replacement under live traffic, and each query pins the snapshot it
+// started on by copying the shared_ptr (a mutex held only for the pointer
+// copy -- never for the duration of a query, and never for a rebuild).  The
+// old snapshot is retired when the last in-flight query drops its
+// reference.  Batched
+// queries fan out over a private util::ThreadPool and answer from a single
+// snapshot, so results[i] always answers queries[i] bit-identically
+// regardless of thread count and a batch never mixes epochs.
+//
+// Reconstructed paths go through a sharded LRU cache whose entries are
+// stamped with the snapshot epoch: after a swap a stale cached path can
+// never be served (point lookups never touch the cache -- a matrix read is
+// cheaper than any cache).  A line-oriented text protocol ("dist 0 5",
+// "batch 3", ...) with text or JSONL responses makes the service scriptable
+// from the CLI; serve/wire.hpp adds a length-prefixed binary protocol on
+// the same service.
 #pragma once
 
+#include <atomic>
+#include <functional>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
-#include "service/oracle.hpp"
+#include "service/snapshot.hpp"
 #include "service/stats.hpp"
 #include "util/thread_pool.hpp"
 
@@ -55,28 +70,71 @@ struct QueryServiceConfig {
   /// Shards for the path cache (each shard has its own lock); clamped to at
   /// least 1.
   std::size_t cache_shards = 8;
+  /// Largest batch the serve loops accept (text "batch N" directive and
+  /// binary batch frames).  Oversized batches are rejected whole with a
+  /// structured error, never served partially.
+  std::size_t max_batch = 1 << 16;
+};
+
+/// Result of a serve-loop "rebuild" directive (text or binary): the hook is
+/// provided by the owner of the SnapshotManager (see
+/// serve/snapshot_manager.hpp) and reports the newly published epoch.
+struct RebuildOutcome {
+  bool ok = false;
+  std::uint64_t epoch = 0;
+  std::uint64_t build_ns = 0;
+  std::string error;
+};
+
+/// Serve-loop configuration shared by the text/JSONL and binary protocols.
+struct ServeOptions {
+  bool json = false;  ///< JSONL responses instead of text (text loop only)
+  /// Handler for the "rebuild" directive; when absent the directive is
+  /// answered with a structured rebuild_unavailable error.
+  std::function<RebuildOutcome()> on_rebuild;
 };
 
 class QueryService {
  public:
+  /// Wraps a finished oracle in a FlatSnapshot at epoch 0.
   explicit QueryService(DistanceOracle oracle, QueryServiceConfig cfg = {});
+  /// Serves an externally built snapshot (e.g. a serve::ShardedOracle).
+  /// The snapshot must not be mutated after this call.
+  explicit QueryService(std::shared_ptr<OracleSnapshot> snapshot,
+                        QueryServiceConfig cfg = {});
   ~QueryService();
 
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
-  const DistanceOracle& oracle() const noexcept { return oracle_; }
+  /// The snapshot currently serving; pins it against retirement while held.
+  std::shared_ptr<const OracleSnapshot> snapshot() const {
+    std::lock_guard lock(snap_mu_);
+    return snap_;
+  }
   const QueryServiceConfig& config() const noexcept { return cfg_; }
 
+  /// Atomically publishes `next` as the serving snapshot and returns its
+  /// freshly assigned epoch.  Never blocks readers: in-flight queries finish
+  /// on the snapshot they started with, and the old snapshot is destroyed
+  /// when its last reference drops.  `next` must be exclusively owned by the
+  /// caller (its epoch is stamped here, pre-publication).  `rebuild_ns`, when
+  /// nonzero, records the background build duration that produced `next` in
+  /// the rebuild-latency histogram.
+  std::uint64_t swap_snapshot(std::shared_ptr<OracleSnapshot> next,
+                              std::uint64_t rebuild_ns = 0);
+
   /// Executes one query.  Thread-safe; any number of callers may query
-  /// concurrently.
+  /// concurrently, including concurrently with swap_snapshot.
   QueryResult query(const Query& q) const;
 
   /// Executes a batch on the service's thread pool.  results[i] always
-  /// answers queries[i]; output is bit-identical regardless of thread count.
+  /// answers queries[i]; output is bit-identical regardless of thread count,
+  /// and the whole batch answers from one snapshot (never a mix of epochs).
   std::vector<QueryResult> query_batch(std::span<const Query> queries) const;
 
-  /// Snapshot of the counters accumulated since construction / last reset.
+  /// Snapshot of the counters accumulated since construction / last reset,
+  /// plus the current snapshot's epoch and per-shard occupancy.
   ServiceStats stats() const;
   void reset_stats();
 
@@ -90,21 +148,35 @@ class QueryService {
   static void write_result_json(const QueryResult& r, std::ostream& out);
 
   /// Reads protocol lines from `in` until EOF or "quit", answering each on
-  /// `out` (text or JSONL).  Blank lines and '#' comments are skipped; the
-  /// "stats" directive prints a summary snapshot.  Returns the number of
-  /// malformed lines (the CLI turns nonzero into a nonzero exit code).
-  int serve_stream(std::istream& in, std::ostream& out, bool json) const;
+  /// `out` (text or JSONL).  Blank lines and '#' comments are skipped.
+  /// Directives: "stats" prints a counters snapshot, "batch N" executes the
+  /// next N query lines as one pipelined batch (rejected whole with a
+  /// structured error when N exceeds config().max_batch), "rebuild" invokes
+  /// opts.on_rebuild.  Returns the number of malformed lines (the CLI turns
+  /// nonzero into a nonzero exit code).
+  int serve_stream(std::istream& in, std::ostream& out,
+                   const ServeOptions& opts) const;
+  int serve_stream(std::istream& in, std::ostream& out, bool json) const {
+    ServeOptions opts;
+    opts.json = json;
+    return serve_stream(in, out, opts);
+  }
 
  private:
   class PathCache;
   struct Recorder;
 
-  QueryResult execute(const Query& q) const;
-  QueryResult timed_execute(const Query& q) const;
+  QueryResult execute(const OracleSnapshot& snap, const Query& q) const;
+  QueryResult timed_execute(const OracleSnapshot& snap, const Query& q) const;
+  void serve_batch_directive(std::istream& in, std::ostream& out,
+                             const ServeOptions& opts, std::uint64_t count,
+                             int* malformed) const;
 
-  DistanceOracle oracle_;
   QueryServiceConfig cfg_;
-  std::unique_ptr<PathCache> cache_;          // null when capacity == 0
+  mutable std::mutex snap_mu_;  ///< guards snap_ -- pointer copies only
+  std::shared_ptr<const OracleSnapshot> snap_;
+  std::atomic<std::uint64_t> epoch_{0};  ///< last assigned epoch
+  std::unique_ptr<PathCache> cache_;     // null when capacity == 0
   std::unique_ptr<Recorder> recorder_;
   std::unique_ptr<util::ThreadPool> pool_;
 };

@@ -1,0 +1,33 @@
+#include "service/snapshot.hpp"
+
+namespace dapsp::service {
+
+using graph::kInfDist;
+using graph::kNoNode;
+
+// Mirror of DistanceOracle::path over the virtual accessors, so every
+// snapshot implementation answers path queries bit-identically to the flat
+// oracle (the differential tests compare them element-wise).
+std::optional<std::vector<NodeId>> OracleSnapshot::path(NodeId u,
+                                                        NodeId v) const {
+  const NodeId n = node_count();
+  if (u >= n || v >= n || !has_paths()) return std::nullopt;
+  if (u == v) return std::vector<NodeId>{u};
+  if (dist(u, v) == kInfDist) return std::nullopt;
+  std::vector<NodeId> out;
+  out.reserve(8);
+  out.push_back(u);
+  NodeId cur = u;
+  while (cur != v) {
+    // Each hop strictly shrinks the remaining hop count, so a walk longer
+    // than n means the table is corrupt, not slow.
+    if (out.size() > n) return std::nullopt;
+    const NodeId hop = next_hop(cur, v);
+    if (hop == kNoNode) return std::nullopt;
+    out.push_back(hop);
+    cur = hop;
+  }
+  return out;
+}
+
+}  // namespace dapsp::service

@@ -14,15 +14,27 @@
 // cannot inflate the reported service latency.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "obs/histogram.hpp"
 #include "obs/json.hpp"
 
 namespace dapsp::service {
+
+/// Occupancy of one vertex-range shard of the current oracle snapshot
+/// (a flat oracle reports itself as a single shard covering every row).
+struct ShardInfo {
+  std::uint32_t row_begin = 0;  ///< first source row owned by the shard
+  std::uint32_t row_end = 0;    ///< one past the last owned row
+  std::size_t bytes = 0;        ///< dist + next-hop bytes held by the shard
+
+  friend bool operator==(const ShardInfo&, const ShardInfo&) = default;
+};
 
 enum class QueryType : std::uint8_t {
   kDist,     ///< point lookup: distance u -> v
@@ -72,6 +84,18 @@ struct ServiceStats {
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
 
+  // Snapshot lifecycle (hot-swap serving tier).  `snapshot_epoch` is the
+  // epoch of the snapshot serving at the time of the stats() call; `swaps`
+  // counts swap_snapshot publications; `swap_ns` is the latency of the
+  // atomic publication itself and `rebuild_ns` the full background
+  // build-and-swap durations reported by the SnapshotManager.
+  std::uint64_t snapshot_epoch = 0;
+  std::uint64_t swaps = 0;
+  obs::Histogram swap_ns;
+  obs::Histogram rebuild_ns;
+  /// Per-shard occupancy of the serving snapshot (row ranges + bytes).
+  std::vector<ShardInfo> shards;
+
   const QueryTypeStats& of(QueryType t) const {
     return per_type[static_cast<std::size_t>(t)];
   }
@@ -104,6 +128,13 @@ struct ServiceStats {
     cache_hits += o.cache_hits;
     cache_misses += o.cache_misses;
     cache_evictions += o.cache_evictions;
+    // Counters compose; point-in-time snapshot state takes the newest epoch
+    // and keeps this side's shard layout unless it has none.
+    snapshot_epoch = std::max(snapshot_epoch, o.snapshot_epoch);
+    swaps += o.swaps;
+    swap_ns += o.swap_ns;
+    rebuild_ns += o.rebuild_ns;
+    if (shards.empty()) shards = o.shards;
     return *this;
   }
 
@@ -120,6 +151,8 @@ struct ServiceStats {
     }
     os << " cache[hits=" << cache_hits << " misses=" << cache_misses
        << " evictions=" << cache_evictions << "]";
+    os << " snapshot[epoch=" << snapshot_epoch << " swaps=" << swaps
+       << " shards=" << shards.size() << "]";
     return os.str();
   }
 
@@ -150,6 +183,25 @@ struct ServiceStats {
         .field("evictions", cache_evictions)
         .field("hit_rate", cache_hit_rate())
         .end_object();
+    w.key("snapshot")
+        .begin_object()
+        .field("epoch", snapshot_epoch)
+        .field("swaps", swaps)
+        .field("shard_count", static_cast<std::uint64_t>(shards.size()));
+    w.key("swap_ns");
+    swap_ns.write_json(w);
+    w.key("rebuild_ns");
+    rebuild_ns.write_json(w);
+    w.key("shards").begin_array();
+    for (const ShardInfo& s : shards) {
+      w.begin_object()
+          .field("row_begin", static_cast<std::uint64_t>(s.row_begin))
+          .field("row_end", static_cast<std::uint64_t>(s.row_end))
+          .field("bytes", static_cast<std::uint64_t>(s.bytes))
+          .end_object();
+    }
+    w.end_array();
+    w.end_object();
     w.end_object();
   }
 };

@@ -47,6 +47,18 @@ void ThreadPool::parallel_for_raw(std::size_t n, void* ctx, RawFn fn) {
     return;
   }
 
+  // Only one batch can own the workers at a time (they key off a single
+  // `batch_` pointer).  A second concurrent submitter runs its batch inline
+  // instead of queueing: concurrent callers -- e.g. many serving threads
+  // issuing query batches on one pool -- already are the parallelism, and
+  // blocking them behind each other would serialize exactly the workload
+  // that most needs to overlap.
+  std::unique_lock submit(submit_mutex_, std::try_to_lock);
+  if (!submit.owns_lock()) {
+    for (std::size_t i = 0; i < n; ++i) fn(ctx, i);
+    return;
+  }
+
   Batch batch;
   batch.n = n;
   batch.ctx = ctx;

@@ -39,6 +39,11 @@ class ThreadPool {
   /// Runs fn(i) for every i in [0, n), blocking until all complete.  Work is
   /// claimed in contiguous chunks via an atomic cursor, so imbalance across
   /// nodes (e.g. hub vertices with long lists) is absorbed.
+  ///
+  /// Safe to call from any number of threads: the workers serve one batch at
+  /// a time, and a caller that finds them busy executes its batch inline on
+  /// its own thread instead of blocking (concurrent submitters are already
+  /// parallel with each other).
   template <typename F>
   void parallel_for(std::size_t n, F&& fn) {
     using Fn = std::remove_reference_t<F>;
@@ -58,6 +63,7 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
+  std::mutex submit_mutex_;  // held by the batch currently owning the workers
   std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;

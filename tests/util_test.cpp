@@ -203,5 +203,26 @@ TEST(ThreadPool, EmptyBatchIsNoop) {
   EXPECT_FALSE(ran);
 }
 
+TEST(ThreadPool, ConcurrentSubmittersAllComplete) {
+  // Many threads driving one pool at once (the serving-tier pattern: every
+  // client connection issues query batches on the service's pool).  A loser
+  // of the submit race must run its batch inline, never hang or drop work.
+  ThreadPool pool(3);
+  constexpr int kSubmitters = 6;
+  constexpr int kRounds = 40;
+  std::atomic<std::uint64_t> sum{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kSubmitters; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        pool.parallel_for(64, [&](std::size_t i) { sum += i; });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(sum.load(),
+            static_cast<std::uint64_t>(kSubmitters) * kRounds * (64 * 63 / 2));
+}
+
 }  // namespace
 }  // namespace dapsp::util

@@ -1,0 +1,275 @@
+// Binary wire protocol tests: client-encoded frames through serve_binary
+// and back through read_response must reproduce query_batch bit-identically,
+// and every malformed-input class must come back as a structured ERROR frame
+// (recoverable frames keep the session alive; unrecoverable truncation ends
+// it after the error).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "obs/json.hpp"
+#include "serve/sharded_oracle.hpp"
+#include "serve/snapshot_manager.hpp"
+#include "serve/wire.hpp"
+#include "service/query_service.hpp"
+
+namespace dapsp::serve::wire {
+namespace {
+
+using graph::Graph;
+using service::Query;
+using service::QueryResult;
+using service::QueryService;
+using service::QueryType;
+
+constexpr service::OracleBuildOptions kRef{service::Solver::kReference, 0,
+                                           0.5};
+
+/// Runs one client byte-string through the server loop; returns the parsed
+/// response frames and reports the server's error count via *errors.
+std::vector<Response> roundtrip(const QueryService& svc,
+                                const std::string& request_bytes, int* errors,
+                                const service::ServeOptions& opts = {}) {
+  std::istringstream in(request_bytes);
+  std::ostringstream out;
+  *errors = serve_binary(svc, in, out, opts);
+  std::istringstream rx(out.str());
+  std::vector<Response> frames;
+  while (auto f = read_response(rx)) frames.push_back(std::move(*f));
+  return frames;
+}
+
+void put_u32(std::string& buf, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+/// Hand-rolled frame with arbitrary header bytes, for malformed-input tests.
+std::string raw_frame(std::string payload) {
+  std::string buf;
+  put_u32(buf, static_cast<std::uint32_t>(payload.size()));
+  buf += payload;
+  return buf;
+}
+
+class WireTest : public ::testing::Test {
+ protected:
+  WireTest()
+      : g_(graph::erdos_renyi(20, 0.25, {0, 8, 0.25}, 1234)),
+        svc_(service::build_oracle(g_, kRef)) {}
+
+  Graph g_;
+  QueryService svc_;
+};
+
+TEST_F(WireTest, BatchRoundtripMatchesQueryBatchBitIdentically) {
+  std::vector<Query> queries;
+  for (graph::NodeId u = 0; u < 6; ++u) {
+    for (graph::NodeId v = 0; v < 6; ++v) {
+      queries.push_back({QueryType::kDist, u, v});
+      queries.push_back({QueryType::kNextHop, u, v});
+      queries.push_back({QueryType::kPath, u, v});
+    }
+  }
+  queries.push_back({QueryType::kDist, 99, 0});  // out of range -> ok=false
+
+  std::string req;
+  append_batch_request(req, queries);
+  append_quit_request(req);
+  int errors = -1;
+  const auto frames = roundtrip(svc_, req, &errors);
+  EXPECT_EQ(errors, 0);
+  ASSERT_EQ(frames.size(), 1u);
+  ASSERT_EQ(frames[0].kind, Response::Kind::kBatch);
+
+  const std::vector<QueryResult> expect = svc_.query_batch(queries);
+  ASSERT_EQ(frames[0].results.size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    SCOPED_TRACE(i);
+    const QueryResult& got = frames[0].results[i];
+    EXPECT_EQ(got.ok, expect[i].ok);
+    EXPECT_EQ(got.type, expect[i].type);
+    if (expect[i].ok) {
+      EXPECT_EQ(got.dist, expect[i].dist);
+      EXPECT_EQ(got.next_hop, expect[i].next_hop);
+      EXPECT_EQ(got.path, expect[i].path);
+    } else {
+      EXPECT_EQ(got.error, expect[i].error);
+    }
+  }
+}
+
+TEST_F(WireTest, EmptyBatchIsValid) {
+  std::string req;
+  append_batch_request(req, {});
+  int errors = -1;
+  const auto frames = roundtrip(svc_, req, &errors);
+  EXPECT_EQ(errors, 0);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].kind, Response::Kind::kBatch);
+  EXPECT_TRUE(frames[0].results.empty());
+}
+
+TEST_F(WireTest, StatsFrameCarriesValidJson) {
+  svc_.query({QueryType::kDist, 0, 1});
+  std::string req;
+  append_stats_request(req);
+  int errors = -1;
+  const auto frames = roundtrip(svc_, req, &errors);
+  EXPECT_EQ(errors, 0);
+  ASSERT_EQ(frames.size(), 1u);
+  ASSERT_EQ(frames[0].kind, Response::Kind::kStats);
+  EXPECT_TRUE(obs::json_valid(frames[0].stats_json)) << frames[0].stats_json;
+  EXPECT_NE(frames[0].stats_json.find("\"snapshot\""), std::string::npos);
+}
+
+TEST_F(WireTest, OversizedBatchRejectedWholeAndSessionContinues) {
+  service::QueryServiceConfig cfg;
+  cfg.max_batch = 4;
+  QueryService small(service::build_oracle(g_, kRef), cfg);
+  const std::vector<Query> five(5, Query{QueryType::kDist, 0, 1});
+  const std::vector<Query> two(2, Query{QueryType::kDist, 0, 1});
+  std::string req;
+  append_batch_request(req, five);
+  append_batch_request(req, two);  // must still be answered
+  int errors = -1;
+  const auto frames = roundtrip(small, req, &errors);
+  EXPECT_EQ(errors, 1);
+  ASSERT_EQ(frames.size(), 2u);
+  ASSERT_EQ(frames[0].kind, Response::Kind::kError);
+  EXPECT_EQ(frames[0].code, ErrorCode::kBatchTooLarge);
+  ASSERT_EQ(frames[1].kind, Response::Kind::kBatch);
+  EXPECT_EQ(frames[1].results.size(), 2u);
+  // No query of the oversized batch executed.
+  EXPECT_EQ(small.stats().total_queries(), 2u);
+}
+
+TEST_F(WireTest, BadMagicVersionOpcodeAreRecoverable) {
+  std::string req;
+  req += raw_frame("XX\x01\x01");              // bad magic
+  req += raw_frame(std::string("DQ\x07\x01", 4));  // bad version
+  req += raw_frame(std::string("DQ\x01\x7f", 4));  // bad opcode
+  append_stats_request(req);                   // session must still serve
+  int errors = -1;
+  const auto frames = roundtrip(svc_, req, &errors);
+  EXPECT_EQ(errors, 3);
+  ASSERT_EQ(frames.size(), 4u);
+  EXPECT_EQ(frames[0].code, ErrorCode::kBadMagic);
+  EXPECT_EQ(frames[1].code, ErrorCode::kBadVersion);
+  EXPECT_EQ(frames[2].code, ErrorCode::kBadOpcode);
+  EXPECT_EQ(frames[3].kind, Response::Kind::kStats);
+}
+
+TEST_F(WireTest, BatchBodyShorterThanCountIsTruncatedError)  {
+  // Declares 3 queries but carries 2.
+  std::string payload = "DQ";
+  payload.push_back('\x01');
+  payload.push_back('\x01');
+  put_u32(payload, 3);
+  for (int i = 0; i < 2; ++i) {
+    payload.push_back('\0');  // qtype dist
+    put_u32(payload, 0);
+    put_u32(payload, 1);
+  }
+  int errors = -1;
+  const auto frames = roundtrip(svc_, raw_frame(payload), &errors);
+  EXPECT_EQ(errors, 1);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].code, ErrorCode::kTruncated);
+}
+
+TEST_F(WireTest, BadQueryTypeRejectsWholeBatch) {
+  std::string payload = "DQ";
+  payload.push_back('\x01');
+  payload.push_back('\x01');
+  put_u32(payload, 2);
+  payload.push_back('\0');  // valid dist query
+  put_u32(payload, 0);
+  put_u32(payload, 1);
+  payload.push_back('\x09');  // invalid qtype
+  put_u32(payload, 0);
+  put_u32(payload, 1);
+  int errors = -1;
+  const auto frames = roundtrip(svc_, raw_frame(payload), &errors);
+  EXPECT_EQ(errors, 1);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].code, ErrorCode::kBadQueryType);
+  EXPECT_EQ(svc_.stats().total_queries(), 0u)
+      << "a partially valid batch must not execute";
+}
+
+TEST_F(WireTest, OversizedLengthPrefixEndsSessionWithError) {
+  std::string req;
+  put_u32(req, (64u << 20) + 1);
+  int errors = -1;
+  const auto frames = roundtrip(svc_, req, &errors);
+  EXPECT_EQ(errors, 1);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].code, ErrorCode::kFrameTooLarge);
+}
+
+TEST_F(WireTest, TruncatedStreamEndsSessionWithError) {
+  std::string good;
+  append_stats_request(good);
+  // Length prefix promises 100 bytes; the stream ends first.
+  std::string req = good;
+  put_u32(req, 100);
+  req += "short";
+  int errors = -1;
+  const auto frames = roundtrip(svc_, req, &errors);
+  EXPECT_EQ(errors, 1);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].kind, Response::Kind::kStats);
+  EXPECT_EQ(frames[1].code, ErrorCode::kTruncated);
+}
+
+TEST_F(WireTest, QuitStopsProcessingRemainingFrames) {
+  std::string req;
+  append_quit_request(req);
+  append_stats_request(req);  // must never be answered
+  int errors = -1;
+  const auto frames = roundtrip(svc_, req, &errors);
+  EXPECT_EQ(errors, 0);
+  EXPECT_TRUE(frames.empty());
+}
+
+TEST_F(WireTest, RebuildWithoutHookIsAnError) {
+  std::string req;
+  append_rebuild_request(req);
+  int errors = -1;
+  const auto frames = roundtrip(svc_, req, &errors);
+  EXPECT_EQ(errors, 1);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].kind, Response::Kind::kError);
+}
+
+TEST_F(WireTest, RebuildWithHookSwapsAndReportsEpoch) {
+  SnapshotManager manager(svc_, g_, kRef, 4);
+  service::ServeOptions opts;
+  opts.on_rebuild = [&manager] { return manager.rebuild_now(); };
+  std::string req;
+  append_rebuild_request(req);
+  append_batch_request(
+      req, std::vector<Query>{{QueryType::kDist, 0, 1}});
+  int errors = -1;
+  const auto frames = roundtrip(svc_, req, &errors, opts);
+  EXPECT_EQ(errors, 0);
+  ASSERT_EQ(frames.size(), 2u);
+  ASSERT_EQ(frames[0].kind, Response::Kind::kRebuild);
+  EXPECT_EQ(frames[0].epoch, 1u);
+  EXPECT_EQ(frames[1].kind, Response::Kind::kBatch);
+  EXPECT_EQ(svc_.snapshot()->epoch(), 1u);
+  EXPECT_EQ(svc_.snapshot()->shard_count(), 4u);
+}
+
+TEST_F(WireTest, ErrorCodeNamesAreStable) {
+  EXPECT_STREQ(error_code_name(ErrorCode::kBadMagic), "bad_magic");
+  EXPECT_STREQ(error_code_name(ErrorCode::kBatchTooLarge), "batch_too_large");
+  EXPECT_STREQ(error_code_name(ErrorCode::kBadQueryType), "bad_query_type");
+}
+
+}  // namespace
+}  // namespace dapsp::serve::wire
