@@ -20,6 +20,7 @@
 #include "graph/generators.hpp"
 #include "graph/properties.hpp"
 #include "harness.hpp"
+#include "obs/critpath.hpp"
 #include "obs/trace.hpp"
 #include "util/int_math.hpp"
 
@@ -43,6 +44,33 @@ void record_engine_counters(benchmark::State& state,
   state.counters["receive_s"] = s.receive_seconds;
 }
 
+// Runs the scenario once more under a work-item recorder (outside the timed
+// loop) and attaches the critical-path summary as counters, so
+// BENCH_ENGINE.json carries the causal chain next to the wall-clock numbers:
+//   critpath_ns   longest dependence chain, attributed wall-clock (ns)
+//   critpath_len  steps on that chain
+//   critpath_pct  chain time as % of the run's engine phase wall-clock
+// The chain itself is deterministic (cost-weighted, see docs/PERF.md); only
+// the ns attribution varies run to run.
+template <typename Run>
+void record_critpath_counters(benchmark::State& state, Run&& run) {
+  obs::TraceRecorder::Options ropt;
+  ropt.work_item_capacity = std::size_t{1} << 20;
+  obs::TraceRecorder rec(ropt);
+  congest::Engine::set_global_recorder(&rec);
+  const congest::RunStats stats = run();
+  congest::Engine::set_global_recorder(nullptr);
+  const obs::CritPathReport rep = obs::analyze_critical_path(rec);
+  const double wall_ns =
+      (stats.send_seconds + stats.deliver_seconds + stats.receive_seconds) *
+      1e9;
+  state.counters["critpath_ns"] = static_cast<double>(rep.total_ns);
+  state.counters["critpath_len"] = static_cast<double>(rep.chain_len);
+  state.counters["critpath_pct"] =
+      wall_ns > 0.0 ? 100.0 * static_cast<double>(rep.total_ns) / wall_ns
+                    : 0.0;
+}
+
 // Bellman-Ford SSSP on a long path: the frontier is one node per round, so
 // the active set is ~1/n of the graph -- the best case the active-set
 // scheduler is built for.
@@ -50,6 +78,8 @@ void run_path_sssp(benchmark::State& state, bool dense) {
   const auto n = static_cast<graph::NodeId>(state.range(0));
   const graph::Graph g = graph::path(n, {1, 4, 0.0}, 11);
   DenseScope scope(dense);
+  record_critpath_counters(state,
+                           [&] { return baseline::bf_sssp(g, 0).stats; });
   for (auto _ : state) {
     auto res = baseline::bf_sssp(g, 0);
     benchmark::DoNotOptimize(res.dist.data());
@@ -79,6 +109,8 @@ void run_pipelined_cycle(benchmark::State& state, bool dense) {
   p.h = n - 1;
   p.delta = delta;
   DenseScope scope(dense);
+  record_critpath_counters(state,
+                           [&] { return core::pipelined_kssp(g, p).stats; });
   for (auto _ : state) {
     auto res = core::pipelined_kssp(g, p);
     benchmark::DoNotOptimize(res.dist.data());
@@ -111,6 +143,8 @@ void BM_PipelinedApsp(benchmark::State& state) {
   const auto n = static_cast<graph::NodeId>(state.range(0));
   const graph::Graph g = graph::erdos_renyi(n, 4.0 / n, {0, 6, 0.2}, 2);
   const graph::Weight delta = graph::max_finite_distance(g);
+  record_critpath_counters(
+      state, [&] { return core::pipelined_apsp(g, delta).stats; });
   for (auto _ : state) {
     auto res = core::pipelined_apsp(g, delta);
     benchmark::DoNotOptimize(res.dist.data());

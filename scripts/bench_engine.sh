@@ -5,6 +5,11 @@
 # fallback on the same workloads (bit-identical stats, see docs/PERF.md);
 # compare their real_time entries to read off the speedup.
 #
+# Engine scenarios also carry critical-path counters (critpath_ns,
+# critpath_len, critpath_pct -- longest causal dependence chain, its step
+# count, and its share of the engine phase wall-clock; see docs/PERF.md,
+# "Critical-path profiling").  A per-scenario table is printed after the run.
+#
 # Extra arguments are forwarded to the bench binary, e.g.:
 #   scripts/bench_engine.sh --benchmark_min_time=0.01s
 set -e
@@ -21,3 +26,21 @@ fi
   --benchmark_out=BENCH_ENGINE.json --benchmark_out_format=json "$@"
 
 echo "wrote $(pwd)/BENCH_ENGINE.json"
+
+# Critical-path summary per scenario, read back from the benchmark JSON.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+
+with open("BENCH_ENGINE.json") as f:
+    doc = json.load(f)
+rows = [b for b in doc.get("benchmarks", []) if "critpath_ns" in b]
+if rows:
+    print()
+    print("critical path per scenario (deterministic chain; docs/PERF.md):")
+    for b in rows:
+        print("  %-32s chain %6d steps  %10.3f ms  %5.1f%% of engine wall"
+              % (b["name"], int(b["critpath_len"]),
+                 b["critpath_ns"] / 1e6, b["critpath_pct"]))
+EOF
+fi

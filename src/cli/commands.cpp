@@ -19,6 +19,7 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/properties.hpp"
+#include "obs/critpath.hpp"
 #include "obs/json.hpp"
 #include "obs/trace.hpp"
 #include "serve/sharded_oracle.hpp"
@@ -278,6 +279,11 @@ service::OracleBuildOptions make_build_options(const Options& opt) {
   b.solver = service::parse_solver(opt.solver);
   b.h = opt.h;
   b.eps = opt.eps;
+  // With --critpath but no trace/profile recorder of its own, the build
+  // profiles itself and the summary surfaces through the stats paths (text
+  // `stats`, binary STATS opcode).  When a TraceScope recorder is active it
+  // owns the observation and build_oracle skips this (see oracle.hpp).
+  b.critpath = opt.critpath;
   return b;
 }
 
@@ -391,11 +397,28 @@ int cmd_query(const Options& opt, const Graph& g, std::ostream& out) {
 /// serve/query); RAII guarantees the global pointer never outlives the
 /// recorder, even when the command throws.  File export is an explicit step
 /// so open failures surface as command errors, not silent destructor noise.
+///
+/// --critpath (and the profile command, which implies it) additionally
+/// turns on work-item recording so the recorder can feed the critical-path
+/// analyzer; --trace-capacity overrides both ring capacities, which is how
+/// the overflow warning below becomes testable on small runs.
 class TraceScope {
  public:
   explicit TraceScope(const Options& opt) : opt_(opt) {
-    if (opt_.trace_file || opt_.trace_jsonl_file) {
-      recorder_ = std::make_unique<obs::TraceRecorder>();
+    const bool wants_items =
+        opt_.critpath || opt_.command == Command::kProfile;
+    // --critpath alone (no trace files, not the profile command) installs
+    // nothing here: the oracle builder then profiles its own build and the
+    // summary reaches the serve/query stats paths instead.
+    if (opt_.trace_file || opt_.trace_jsonl_file ||
+        opt_.command == Command::kProfile) {
+      obs::TraceRecorder::Options ropt;
+      if (opt_.trace_capacity) ropt.capacity = *opt_.trace_capacity;
+      if (wants_items) {
+        ropt.work_item_capacity =
+            opt_.trace_capacity.value_or(std::size_t{1} << 20);
+      }
+      recorder_ = std::make_unique<obs::TraceRecorder>(ropt);
       congest::Engine::set_global_recorder(recorder_.get());
     }
   }
@@ -404,6 +427,8 @@ class TraceScope {
   }
   TraceScope(const TraceScope&) = delete;
   TraceScope& operator=(const TraceScope&) = delete;
+
+  const obs::TraceRecorder* recorder() const { return recorder_.get(); }
 
   void export_files() const {
     if (!recorder_) return;
@@ -419,10 +444,90 @@ class TraceScope {
     }
   }
 
+  /// Ring overflow is a first-class warning, not a buried counter: a
+  /// silently truncated trace reads exactly like a complete one.  The same
+  /// counts are stamped into the run-record meta line; this is the
+  /// human-facing copy.
+  void warn_drops(std::ostream& err) const {
+    if (!recorder_) return;
+    const std::uint64_t ev = recorder_->dropped_events();
+    const std::uint64_t wi = recorder_->dropped_work_items();
+    if (ev == 0 && wi == 0) return;
+    err << "warning: trace ring overflow: " << ev << " round events and "
+        << wi
+        << " work items overwritten; the record is incomplete (raise "
+           "--trace-capacity)\n";
+  }
+
  private:
   const Options& opt_;
   std::unique_ptr<obs::TraceRecorder> recorder_;
 };
+
+/// `dapsp profile`: run a solver under the critical-path profiler and
+/// report where its wall-clock went.  With --sources the target is a k-SSP
+/// run (respecting --algo); otherwise an oracle build for --solver -- the
+/// same builds serve/query time, now explained.  The two check lines are
+/// the analyzer's self-consistency invariants (chain-span wall-clock can
+/// never exceed the command's wall-clock, and a real critical path must
+/// cover at least the largest single phase); CI's profile-smoke step
+/// asserts them from the json form.
+int cmd_profile(const Options& opt, const Graph& g,
+                const obs::TraceRecorder& rec, std::ostream& out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::string target;
+  if (!opt.sources.empty()) {
+    target = run_kssp(opt, g).algo;
+  } else {
+    target = service::build_oracle(g, make_build_options(opt)).solver_label();
+  }
+  const auto wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+
+  obs::CritPathOptions copt;
+  copt.top_k_segments = opt.top_k;
+  const obs::CritPathReport rep = obs::analyze_critical_path(rec, copt);
+  const bool chain_le_wall = rep.total_ns <= wall_ns;
+  const bool chain_ge_max_phase = rep.total_ns >= rep.max_phase_ns;
+
+  std::ostringstream buffer;
+  if (opt.format == Format::kJson) {
+    obs::JsonWriter w(buffer);
+    w.begin_object()
+        .field("type", "profile")
+        .field("target", target)
+        .field("n", static_cast<std::uint64_t>(g.node_count()))
+        .field("m", static_cast<std::uint64_t>(g.comm_edge_count()))
+        .field("wall_ns", wall_ns)
+        .field("chain_le_wall", chain_le_wall)
+        .field("chain_ge_max_phase", chain_ge_max_phase);
+    w.key("critpath");
+    obs::write_critpath_json(rep, w);
+    w.end_object();
+    buffer << "\n";
+  } else {
+    buffer << "profile: " << target << "\n"
+           << "graph: n=" << g.node_count() << " m=" << g.comm_edge_count()
+           << "\n"
+           << "wall: " << std::fixed << std::setprecision(2)
+           << (static_cast<double>(wall_ns) / 1e6) << "ms\n";
+    buffer.unsetf(std::ios::fixed);
+    obs::write_critpath_table(rep, buffer);
+    buffer << "check: chain<=wall " << (chain_le_wall ? "yes" : "NO")
+           << "  chain>=max-phase " << (chain_ge_max_phase ? "yes" : "NO")
+           << "\n";
+  }
+  if (opt.out_file) {
+    std::ofstream file(*opt.out_file);
+    if (!file) throw std::runtime_error("cannot open " + *opt.out_file);
+    file << buffer.str();
+  } else {
+    out << buffer.str();
+  }
+  return chain_le_wall ? 0 : 1;
+}
 
 /// Process-wide fault injection for the duration of one command.  Parses
 /// --faults into a FaultPlan (applying the --fault-seed override) and
@@ -502,10 +607,14 @@ int run_command(const Options& opt, std::ostream& out, std::ostream& err) {
       case Command::kQuery:
         rc = cmd_query(opt, g, out);
         break;
+      case Command::kProfile:
+        rc = cmd_profile(opt, g, *trace.recorder(), out);
+        break;
       case Command::kHelp:
         break;
     }
     trace.export_files();
+    trace.warn_drops(err);
     return rc;
   } catch (const std::exception& e) {
     err << "error: " << e.what() << "\n";

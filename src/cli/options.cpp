@@ -57,6 +57,7 @@ Command parse_command(const std::string& word) {
   if (word == "approx") return Command::kApprox;
   if (word == "serve") return Command::kServe;
   if (word == "query") return Command::kQuery;
+  if (word == "profile") return Command::kProfile;
   if (word == "help" || word == "--help" || word == "-h") return Command::kHelp;
   fail("unknown command '" + word + "'");
 }
@@ -156,6 +157,16 @@ Options parse_options(const std::vector<std::string>& args) {
       opt.trace_file = next_value(a);
     } else if (a == "--trace-jsonl") {
       opt.trace_jsonl_file = next_value(a);
+    } else if (a == "--critpath") {
+      opt.critpath = true;
+    } else if (a == "--top") {
+      const std::int64_t v = parse_int(a, next_value(a));
+      if (v < 1) fail("--top must be >= 1");
+      opt.top_k = static_cast<std::size_t>(v);
+    } else if (a == "--trace-capacity") {
+      const std::int64_t v = parse_int(a, next_value(a));
+      if (v < 1) fail("--trace-capacity must be >= 1");
+      opt.trace_capacity = static_cast<std::size_t>(v);
     } else if (a == "--faults") {
       opt.faults_spec = next_value(a);
     } else if (a == "--fault-seed") {
@@ -177,6 +188,10 @@ Options parse_options(const std::vector<std::string>& args) {
   if (opt.format == Format::kBinary && opt.command != Command::kServe) {
     fail("--format binary is only supported by the serve command");
   }
+  if (opt.command == Command::kProfile &&
+      (opt.format == Format::kCsv || opt.format == Format::kBinary)) {
+    fail("profile supports --format table|json");
+  }
   return opt;
 }
 
@@ -197,6 +212,10 @@ commands:
            freshly built snapshot; --format binary speaks the framed
            batch protocol (see docs/SERVICE.md) instead of text lines
   query    build a distance oracle, run a one-shot query batch (--q/--queries)
+  profile  run a solver under the critical-path profiler and print the
+           longest causal chain through the round engine (table or
+           --format json); with --sources profiles a k-SSP run, otherwise
+           an oracle build for --solver
   help     this text
 
 input (choose one):
@@ -234,6 +253,12 @@ observability (records every engine round of the command):
   --trace FILE             Chrome trace_event JSON (chrome://tracing,
                            ui.perfetto.dev)
   --trace-jsonl FILE       compact JSONL run record (meta + per-round lines)
+  --critpath               also record per-(node,round) work items; adds a
+                           critpath block to --trace-jsonl and a critpath
+                           lane to --trace (implied by the profile command)
+  --top K                  segments listed in critical-path reports    [8]
+  --trace-capacity N       ring capacity for round events + work items
+                           (drops beyond it are counted and warned about)
 
 fault injection (applies to every engine run of the command; deterministic
 per seed -- see docs/TESTING.md for the grammar):

@@ -23,6 +23,7 @@ enum class Command {
   kApprox,   ///< (1+eps)-approximate APSP
   kServe,    ///< build a distance oracle, answer queries from stdin/--queries
   kQuery,    ///< build a distance oracle, run a one-shot query batch
+  kProfile,  ///< run a solver under the critical-path profiler, report chain
   kHelp,
 };
 
@@ -68,6 +69,9 @@ struct Options {
   // triggers, including oracle builds) and export after the run.
   std::optional<std::string> trace_file;        // Chrome trace_event JSON
   std::optional<std::string> trace_jsonl_file;  // compact JSONL run record
+  bool critpath = false;                 // record work items + critpath blocks
+  std::size_t top_k = 8;                 // --top: segments in critpath reports
+  std::optional<std::size_t> trace_capacity;  // override both ring capacities
 
   // Fault injection: a congest::FaultPlan spec applied to every engine run
   // the command triggers (see congest/faults.hpp for the grammar), plus an

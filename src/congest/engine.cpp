@@ -183,6 +183,13 @@ Engine::Engine(const Graph& g, std::vector<std::unique_ptr<Protocol>> protocols,
   contexts_.reserve(n);
   for (NodeId v = 0; v < n; ++v) contexts_.emplace_back(*this, v);
 
+  profile_ = recorder_ != nullptr && recorder_->records_work_items();
+  if (profile_) {
+    node_ns_.assign(n, 0);
+    node_ns_round_.assign(n, 0);
+    last_item_round_.assign(n, 0);
+  }
+
   if (recorder_ != nullptr) {
     recorder_->begin_run(dense_ ? "engine(dense)" : "engine(sparse)", n,
                          links);
@@ -293,6 +300,68 @@ void Engine::skip_silent_rounds(Round count) {
                                      0);
   }
   if (recorder_ != nullptr) recorder_->record_gap(first, count);
+}
+
+// --- work-item recording (critical-path profiler feed) ---------------------
+
+void Engine::profile_node(NodeId v, std::uint64_t ns) noexcept {
+  if (node_ns_round_[v] != round_ + 1) {
+    node_ns_round_[v] = round_ + 1;
+    node_ns_[v] = ns;
+  } else {
+    node_ns_[v] += ns;
+  }
+}
+
+void Engine::record_work_items() {
+  // Items go out in node-id order: merge the (sorted) sender list --
+  // msgs_out comes from the deliver() partials, still parallel to it --
+  // with a sorted copy of the receiver list.  Both sets are identical for
+  // sparse/dense and every thread count, so the item stream is too.
+  profile_receivers_.assign(receivers_.begin(), receivers_.end());
+  std::sort(profile_receivers_.begin(), profile_receivers_.end());
+  std::size_t si = 0;
+  std::size_t ri = 0;
+  while (si < touched_senders_.size() || ri < profile_receivers_.size()) {
+    NodeId v;
+    std::uint32_t msgs_out = 0;
+    bool received = false;
+    if (si < touched_senders_.size() &&
+        (ri >= profile_receivers_.size() ||
+         touched_senders_[si] <= profile_receivers_[ri])) {
+      v = touched_senders_[si];
+      msgs_out = static_cast<std::uint32_t>(partials_[si].msgs);
+      if (ri < profile_receivers_.size() && profile_receivers_[ri] == v) {
+        received = true;
+        ++ri;
+      }
+      ++si;
+    } else {
+      v = profile_receivers_[ri++];
+      received = true;
+    }
+    obs::WorkItem& it = recorder_->work_item_slot();
+    it.round = round_;
+    it.node = v;
+    it.msgs_out = msgs_out;
+    if (received) {
+      const auto& in = inbox_[v];
+      it.msgs_in = static_cast<std::uint32_t>(in.size());
+      // Wake edge: the max-lag arrival, ties by smallest sender.  Without
+      // faults every arrival was sent this round (lag 0), so this is the
+      // smallest sender id -- independent of delivery/scramble order.
+      // Under faults the true send round of a delayed frame is unknown at
+      // delivery; the delivery round is the documented approximation.
+      NodeId wake = in[0].from;
+      for (const Envelope& e : in) wake = std::min(wake, e.from);
+      it.wake_from = wake;
+      it.wake_round = round_;
+    }
+    it.compute_ns = node_ns_round_[v] == round_ + 1 ? node_ns_[v] : 0;
+    it.prev_round = last_item_round_[v] == 0 ? obs::WorkItem::kNoRound
+                                             : last_item_round_[v] - 1;
+    last_item_round_[v] = round_ + 1;
+  }
 }
 
 // --- delivery --------------------------------------------------------------
@@ -507,6 +576,13 @@ void Engine::deliver(DeliverScope scope) {
       gather_inbox(static_cast<NodeId>(v));
       // (dense path reads every inbox, so none is stale)
     });
+    if (profile_) {
+      // The dense path normally only counts receivers; work-item recording
+      // needs the list itself (already ascending from the scan order).
+      for (NodeId v = 0; v < n; ++v) {
+        if (!inbox_[v].empty()) receivers_.push_back(v);
+      }
+    }
   } else {
     receivers_.clear();
     for (const NodeId sender : touched_senders_) {
@@ -571,7 +647,13 @@ void Engine::run_init_round() {
       return;
     }
     contexts_[v].rebind(0, {}, /*may_send=*/true);
-    protocols_[v]->init(contexts_[v]);
+    if (profile_) {
+      const auto w0 = Clock::now();
+      protocols_[v]->init(contexts_[v]);
+      profile_node(static_cast<NodeId>(v), to_ns(seconds_since(w0)));
+    } else {
+      protocols_[v]->init(contexts_[v]);
+    }
   });
   const double send_dt = seconds_since(t0);
   stats_.send_seconds += send_dt;
@@ -585,17 +667,30 @@ void Engine::run_init_round() {
     pool_->parallel_for(receivers_.size(), [&](std::size_t i) {
       const NodeId v = receivers_[i];
       contexts_[v].rebind(0, inbox_[v], /*may_send=*/false);
-      protocols_[v]->receive_phase(contexts_[v]);
+      if (profile_) {
+        const auto w0 = Clock::now();
+        protocols_[v]->receive_phase(contexts_[v]);
+        profile_node(v, to_ns(seconds_since(w0)));
+      } else {
+        protocols_[v]->receive_phase(contexts_[v]);
+      }
     });
   } else {
     pool_->parallel_for(n, [&](std::size_t v) {
       contexts_[v].rebind(0, inbox_[v], /*may_send=*/false);
-      protocols_[v]->receive_phase(contexts_[v]);
+      if (profile_) {
+        const auto w0 = Clock::now();
+        protocols_[v]->receive_phase(contexts_[v]);
+        profile_node(static_cast<NodeId>(v), to_ns(seconds_since(w0)));
+      } else {
+        protocols_[v]->receive_phase(contexts_[v]);
+      }
     });
   }
   const double recv_dt = seconds_since(t1);
   stats_.receive_seconds += recv_dt;
   stats_.receive_ns_hist.record(to_ns(recv_dt));
+  if (profile_) record_work_items();
   if (trace_event_ != nullptr) {
     trace_event_->send_s = send_dt;
     trace_event_->receive_s = recv_dt;
@@ -637,7 +732,13 @@ std::uint64_t Engine::step() {
         return;
       }
       contexts_[v].rebind(round_, {}, /*may_send=*/true);
-      protocols_[v]->send_phase(contexts_[v]);
+      if (profile_) {
+        const auto w0 = Clock::now();
+        protocols_[v]->send_phase(contexts_[v]);
+        profile_node(static_cast<NodeId>(v), to_ns(seconds_since(w0)));
+      } else {
+        protocols_[v]->send_phase(contexts_[v]);
+      }
     });
     send_dt = seconds_since(t0);
     stats_.send_seconds += send_dt;
@@ -648,12 +749,24 @@ std::uint64_t Engine::step() {
       pool_->parallel_for(receivers_.size(), [&](std::size_t i) {
         const NodeId v = receivers_[i];
         contexts_[v].rebind(round_, inbox_[v], /*may_send=*/false);
-        protocols_[v]->receive_phase(contexts_[v]);
+        if (profile_) {
+          const auto w0 = Clock::now();
+          protocols_[v]->receive_phase(contexts_[v]);
+          profile_node(v, to_ns(seconds_since(w0)));
+        } else {
+          protocols_[v]->receive_phase(contexts_[v]);
+        }
       });
     } else {
       pool_->parallel_for(n, [&](std::size_t v) {
         contexts_[v].rebind(round_, inbox_[v], /*may_send=*/false);
-        protocols_[v]->receive_phase(contexts_[v]);
+        if (profile_) {
+          const auto w0 = Clock::now();
+          protocols_[v]->receive_phase(contexts_[v]);
+          profile_node(static_cast<NodeId>(v), to_ns(seconds_since(w0)));
+        } else {
+          protocols_[v]->receive_phase(contexts_[v]);
+        }
       });
     }
     recv_dt = seconds_since(t1);
@@ -664,7 +777,13 @@ std::uint64_t Engine::step() {
       const NodeId v = active_now_[i];
       if (faults_ != nullptr && faults_->node_down(v, round_)) return;
       contexts_[v].rebind(round_, {}, /*may_send=*/true);
-      protocols_[v]->send_phase(contexts_[v]);
+      if (profile_) {
+        const auto w0 = Clock::now();
+        protocols_[v]->send_phase(contexts_[v]);
+        profile_node(v, to_ns(seconds_since(w0)));
+      } else {
+        protocols_[v]->send_phase(contexts_[v]);
+      }
     });
     reschedule_after_phase(active_now_);
     send_dt = seconds_since(t0);
@@ -675,13 +794,20 @@ std::uint64_t Engine::step() {
     pool_->parallel_for(receivers_.size(), [&](std::size_t i) {
       const NodeId v = receivers_[i];
       contexts_[v].rebind(round_, inbox_[v], /*may_send=*/false);
-      protocols_[v]->receive_phase(contexts_[v]);
+      if (profile_) {
+        const auto w0 = Clock::now();
+        protocols_[v]->receive_phase(contexts_[v]);
+        profile_node(v, to_ns(seconds_since(w0)));
+      } else {
+        protocols_[v]->receive_phase(contexts_[v]);
+      }
     });
     reschedule_after_phase(receivers_);
     recv_dt = seconds_since(t1);
   }
   stats_.receive_seconds += recv_dt;
   stats_.receive_ns_hist.record(to_ns(recv_dt));
+  if (profile_) record_work_items();
   if (trace_event_ != nullptr) {
     trace_event_->send_s = send_dt;
     trace_event_->receive_s = recv_dt;

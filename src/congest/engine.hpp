@@ -312,6 +312,15 @@ class Engine {
   void gather_inbox(NodeId v);
   void trace_messages();
   bool all_quiescent() const;
+  /// Emits one obs::WorkItem per node that sent or received this round --
+  /// a set (and ordering: node id ascending) that is identical for both
+  /// schedulers and every thread count, so the critical path extracted
+  /// from the items is bit-identical too.  Called at the end of every
+  /// executed round when `profile_` is set.
+  void record_work_items();
+  /// Adds `ns` of node-local phase time for this round (worker-thread safe:
+  /// each worker touches only its own node's slot).
+  void profile_node(NodeId v, std::uint64_t ns) noexcept;
 
   // --- sparse scheduler ---
   void schedule(NodeId v, Round wake);
@@ -379,6 +388,19 @@ class Engine {
   std::vector<std::vector<Envelope>> inbox_;
   std::vector<NodeId> receivers_;         // non-empty inboxes this round
   std::vector<std::uint8_t> inbox_mark_;  // dedup while building receivers_
+
+  // --- work-item recording (critical-path profiler feed) ---
+  //
+  // Latched true when the recorder asks for work items; all vectors below
+  // are sized only then, so a non-profiling run pays one predictable branch
+  // per node phase.  Per-node wall-clock is written by each pool worker
+  // into its own node's slot (race-free) and tagged with round_ + 1 so
+  // stale values from earlier rounds can never leak into a later item.
+  bool profile_ = false;
+  std::vector<std::uint64_t> node_ns_;       // this round's phase time
+  std::vector<Round> node_ns_round_;         // tag: round_ + 1; 0 = never
+  std::vector<Round> last_item_round_;       // tag: round_ + 1; 0 = none
+  std::vector<NodeId> profile_receivers_;    // sorted scratch
   std::vector<std::pair<std::uint64_t, std::uint32_t>>
       link_scratch_;                      // (count, slot) top-K staging
 

@@ -1,0 +1,519 @@
+#include "obs/critpath.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace dapsp::obs {
+
+namespace {
+
+std::uint64_t to_ns(double seconds) {
+  return static_cast<std::uint64_t>(seconds * 1e9);
+}
+
+/// Chain steps emitted per run in the JSON block; the full length is always
+/// reported in `chain_len`, so a capped emission is visible, never silent.
+constexpr std::size_t kMaxJsonChainSteps = 512;
+
+/// Per-node DP state, keyed by round numbers -- never by buffer index, so
+/// an edge into overwritten history fails to match instead of dangling.
+struct NodeState {
+  bool has_last = false;    ///< a previous activation's full depth is known
+  std::uint64_t last_round = 0;
+  std::uint64_t last_depth = 0;
+  std::ptrdiff_t last_idx = -1;
+  bool has_send = false;    ///< the node's most recent send depth is known
+  std::uint64_t send_round = 0;
+  std::uint64_t send_depth = 0;
+  std::ptrdiff_t send_idx = -1;
+};
+
+/// Per-item DP scratch, parallel to one run's item slice.
+struct ItemDp {
+  std::uint64_t depth = 0;
+  std::ptrdiff_t pred = -1;
+  bool via_wake = false;
+  bool unresolved = false;  ///< a predecessor edge existed but failed to match
+};
+
+/// Executed rounds of one run, sorted by round, with prefix-summed
+/// wall-clock so segment attribution can range-sum in O(log).
+struct RoundIndex {
+  std::vector<std::uint64_t> round;
+  std::vector<std::uint64_t> full_ns;     // send + deliver + receive
+  std::vector<std::uint64_t> deliver_ns;  // delivery phase alone
+  std::vector<std::uint64_t> prefix_ns;   // exclusive prefix of full_ns
+
+  void finish() {
+    prefix_ns.resize(round.size() + 1, 0);
+    for (std::size_t i = 0; i < round.size(); ++i) {
+      prefix_ns[i + 1] = prefix_ns[i] + full_ns[i];
+    }
+  }
+  /// Sum of full_ns over executed rounds r with lo < r <= hi.
+  std::uint64_t range_sum(std::uint64_t lo, std::uint64_t hi) const {
+    const auto a = std::upper_bound(round.begin(), round.end(), lo);
+    const auto b = std::upper_bound(round.begin(), round.end(), hi);
+    return prefix_ns[static_cast<std::size_t>(b - round.begin())] -
+           prefix_ns[static_cast<std::size_t>(a - round.begin())];
+  }
+};
+
+}  // namespace
+
+CritPathReport analyze_critical_path(const TraceRecorder& rec,
+                                     CritPathOptions opt) {
+  CritPathReport rep;
+  if (!rec.records_work_items()) return rep;
+  rep.items_seen = rec.work_items_seen();
+  rep.items_dropped = rec.dropped_work_items();
+  const std::size_t m = rec.work_item_count();
+  if (m == 0) return rep;
+
+  // Items arrive from the engine in (run asc, round asc, node asc) order
+  // and the ring keeps the newest suffix, so the retained sequence is
+  // still sorted; runs are contiguous slices.
+  std::vector<ChainSegment> segments;
+  std::size_t begin = 0;
+  while (begin < m) {
+    const std::uint32_t run = rec.work_item(begin).run;
+    std::size_t end = begin;
+    std::uint32_t max_node = 0;
+    while (end < m && rec.work_item(end).run == run) {
+      max_node = std::max(max_node, rec.work_item(end).node);
+      ++end;
+    }
+    const std::size_t cnt = end - begin;
+
+    std::vector<NodeState> state(static_cast<std::size_t>(max_node) + 1);
+    std::vector<ItemDp> dp(cnt);
+    std::vector<std::uint64_t> send_depth(cnt);
+    std::vector<std::ptrdiff_t> prev_idx(cnt);
+    std::vector<std::uint64_t> prev_depth(cnt);
+
+    // Round-grouped two-pass DP (see header: send depths depend only on
+    // cross-round prev edges, so same-round wake edges cannot cycle).
+    std::size_t i = 0;
+    while (i < cnt) {
+      const std::uint64_t round = rec.work_item(begin + i).round;
+      std::size_t j = i;
+      while (j < cnt && rec.work_item(begin + j).round == round) ++j;
+
+      // Pass 1: resolve prev edges, compute send depths.
+      for (std::size_t k = i; k < j; ++k) {
+        const WorkItem& it = rec.work_item(begin + k);
+        prev_idx[k] = -1;
+        prev_depth[k] = 0;
+        if (it.prev_round != WorkItem::kNoRound) {
+          const NodeState& st = state[it.node];
+          if (st.has_last && st.last_round == it.prev_round) {
+            prev_idx[k] = st.last_idx;
+            prev_depth[k] = st.last_depth;
+          } else {
+            dp[k].unresolved = true;  // predecessor fell off the ring
+          }
+        }
+        send_depth[k] = prev_depth[k] + 1 + it.msgs_out;
+      }
+      // Commit send depths so same-round receivers can inherit them.
+      for (std::size_t k = i; k < j; ++k) {
+        const WorkItem& it = rec.work_item(begin + k);
+        if (it.msgs_out == 0) continue;
+        NodeState& st = state[it.node];
+        st.has_send = true;
+        st.send_round = round;
+        st.send_depth = send_depth[k];
+        st.send_idx = static_cast<std::ptrdiff_t>(k);
+      }
+      // Pass 2: full depths via max(prev, wake).
+      for (std::size_t k = i; k < j; ++k) {
+        const WorkItem& it = rec.work_item(begin + k);
+        std::uint64_t wake_depth = 0;
+        std::ptrdiff_t wake_idx = -1;
+        if (it.wake_from != WorkItem::kNoWake &&
+            it.wake_from <= max_node) {
+          const NodeState& st = state[it.wake_from];
+          if (st.has_send && st.send_round == it.wake_round &&
+              st.send_idx != static_cast<std::ptrdiff_t>(k)) {
+            wake_depth = st.send_depth;
+            wake_idx = st.send_idx;
+          } else {
+            dp[k].unresolved = true;
+          }
+        }
+        // Ties keep the same-node prev edge (state continuity reads best).
+        if (wake_idx >= 0 && wake_depth > prev_depth[k]) {
+          dp[k].depth = wake_depth;
+          dp[k].pred = wake_idx;
+          dp[k].via_wake = true;
+        } else {
+          dp[k].depth = prev_depth[k];
+          dp[k].pred = prev_idx[k];
+        }
+        dp[k].depth += 1 + it.msgs_in + it.msgs_out;
+      }
+      // Commit full depths for the next rounds' prev edges.
+      for (std::size_t k = i; k < j; ++k) {
+        const WorkItem& it = rec.work_item(begin + k);
+        NodeState& st = state[it.node];
+        st.has_last = true;
+        st.last_round = round;
+        st.last_depth = dp[k].depth;
+        st.last_idx = static_cast<std::ptrdiff_t>(k);
+      }
+      i = j;
+    }
+
+    // Deepest item, first in (round, node) order on ties.
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < cnt; ++k) {
+      if (dp[k].depth > dp[best].depth) best = k;
+    }
+
+    RunCritPath rc;
+    rc.run = run;
+    if (run < rec.runs().size()) rc.label = rec.runs()[run].label;
+    rc.items = cnt;
+    rc.total_cost = dp[best].depth;
+    // Backward walk.  An item reached over a wake edge participates only
+    // through its send state, so the walk must continue from that state's
+    // pass-1 predecessor (prev_idx) -- following dp[].pred there could step
+    // onto another same-round wake edge and cycle (two nodes exchanging
+    // messages in one round point at each other).  A prev hop strictly
+    // decreases the round and a wake hop is always followed by a prev hop,
+    // so this walk terminates and never revisits an item.
+    std::ptrdiff_t cur = static_cast<std::ptrdiff_t>(best);
+    bool as_send = false;  // current item reached via a wake edge
+    while (cur >= 0) {
+      const std::size_t k = static_cast<std::size_t>(cur);
+      const WorkItem& it = rec.work_item(begin + k);
+      ChainStep s;
+      s.round = it.round;
+      s.node = it.node;
+      s.msgs_in = it.msgs_in;
+      s.msgs_out = it.msgs_out;
+      s.cost = 1 + it.msgs_in + it.msgs_out;
+      s.compute_ns = it.compute_ns;
+      s.via_wake = !as_send && dp[k].via_wake;
+      s.wake_from = it.wake_from;
+      rc.chain.push_back(s);
+      const std::ptrdiff_t nxt = as_send ? prev_idx[k] : dp[k].pred;
+      if (nxt < 0) {
+        // The chain's origin: if a predecessor edge existed here but items
+        // were overwritten, the true chain extends past the ring.
+        rc.truncated = dp[k].unresolved && rep.items_dropped > 0;
+      }
+      as_send = as_send ? false : dp[k].via_wake;
+      cur = nxt;
+    }
+    std::reverse(rc.chain.begin(), rc.chain.end());
+    rc.chain.front().via_wake = false;
+    for (const ItemDp& d : dp) rc.unresolved_edges += d.unresolved ? 1 : 0;
+
+    // --- wall-clock attribution over the chain's round span ---
+    const std::uint64_t span_lo = rc.chain.front().round;
+    const std::uint64_t span_hi = rc.chain.back().round;
+    rc.span_rounds = span_hi - span_lo + 1;
+    std::map<std::uint64_t, std::uint64_t> chain_compute;  // round -> ns
+    for (const ChainStep& s : rc.chain) chain_compute[s.round] += s.compute_ns;
+
+    RoundIndex rounds;
+    for (std::size_t e = 0; e < rec.size(); ++e) {
+      const TraceEvent& ev = rec.event(e);
+      if (ev.run != run) continue;
+      if (ev.kind == TraceEvent::Kind::kGap) {
+        const std::uint64_t lo = std::max(ev.round, span_lo);
+        const std::uint64_t hi = std::min(ev.round + ev.rounds - 1, span_hi);
+        if (lo <= hi) rc.wait_rounds += hi - lo + 1;
+        continue;
+      }
+      const std::uint64_t phase_ns[3] = {to_ns(ev.send_s), to_ns(ev.deliver_s),
+                                         to_ns(ev.receive_s)};
+      rc.max_phase_ns = std::max(
+          {rc.max_phase_ns, phase_ns[0], phase_ns[1], phase_ns[2]});
+      if (ev.round < span_lo || ev.round > span_hi) continue;
+      rounds.round.push_back(ev.round);
+      rounds.full_ns.push_back(phase_ns[0] + phase_ns[1] + phase_ns[2]);
+      rounds.deliver_ns.push_back(phase_ns[1]);
+      const std::uint64_t work_ns = phase_ns[0] + phase_ns[2];
+      const auto it = chain_compute.find(ev.round);
+      if (it != chain_compute.end()) {
+        // Per-node clocks run in parallel workers; clamp to the round's
+        // measured phase time so compute can never exceed wall-clock.
+        const std::uint64_t comp = std::min(it->second, work_ns);
+        rc.compute_ns += comp;
+        rc.deliver_ns += phase_ns[1];
+        rc.wait_ns += work_ns - comp;
+      } else {
+        rc.wait_ns += rounds.full_ns.back();
+      }
+    }
+    rounds.finish();
+    rc.total_ns = rc.compute_ns + rc.deliver_ns + rc.wait_ns;
+
+    // --- chain segments (edges) with attributed wall-clock ---
+    for (std::size_t k = 1; k < rc.chain.size(); ++k) {
+      const ChainStep& a = rc.chain[k - 1];
+      const ChainStep& b = rc.chain[k];
+      ChainSegment seg;
+      seg.run = run;
+      seg.from_round = a.round;
+      seg.from_node = a.node;
+      seg.to_round = b.round;
+      seg.to_node = b.node;
+      seg.via_wake = b.via_wake;
+      if (b.round > a.round) {
+        seg.ns = rounds.range_sum(a.round, b.round);
+      } else {
+        // Same-round wake edge: the crossing is the delivery phase.
+        const auto e = std::lower_bound(rounds.round.begin(),
+                                        rounds.round.end(), b.round);
+        if (e != rounds.round.end() && *e == b.round) {
+          seg.ns = rounds.deliver_ns[static_cast<std::size_t>(
+              e - rounds.round.begin())];
+        }
+      }
+      segments.push_back(seg);
+    }
+
+    rep.chain_len += rc.chain.size();
+    rep.total_cost += rc.total_cost;
+    rep.compute_ns += rc.compute_ns;
+    rep.deliver_ns += rc.deliver_ns;
+    rep.wait_ns += rc.wait_ns;
+    rep.total_ns += rc.total_ns;
+    rep.max_phase_ns = std::max(rep.max_phase_ns, rc.max_phase_ns);
+    rep.truncated = rep.truncated || rc.truncated;
+    rep.runs.push_back(std::move(rc));
+    begin = end;
+  }
+
+  std::sort(segments.begin(), segments.end(),
+            [](const ChainSegment& a, const ChainSegment& b) {
+              if (a.ns != b.ns) return a.ns > b.ns;
+              if (a.run != b.run) return a.run < b.run;
+              if (a.to_round != b.to_round) return a.to_round < b.to_round;
+              return a.to_node < b.to_node;
+            });
+  if (segments.size() > opt.top_k_segments) {
+    segments.resize(opt.top_k_segments);
+  }
+  rep.top_segments = std::move(segments);
+  return rep;
+}
+
+CritPathSummary& CritPathSummary::operator+=(const CritPathSummary& o) {
+  runs += o.runs;
+  chain_len += o.chain_len;
+  total_cost += o.total_cost;
+  compute_ns += o.compute_ns;
+  deliver_ns += o.deliver_ns;
+  wait_ns += o.wait_ns;
+  total_ns += o.total_ns;
+  items_seen += o.items_seen;
+  items_dropped += o.items_dropped;
+  truncated = truncated || o.truncated;
+  return *this;
+}
+
+CritPathSummary summarize(const CritPathReport& rep) {
+  CritPathSummary s;
+  s.runs = rep.runs.size();
+  s.chain_len = rep.chain_len;
+  s.total_cost = rep.total_cost;
+  s.compute_ns = rep.compute_ns;
+  s.deliver_ns = rep.deliver_ns;
+  s.wait_ns = rep.wait_ns;
+  s.total_ns = rep.total_ns;
+  s.items_seen = rep.items_seen;
+  s.items_dropped = rep.items_dropped;
+  s.truncated = rep.truncated;
+  return s;
+}
+
+void CritPathSummary::write_json(JsonWriter& w) const {
+  w.begin_object()
+      .field("runs", runs)
+      .field("chain_len", chain_len)
+      .field("total_cost", total_cost)
+      .field("compute_ns", compute_ns)
+      .field("deliver_ns", deliver_ns)
+      .field("wait_ns", wait_ns)
+      .field("total_ns", total_ns)
+      .field("items_seen", items_seen)
+      .field("items_dropped", items_dropped)
+      .field("truncated", truncated)
+      .end_object();
+}
+
+void write_critpath_json(const CritPathReport& rep, JsonWriter& w) {
+  w.begin_object()
+      .field("items_seen", rep.items_seen)
+      .field("items_dropped", rep.items_dropped)
+      .field("chain_len", rep.chain_len)
+      .field("total_cost", rep.total_cost)
+      .field("compute_ns", rep.compute_ns)
+      .field("deliver_ns", rep.deliver_ns)
+      .field("wait_ns", rep.wait_ns)
+      .field("total_ns", rep.total_ns)
+      .field("max_phase_ns", rep.max_phase_ns)
+      .field("truncated", rep.truncated)
+      .field("complete", rep.complete());
+  w.key("runs").begin_array();
+  for (const RunCritPath& rc : rep.runs) {
+    w.begin_object()
+        .field("run", static_cast<std::uint64_t>(rc.run))
+        .field("label", rc.label)
+        .field("items", rc.items)
+        .field("chain_len", static_cast<std::uint64_t>(rc.chain.size()))
+        .field("total_cost", rc.total_cost)
+        .field("compute_ns", rc.compute_ns)
+        .field("deliver_ns", rc.deliver_ns)
+        .field("wait_ns", rc.wait_ns)
+        .field("total_ns", rc.total_ns)
+        .field("span_rounds", rc.span_rounds)
+        .field("wait_rounds", rc.wait_rounds)
+        .field("max_phase_ns", rc.max_phase_ns)
+        .field("truncated", rc.truncated)
+        .field("unresolved_edges", rc.unresolved_edges);
+    const std::size_t emit = std::min(rc.chain.size(), kMaxJsonChainSteps);
+    w.field("chain_emitted", static_cast<std::uint64_t>(emit));
+    w.key("chain").begin_array();
+    for (std::size_t i = 0; i < emit; ++i) {
+      const ChainStep& s = rc.chain[i];
+      w.begin_object()
+          .field("round", s.round)
+          .field("node", static_cast<std::uint64_t>(s.node))
+          .field("in", static_cast<std::uint64_t>(s.msgs_in))
+          .field("out", static_cast<std::uint64_t>(s.msgs_out))
+          .field("cost", s.cost)
+          .field("compute_ns", s.compute_ns)
+          .field("edge", i == 0 ? "start" : (s.via_wake ? "wake" : "prev"));
+      if (i != 0 && s.via_wake) {
+        w.field("wake_from", static_cast<std::uint64_t>(s.wake_from));
+      }
+      w.end_object();
+    }
+    w.end_array().end_object();
+  }
+  w.end_array();
+  w.key("top_segments").begin_array();
+  for (const ChainSegment& s : rep.top_segments) {
+    w.begin_object()
+        .field("run", static_cast<std::uint64_t>(s.run))
+        .field("from_round", s.from_round)
+        .field("from_node", static_cast<std::uint64_t>(s.from_node))
+        .field("to_round", s.to_round)
+        .field("to_node", static_cast<std::uint64_t>(s.to_node))
+        .field("edge", s.via_wake ? "wake" : "prev")
+        .field("ns", s.ns)
+        .end_object();
+  }
+  w.end_array().end_object();
+}
+
+void write_critpath_record_line(const CritPathReport& rep, std::ostream& os) {
+  JsonWriter w(os);
+  w.begin_object().field("type", "critpath");
+  w.key("critpath");
+  write_critpath_json(rep, w);
+  w.end_object();
+  os << "\n";
+}
+
+namespace {
+
+std::string fmt_ms(std::uint64_t ns) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3) << static_cast<double>(ns) / 1e6
+     << " ms";
+  return os.str();
+}
+
+int pct(std::uint64_t part, std::uint64_t whole) {
+  return whole == 0 ? 0 : static_cast<int>(100.0 * static_cast<double>(part) /
+                                           static_cast<double>(whole));
+}
+
+void write_chain_row(const ChainStep& s, bool first, std::ostream& os) {
+  os << "    " << std::setw(8) << s.round << "  " << std::setw(6) << s.node
+     << "  " << std::setw(4) << s.msgs_in << "  " << std::setw(4) << s.msgs_out
+     << "  " << std::setw(5) << s.cost << "  " << std::setw(5)
+     << (first ? "start" : (s.via_wake ? "wake" : "prev"));
+  if (!first && s.via_wake) {
+    os << "  from " << s.wake_from;
+  }
+  os << "\n";
+}
+
+}  // namespace
+
+void write_critpath_table(const CritPathReport& rep, std::ostream& os) {
+  if (rep.runs.empty()) {
+    os << "critical path: no work items recorded\n";
+    return;
+  }
+  os << "critical path: " << rep.runs.size() << " run"
+     << (rep.runs.size() == 1 ? "" : "s") << ", chain " << rep.chain_len
+     << " steps, cost " << rep.total_cost << ", items " << rep.items_seen;
+  if (rep.items_dropped > 0) {
+    os << " (" << rep.items_dropped << " dropped";
+    if (rep.truncated) os << ", chain truncated";
+    os << ")";
+  }
+  os << "\n";
+  os << "  total " << fmt_ms(rep.total_ns) << " = compute "
+     << fmt_ms(rep.compute_ns) << " (" << pct(rep.compute_ns, rep.total_ns)
+     << "%) + deliver " << fmt_ms(rep.deliver_ns) << " ("
+     << pct(rep.deliver_ns, rep.total_ns) << "%) + wait "
+     << fmt_ms(rep.wait_ns) << " (" << pct(rep.wait_ns, rep.total_ns)
+     << "%)\n";
+  for (const RunCritPath& rc : rep.runs) {
+    os << "  [run " << rc.run << "] " << rc.label << ": chain "
+       << rc.chain.size() << " steps, cost " << rc.total_cost << ", span "
+       << rc.span_rounds << " rounds (" << rc.wait_rounds
+       << " fast-forwarded), " << fmt_ms(rc.total_ns);
+    if (rc.truncated) os << ", TRUNCATED";
+    if (rc.unresolved_edges > 0) {
+      os << ", " << rc.unresolved_edges << " unresolved edges";
+    }
+    os << "\n";
+    os << "       round    node    in   out   cost   edge\n";
+    // Long chains print head and tail; the elision is announced, and the
+    // full chain is always in the JSON export.
+    constexpr std::size_t kHead = 12;
+    constexpr std::size_t kTail = 4;
+    if (rc.chain.size() <= kHead + kTail + 1) {
+      for (std::size_t i = 0; i < rc.chain.size(); ++i) {
+        write_chain_row(rc.chain[i], i == 0, os);
+      }
+    } else {
+      for (std::size_t i = 0; i < kHead; ++i) {
+        write_chain_row(rc.chain[i], i == 0, os);
+      }
+      os << "    ... " << (rc.chain.size() - kHead - kTail)
+         << " steps elided ...\n";
+      for (std::size_t i = rc.chain.size() - kTail; i < rc.chain.size();
+           ++i) {
+        write_chain_row(rc.chain[i], false, os);
+      }
+    }
+  }
+  if (!rep.top_segments.empty()) {
+    os << "  top segments:\n";
+    for (const ChainSegment& s : rep.top_segments) {
+      os << "    run " << s.run << "  (r" << s.from_round << " n"
+         << s.from_node << ") -> (r" << s.to_round << " n" << s.to_node
+         << ")  " << (s.via_wake ? "wake" : "prev") << "  " << fmt_ms(s.ns)
+         << "\n";
+    }
+  }
+}
+
+}  // namespace dapsp::obs

@@ -1,0 +1,187 @@
+// Dependence-graph critical-path analysis for the round engine.
+//
+// The paper's pipelining argument is a critical-path claim: progress is
+// bounded not by aggregate message volume but by chains of key-dependent
+// sends threaded across rounds.  The per-round histograms and Chrome traces
+// (obs/trace.hpp) show *aggregate* congestion; this module answers the
+// question they cannot: which chain of (node, round) work items actually
+// bounds wall-clock, and is that chain compute, delivery, or waiting?
+//
+// Inputs are the opt-in WorkItems the engine records (one per node that
+// sent or received in a round; see TraceRecorder::Options::
+// work_item_capacity).  Each item carries two causal predecessor edges:
+//
+//   prev  -- the same node's previous activation (state carried forward),
+//   wake  -- the max-lag message arrival that woke the node this round.
+//
+// The longest chain through that DAG is extracted with *deterministic*
+// weights: cost(item) = 1 + msgs_in + msgs_out.  Wall-clock never enters
+// the chain choice -- that is what makes the extracted path bit-identical
+// across thread counts and sparse/dense schedulers (tested), exactly like
+// the engine's RunStats.  Measured nanoseconds are used afterwards, for
+// attribution only: each round inside the chain's span contributes its
+// phase wall-clock as chain compute, delivery, or wait, so the reported
+// total_ns is provably <= the run's recorded wall-clock.
+//
+// Same-round wake edges cannot cycle: an item's "send depth" (what a
+// same-round receiver inherits) depends only on cross-round prev edges, so
+// the per-round DP runs in two passes -- send depths first, full depths
+// second -- and needs no topological sort.
+//
+// Ring-buffer truncation degrades gracefully by construction: predecessor
+// edges are resolved against per-node state keyed by round number, never by
+// buffer index, so an edge into overwritten history simply fails to match
+// (the chain is cut there and the report flagged `truncated`), and a
+// dangling index cannot exist.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dapsp::obs {
+
+class JsonWriter;
+class TraceRecorder;
+
+/// One node-round on the extracted critical path (oldest first).
+struct ChainStep {
+  std::uint64_t round = 0;
+  std::uint32_t node = 0;
+  std::uint32_t msgs_in = 0;
+  std::uint32_t msgs_out = 0;
+  std::uint64_t cost = 0;        ///< deterministic weight: 1 + in + out
+  std::uint64_t compute_ns = 0;  ///< measured node-local phase time
+  /// Edge that reached this step: a message arrival (wake) or the node's
+  /// own previous activation (prev).  The chain's first step has no edge
+  /// and reports via_wake = false.
+  bool via_wake = false;
+  std::uint32_t wake_from = 0;   ///< sender, meaningful when via_wake
+
+  friend bool operator==(const ChainStep&, const ChainStep&) = default;
+};
+
+/// One chain edge with the wall-clock attributed to crossing it: the
+/// rounds strictly after the source step up to and including the target
+/// step (delivery share only, for a same-round wake edge).  The top-K
+/// heaviest of these name the node/link pairs that pin the run.
+struct ChainSegment {
+  std::uint32_t run = 0;
+  std::uint64_t from_round = 0;
+  std::uint32_t from_node = 0;
+  std::uint64_t to_round = 0;
+  std::uint32_t to_node = 0;
+  bool via_wake = false;
+  std::uint64_t ns = 0;
+
+  friend bool operator==(const ChainSegment&, const ChainSegment&) = default;
+};
+
+/// Critical path of one engine run (solvers chain several runs per build).
+struct RunCritPath {
+  std::uint32_t run = 0;
+  std::string label;                  ///< RunInfo label of the run
+  std::vector<ChainStep> chain;       ///< oldest first
+  std::uint64_t total_cost = 0;       ///< DP depth of the chain's last step
+  std::uint64_t items = 0;            ///< retained work items of this run
+
+  // Wall-clock attribution over the chain's round span [first chain round,
+  // last chain round]:
+  //   compute_ns -- chain steps' own node-local phase time (clamped to the
+  //                 round's measured send+receive so parallel per-node
+  //                 clocks can never exceed the round),
+  //   deliver_ns -- delivery phases of chain rounds,
+  //   wait_ns    -- everything else in the span: non-chain rounds whole,
+  //                 plus the chain rounds' phase remainder.
+  // total_ns = compute + deliver + wait <= recorded wall-clock of the run.
+  std::uint64_t compute_ns = 0;
+  std::uint64_t deliver_ns = 0;
+  std::uint64_t wait_ns = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t span_rounds = 0;      ///< rounds covered by the chain span
+  std::uint64_t wait_rounds = 0;      ///< fast-forwarded rounds in the span
+  /// Largest single phase wall-clock (ns) among this run's retained round
+  /// events -- the sanity floor a real critical path must reach.
+  std::uint64_t max_phase_ns = 0;
+
+  /// The chain's first step still had a predecessor edge, but its target
+  /// had been overwritten in the ring: the true chain extends further back.
+  bool truncated = false;
+  /// Predecessor edges that failed to resolve anywhere in this run (dropped
+  /// items, or fault-plane delays whose send round is approximated).
+  std::uint64_t unresolved_edges = 0;
+};
+
+struct CritPathOptions {
+  /// Heaviest chain segments reported across all runs.
+  std::size_t top_k_segments = 8;
+};
+
+/// Whole-recorder analysis: one RunCritPath per recorded run plus
+/// aggregates over them.
+struct CritPathReport {
+  std::vector<RunCritPath> runs;
+  std::vector<ChainSegment> top_segments;  ///< by ns descending
+
+  std::uint64_t items_seen = 0;     ///< work items pushed (incl. dropped)
+  std::uint64_t items_dropped = 0;  ///< overwritten in the ring
+  std::uint64_t chain_len = 0;      ///< total steps across runs
+  std::uint64_t total_cost = 0;     ///< summed chain costs
+  std::uint64_t compute_ns = 0;
+  std::uint64_t deliver_ns = 0;
+  std::uint64_t wait_ns = 0;
+  std::uint64_t total_ns = 0;       ///< summed chain-span wall-clock
+  std::uint64_t max_phase_ns = 0;   ///< max over runs
+  bool truncated = false;           ///< any run's chain was cut by drops
+
+  bool complete() const noexcept { return items_dropped == 0 && !truncated; }
+};
+
+/// Extracts the critical path from a recorder that recorded work items.
+/// Returns an empty report (no runs) when work-item recording was off or
+/// nothing was retained.  Deterministic: depends only on the recorded
+/// items/events, never on wall-clock or iteration order.
+CritPathReport analyze_critical_path(const TraceRecorder& rec,
+                                     CritPathOptions opt = {});
+
+/// Fixed-size rollup of a report for surfacing through ServiceStats (text
+/// `stats` directive and the binary STATS opcode): enough to explain what a
+/// rebuild spent its time on without shipping the full chain.
+struct CritPathSummary {
+  std::uint64_t runs = 0;
+  std::uint64_t chain_len = 0;
+  std::uint64_t total_cost = 0;
+  std::uint64_t compute_ns = 0;
+  std::uint64_t deliver_ns = 0;
+  std::uint64_t wait_ns = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t items_seen = 0;
+  std::uint64_t items_dropped = 0;
+  bool truncated = false;
+
+  bool empty() const noexcept { return runs == 0; }
+  /// Folds another build's summary in (ServiceStats composition): counters
+  /// add, flags or.
+  CritPathSummary& operator+=(const CritPathSummary& o);
+  /// One JSON object (no surrounding key).
+  void write_json(JsonWriter& w) const;
+
+  friend bool operator==(const CritPathSummary&,
+                         const CritPathSummary&) = default;
+};
+
+CritPathSummary summarize(const CritPathReport& rep);
+
+/// The `critpath` JSON object body shared by every exporter (run record
+/// line, CLI --format json): aggregates, per-run chains, top segments.
+void write_critpath_json(const CritPathReport& rep, JsonWriter& w);
+
+/// One JSONL line: {"type":"critpath", ...} + '\n' (the run-record block).
+void write_critpath_record_line(const CritPathReport& rep, std::ostream& os);
+
+/// Human-readable chain table for `dapsp profile` (docs/PERF.md shows how
+/// to read it).
+void write_critpath_table(const CritPathReport& rep, std::ostream& os);
+
+}  // namespace dapsp::obs

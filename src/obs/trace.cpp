@@ -1,5 +1,9 @@
 #include "obs/trace.hpp"
 
+#include <map>
+#include <utility>
+
+#include "obs/critpath.hpp"
 #include "obs/json.hpp"
 
 namespace dapsp::obs {
@@ -7,7 +11,7 @@ namespace dapsp::obs {
 TraceRecorder::TraceRecorder() : TraceRecorder(Options{}) {}
 
 TraceRecorder::TraceRecorder(Options opt)
-    : opt_(opt), events_(opt.capacity) {}
+    : opt_(opt), events_(opt.capacity), items_(opt.work_item_capacity) {}
 
 void TraceRecorder::begin_run(std::string label, std::uint64_t nodes,
                               std::uint64_t links) {
@@ -66,8 +70,17 @@ void TraceRecorder::record_gap(std::uint64_t first_round,
   runs_.back().rounds += rounds;
 }
 
+WorkItem& TraceRecorder::work_item_slot() {
+  if (runs_.empty()) begin_run("run", 0, 0);
+  WorkItem& it = items_.push_slot();
+  it = WorkItem{};
+  it.run = static_cast<std::uint32_t>(runs_.size() - 1);
+  return it;
+}
+
 void TraceRecorder::clear() {
   events_.clear();
+  items_.clear();
   runs_.clear();
   rounds_seen_ = 0;
   skipped_rounds_ = 0;
@@ -97,6 +110,11 @@ void TraceRecorder::write_chrome_trace(std::ostream& os) const {
     w.end_object();
   }
 
+  // (run, round) -> this round's slot on the cumulative timeline, kept so
+  // the critical-path flame lane below can place chain steps under the
+  // phase events they explain.
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::pair<double, double>>
+      round_ts;
   double cum_us = 0.0;
   for (std::size_t i = 0; i < events_.size(); ++i) {
     const TraceEvent& e = events_[i];
@@ -121,6 +139,8 @@ void TraceRecorder::write_chrome_trace(std::ostream& os) const {
                                 e.receive_s * 1e6};
     static constexpr const char* kPhaseName[3] = {"send", "deliver",
                                                   "receive"};
+    round_ts[{e.run, e.round}] = {cum_us,
+                                  phase_us[0] + phase_us[1] + phase_us[2]};
     double ts = cum_us;
     for (int p = 0; p < 3; ++p) {
       w.begin_object()
@@ -156,6 +176,44 @@ void TraceRecorder::write_chrome_trace(std::ostream& os) const {
     cum_us = ts;
   }
 
+  if (records_work_items()) {
+    // Critical-path flame lane: tid 1 of each run carries one duration
+    // event per chain step, aligned with the round it ran in, so the chain
+    // reads directly under the phase timeline that it bounds.
+    const CritPathReport rep = analyze_critical_path(*this);
+    for (const RunCritPath& rc : rep.runs) {
+      const auto pid = static_cast<std::uint64_t>(rc.run);
+      w.begin_object()
+          .field("name", "thread_name")
+          .field("ph", "M")
+          .field("pid", pid)
+          .field("tid", std::uint64_t{1});
+      w.key("args").begin_object().field("name", "critpath").end_object();
+      w.end_object();
+      for (const ChainStep& s : rc.chain) {
+        const auto it = round_ts.find({rc.run, s.round});
+        if (it == round_ts.end()) continue;  // round fell off the event ring
+        w.begin_object()
+            .field("name", "cp node " + std::to_string(s.node))
+            .field("ph", "X")
+            .field("pid", pid)
+            .field("tid", std::uint64_t{1})
+            .field("ts", it->second.first)
+            .field("dur", it->second.second);
+        w.key("args")
+            .begin_object()
+            .field("round", s.round)
+            .field("node", static_cast<std::uint64_t>(s.node))
+            .field("msgs_in", static_cast<std::uint64_t>(s.msgs_in))
+            .field("msgs_out", static_cast<std::uint64_t>(s.msgs_out))
+            .field("cost", s.cost)
+            .field("edge", s.via_wake ? "wake" : "prev")
+            .end_object();
+        w.end_object();
+      }
+    }
+  }
+
   w.end_array();
   w.field("displayTimeUnit", "ms");
   w.key("otherData")
@@ -163,8 +221,12 @@ void TraceRecorder::write_chrome_trace(std::ostream& os) const {
       .field("rounds_seen", rounds_seen_)
       .field("skipped_rounds", skipped_rounds_)
       .field("total_messages", total_messages_)
-      .field("dropped_events", dropped_events())
-      .end_object();
+      .field("dropped_events", dropped_events());
+  if (records_work_items()) {
+    w.field("work_items_recorded", static_cast<std::uint64_t>(items_.size()))
+        .field("work_items_dropped", dropped_work_items());
+  }
+  w.field("complete", complete()).end_object();
   w.end_object();
   os << "\n";
 }
@@ -183,6 +245,14 @@ void TraceRecorder::write_run_record(std::ostream& os) const {
         .field("events_recorded", static_cast<std::uint64_t>(events_.size()))
         .field("events_dropped", dropped_events())
         .field("top_k", static_cast<std::uint64_t>(opt_.top_k));
+    if (records_work_items()) {
+      w.field("work_items_recorded",
+              static_cast<std::uint64_t>(items_.size()))
+          .field("work_items_dropped", dropped_work_items());
+    }
+    // Satellite contract: a truncated record is stamped as such so it can
+    // never be mistaken for a complete profile.
+    w.field("complete", complete());
     w.key("runs").begin_array();
     for (const RunInfo& r : runs_) {
       w.begin_object()
@@ -241,6 +311,11 @@ void TraceRecorder::write_run_record(std::ostream& os) const {
     }
     w.end_array().end_object();
     os << "\n";
+  }
+  if (records_work_items()) {
+    // The critical-path block rides in the same JSONL stream: one
+    // {"type":"critpath", ...} line after the per-round lines.
+    write_critpath_record_line(analyze_critical_path(*this), os);
   }
 }
 

@@ -84,6 +84,42 @@ struct LinkLoad {
   friend bool operator==(const LinkLoad&, const LinkLoad&) = default;
 };
 
+/// One per-(node, round) unit of engine work, recorded only when
+/// `Options::work_item_capacity` is non-zero (the critical-path profiler's
+/// feed; see obs/critpath.hpp).  An item exists for every node that sent or
+/// received at least one message in a round -- a set that is identical for
+/// the sparse and dense schedulers and for every thread count, which is what
+/// makes the extracted critical path bit-identical across them.
+///
+/// Causal predecessor edges:
+///  * `prev_round`  -- the same node's previous work item (kNoRound for the
+///    node's first activation).
+///  * `wake_from` / `wake_round` -- the message arrival that woke the node:
+///    the max-lag arrival in its inbox, ties broken by smallest sender id.
+///    In the fault-free engine every arrival was sent this same round (lag
+///    0), so the edge reduces to the smallest sender id in the inbox; under
+///    an active fault plan delayed frames lose their true send round at
+///    delivery, so `wake_round` approximates it with the delivery round
+///    (documented in docs/PERF.md -- the profiler is exact without faults).
+struct WorkItem {
+  static constexpr std::uint64_t kNoRound = ~std::uint64_t{0};
+  static constexpr std::uint32_t kNoWake = ~std::uint32_t{0};
+
+  std::uint32_t run = 0;        ///< engine run index, same space as TraceEvent
+  std::uint64_t round = 0;
+  std::uint32_t node = 0;
+  std::uint32_t msgs_in = 0;    ///< envelopes in this node's inbox this round
+  std::uint32_t msgs_out = 0;   ///< messages this node sent this round
+  /// Node-local send_phase + receive_phase wall-clock (host observability
+  /// only, used for attribution -- never for chain extraction).
+  std::uint64_t compute_ns = 0;
+  std::uint64_t prev_round = kNoRound;
+  std::uint32_t wake_from = kNoWake;
+  std::uint64_t wake_round = 0;
+
+  friend bool operator==(const WorkItem&, const WorkItem&) = default;
+};
+
 /// One recorded engine event: an executed round or a fast-forwarded gap.
 struct TraceEvent {
   enum class Kind : std::uint8_t { kRound, kGap };
@@ -117,6 +153,11 @@ class TraceRecorder {
     std::size_t capacity = 1 << 16;
     /// Per-round congestion leaderboard size (0 disables link tracking).
     std::size_t top_k = 4;
+    /// Work items retained for critical-path analysis; 0 (the default)
+    /// disables work-item recording entirely -- the engine then pays
+    /// nothing beyond the per-round event.  Like `capacity`, the buffer
+    /// overwrites oldest-first; the analyzer flags truncated chains.
+    std::size_t work_item_capacity = 0;
   };
 
   struct RunInfo {
@@ -142,11 +183,30 @@ class TraceRecorder {
   TraceEvent& round_slot();
   void commit_round(const TraceEvent& e);
   void record_gap(std::uint64_t first_round, std::uint64_t rounds);
+  /// Slot for the next work item, pre-tagged with the current run; only
+  /// meaningful when records_work_items().  The engine fills it in place in
+  /// deterministic (round, node id) order.
+  WorkItem& work_item_slot();
 
   // --- inspection ---
   std::size_t size() const noexcept { return events_.size(); }
   const TraceEvent& event(std::size_t i) const { return events_[i]; }
   std::uint64_t dropped_events() const noexcept { return events_.dropped(); }
+  bool records_work_items() const noexcept {
+    return opt_.work_item_capacity != 0;
+  }
+  std::size_t work_item_count() const noexcept { return items_.size(); }
+  /// i = 0 is the oldest retained work item.
+  const WorkItem& work_item(std::size_t i) const { return items_[i]; }
+  std::uint64_t work_items_seen() const noexcept { return items_.pushed(); }
+  std::uint64_t dropped_work_items() const noexcept {
+    return records_work_items() ? items_.dropped() : 0;
+  }
+  /// True when nothing fell off either ring: a profile built from this
+  /// recorder covers every recorded round and work item.
+  bool complete() const noexcept {
+    return dropped_events() == 0 && dropped_work_items() == 0;
+  }
   std::uint64_t rounds_seen() const noexcept { return rounds_seen_; }
   std::uint64_t skipped_rounds() const noexcept { return skipped_rounds_; }
   std::uint64_t total_messages() const noexcept { return total_messages_; }
@@ -162,6 +222,7 @@ class TraceRecorder {
  private:
   Options opt_;
   RingBuffer<TraceEvent> events_;
+  RingBuffer<WorkItem> items_;  ///< capacity 1 placeholder when disabled
   std::vector<RunInfo> runs_;
   std::uint64_t rounds_seen_ = 0;
   std::uint64_t skipped_rounds_ = 0;

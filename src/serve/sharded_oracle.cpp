@@ -47,6 +47,7 @@ std::shared_ptr<ShardedOracle> ShardedOracle::from_flat(
   out->has_paths_ = oracle.has_paths();
   out->label_ = oracle.solver_label();
   out->stats_ = oracle.build_stats();
+  out->critpath_ = oracle.meta().critpath;
   for (Shard& s : out->shards_) {
     const std::size_t rows = s.row_end - s.row_begin;
     s.dist.reserve(rows * n);

@@ -46,6 +46,9 @@ class ShardedOracle final : public service::OracleSnapshot {
   const congest::RunStats& build_stats() const noexcept override {
     return stats_;
   }
+  const obs::CritPathSummary* build_critpath() const noexcept override {
+    return critpath_.empty() ? nullptr : &critpath_;
+  }
   std::size_t memory_bytes() const noexcept override;
 
   Weight dist(NodeId u, NodeId v) const noexcept override {
@@ -81,6 +84,7 @@ class ShardedOracle final : public service::OracleSnapshot {
   bool has_paths_ = false;
   std::string label_;
   congest::RunStats stats_;
+  obs::CritPathSummary critpath_;  ///< empty unless the build was profiled
   std::vector<Shard> shards_;
 };
 

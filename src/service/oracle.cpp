@@ -1,6 +1,7 @@
 #include "service/oracle.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 
@@ -11,6 +12,7 @@
 #include "core/pipelined_ssp.hpp"
 #include "core/scaled_apsp.hpp"
 #include "graph/properties.hpp"
+#include "obs/trace.hpp"
 #include "seq/dijkstra.hpp"
 #include "util/int_math.hpp"
 
@@ -154,6 +156,34 @@ void check_fault_partition(const Graph& g, const DistanceOracle& o) {
 DistanceOracle build_oracle_impl(const Graph& g,
                                  const OracleBuildOptions& opts);
 
+/// Installs a work-item-recording trace recorder as the process-global
+/// recorder for the duration of one oracle build, so the engines the solver
+/// constructs internally feed the critical-path analyzer.  Only engaged
+/// when no global recorder exists -- an already-installed one (the CLI's
+/// --trace flags) owns the observation and its own export carries the
+/// analysis.  Engine ctors latch the global under the same single-threaded
+/// setup contract as set_global_recorder itself.
+class ScopedBuildRecorder {
+ public:
+  explicit ScopedBuildRecorder(bool enabled) {
+    if (!enabled || congest::Engine::global_recorder() != nullptr) return;
+    obs::TraceRecorder::Options ropt;
+    ropt.work_item_capacity = std::size_t{1} << 20;
+    rec_ = std::make_unique<obs::TraceRecorder>(ropt);
+    congest::Engine::set_global_recorder(rec_.get());
+  }
+  ~ScopedBuildRecorder() {
+    if (rec_) congest::Engine::set_global_recorder(nullptr);
+  }
+  ScopedBuildRecorder(const ScopedBuildRecorder&) = delete;
+  ScopedBuildRecorder& operator=(const ScopedBuildRecorder&) = delete;
+
+  const obs::TraceRecorder* recorder() const noexcept { return rec_.get(); }
+
+ private:
+  std::unique_ptr<obs::TraceRecorder> rec_;
+};
+
 }  // namespace
 
 void next_hops_from_parents(NodeId s, NodeId n,
@@ -226,9 +256,16 @@ DistanceOracle make_oracle_from_distances(
 
 DistanceOracle build_oracle(const Graph& g, const OracleBuildOptions& opts) {
   util::check(g.node_count() > 0, "build_oracle: empty graph");
+  // kReference never touches the engine: no fault plan can have bent it,
+  // and there is no round structure for the profiler to observe.
+  const ScopedBuildRecorder profile(opts.critpath &&
+                                    opts.solver != Solver::kReference);
   DistanceOracle o = build_oracle_impl(g, opts);
-  // kReference never touches the engine, so no fault plan can have bent it.
   if (opts.solver != Solver::kReference) check_fault_partition(g, o);
+  if (profile.recorder() != nullptr) {
+    o.meta_.critpath =
+        obs::summarize(obs::analyze_critical_path(*profile.recorder()));
+  }
   return o;
 }
 
@@ -243,7 +280,7 @@ DistanceOracle build_oracle_impl(const Graph& g,
       auto res = core::pipelined_apsp(g, delta);
       return make_oracle(res.dist, res.parent,
                          {"pipelined APSP (Algorithm 1, Thm I.1 ii)", true,
-                          res.stats});
+                          res.stats, {}});
     }
     case Solver::kBlocker: {
       core::BlockerApspParams p;
@@ -252,7 +289,7 @@ DistanceOracle build_oracle_impl(const Graph& g,
       return make_oracle(res.dist, res.parent,
                          {"blocker APSP (Algorithm 3, h=" +
                               std::to_string(res.h) + ")",
-                          true, res.stats});
+                          true, res.stats, {}});
     }
     case Solver::kScaled: {
       core::ScaledApspParams p;
@@ -261,7 +298,7 @@ DistanceOracle build_oracle_impl(const Graph& g,
       auto res = core::scaled_hhop_apsp(g, p);
       return make_oracle_from_distances(
           g, res.dist, res.hops,
-          {"scaled per-source APSP (Sec. II-C)", true, res.stats});
+          {"scaled per-source APSP (Sec. II-C)", true, res.stats, {}});
     }
     case Solver::kApprox: {
       core::ApproxApspParams p;
@@ -270,7 +307,7 @@ DistanceOracle build_oracle_impl(const Graph& g,
       std::ostringstream label;
       label << "approx APSP (Thm I.5, eps=" << opts.eps << ", " << res.scales
             << " scales); distance-only";
-      return make_oracle(res.dist, {}, {label.str(), false, res.stats});
+      return make_oracle(res.dist, {}, {label.str(), false, res.stats, {}});
     }
     case Solver::kReference: {
       std::vector<std::vector<Weight>> dist(n);
@@ -281,7 +318,8 @@ DistanceOracle build_oracle_impl(const Graph& g,
         parent[s] = std::move(r.parent);
       }
       return make_oracle(dist, parent,
-                         {"reference (sequential Dijkstra sweep)", true, {}});
+                         {"reference (sequential Dijkstra sweep)", true, {},
+                          {}});
     }
   }
   throw std::logic_error("build_oracle: unhandled solver");

@@ -19,6 +19,7 @@
 
 #include "congest/metrics.hpp"
 #include "graph/graph.hpp"
+#include "obs/critpath.hpp"
 
 namespace dapsp::service {
 
@@ -45,6 +46,12 @@ struct OracleBuildOptions {
   Solver solver = Solver::kPipelined;
   std::uint32_t h = 0;  ///< blocker hop parameter (0 = theorem balance)
   double eps = 0.5;     ///< approx quality
+  /// Profile the build: record per-(node, round) work items and stamp the
+  /// critical-path summary into the oracle's meta (surfaced through
+  /// ServiceStats as `critpath`).  Ignored for kReference (no engine run)
+  /// and when a process-global recorder is already installed -- that
+  /// recorder owns the observation and its own export carries the analysis.
+  bool critpath = false;
 };
 
 /// Provenance attached by the builders.
@@ -52,6 +59,9 @@ struct OracleMeta {
   std::string label;         ///< human-readable solver description
   bool exact = true;         ///< false for (1+eps)-approximate distances
   congest::RunStats stats;   ///< the producing run (zeroed for kReference)
+  /// Critical-path summary of the producing build; empty() unless the
+  /// build ran with OracleBuildOptions::critpath.
+  obs::CritPathSummary critpath;
 };
 
 class DistanceOracle {
@@ -102,6 +112,8 @@ class DistanceOracle {
   const OracleMeta& meta() const noexcept { return meta_; }
 
  private:
+  friend DistanceOracle build_oracle(const graph::Graph& g,
+                                     const OracleBuildOptions& opts);
   friend DistanceOracle make_oracle(
       const std::vector<std::vector<Weight>>& dist,
       const std::vector<std::vector<NodeId>>& parent, OracleMeta meta);

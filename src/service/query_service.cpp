@@ -355,6 +355,9 @@ ServiceStats QueryService::stats() const {
   const std::shared_ptr<const OracleSnapshot> snap = snapshot();
   st.snapshot_epoch = snap->epoch();
   st.shards = snap->shard_layout();
+  if (const obs::CritPathSummary* cp = snap->build_critpath()) {
+    st.last_build_critpath = *cp;
+  }
   return st;
 }
 

@@ -42,6 +42,12 @@ class OracleSnapshot {
   virtual const std::string& solver_label() const noexcept = 0;
   /// Stats of the run that produced the matrices (zeroed for kReference).
   virtual const congest::RunStats& build_stats() const noexcept = 0;
+  /// Critical-path summary of the producing build; nullptr when the build
+  /// was not profiled (OracleBuildOptions::critpath off, reference solver,
+  /// or a process-global recorder owned the observation).
+  virtual const obs::CritPathSummary* build_critpath() const noexcept {
+    return nullptr;
+  }
   /// Bytes held by the distance + next-hop tables across all shards.
   virtual std::size_t memory_bytes() const noexcept = 0;
 
@@ -94,6 +100,10 @@ class FlatSnapshot final : public OracleSnapshot {
   }
   const congest::RunStats& build_stats() const noexcept override {
     return oracle_.build_stats();
+  }
+  const obs::CritPathSummary* build_critpath() const noexcept override {
+    return oracle_.meta().critpath.empty() ? nullptr
+                                           : &oracle_.meta().critpath;
   }
   std::size_t memory_bytes() const noexcept override {
     return oracle_.memory_bytes();

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/critpath.hpp"
 #include "obs/histogram.hpp"
 #include "obs/json.hpp"
 
@@ -95,6 +96,9 @@ struct ServiceStats {
   obs::Histogram rebuild_ns;
   /// Per-shard occupancy of the serving snapshot (row ranges + bytes).
   std::vector<ShardInfo> shards;
+  /// Critical-path summary of the build that produced the serving snapshot;
+  /// empty() unless that build ran with OracleBuildOptions::critpath.
+  obs::CritPathSummary last_build_critpath;
 
   const QueryTypeStats& of(QueryType t) const {
     return per_type[static_cast<std::size_t>(t)];
@@ -135,6 +139,7 @@ struct ServiceStats {
     swap_ns += o.swap_ns;
     rebuild_ns += o.rebuild_ns;
     if (shards.empty()) shards = o.shards;
+    if (last_build_critpath.empty()) last_build_critpath = o.last_build_critpath;
     return *this;
   }
 
@@ -153,6 +158,14 @@ struct ServiceStats {
        << " evictions=" << cache_evictions << "]";
     os << " snapshot[epoch=" << snapshot_epoch << " swaps=" << swaps
        << " shards=" << shards.size() << "]";
+    if (!last_build_critpath.empty()) {
+      const auto& c = last_build_critpath;
+      os << " critpath[runs=" << c.runs << " chain=" << c.chain_len
+         << " cost=" << c.total_cost << " total_ns=" << c.total_ns
+         << " compute_ns=" << c.compute_ns << " deliver_ns=" << c.deliver_ns
+         << " wait_ns=" << c.wait_ns
+         << (c.truncated || c.items_dropped != 0 ? " truncated" : "") << "]";
+    }
     return os.str();
   }
 
@@ -202,6 +215,10 @@ struct ServiceStats {
     }
     w.end_array();
     w.end_object();
+    if (!last_build_critpath.empty()) {
+      w.key("critpath");
+      last_build_critpath.write_json(w);
+    }
     w.end_object();
   }
 };

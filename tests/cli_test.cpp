@@ -191,6 +191,45 @@ TEST(CliOptions, ParsesTraceFlags) {
   EXPECT_FALSE(parse({"apsp"}).trace_file.has_value());
 }
 
+TEST(CliOptions, ParsesProfileCommandAndCritpathFlags) {
+  const Options o = parse({"profile", "--gen", "path", "--n", "64",
+                           "--sources", "0", "--top", "3",
+                           "--trace-capacity", "4096"});
+  EXPECT_EQ(o.command, Command::kProfile);
+  EXPECT_EQ(o.top_k, 3u);
+  ASSERT_TRUE(o.trace_capacity.has_value());
+  EXPECT_EQ(*o.trace_capacity, 4096u);
+  EXPECT_TRUE(parse({"apsp", "--critpath"}).critpath);
+  EXPECT_FALSE(parse({"apsp"}).critpath);
+  EXPECT_THROW(parse({"profile", "--format", "csv"}), std::invalid_argument);
+  EXPECT_THROW(parse({"apsp", "--top", "0"}), std::invalid_argument);
+  EXPECT_THROW(parse({"apsp", "--trace-capacity", "0"}),
+               std::invalid_argument);
+}
+
+TEST(CliCommands, ProfileCommandReportsChain) {
+  // Table format: the chain header and the check line must appear, and the
+  // command must exit 0 (chain <= wall).
+  {
+    const Options o = parse({"profile", "--gen", "path", "--n", "128",
+                             "--sources", "0", "--quiet"});
+    std::ostringstream out, err;
+    ASSERT_EQ(run_command(o, out, err), 0) << err.str();
+    EXPECT_NE(out.str().find("critical path:"), std::string::npos);
+    EXPECT_NE(out.str().find("chain<=wall yes"), std::string::npos);
+  }
+  // JSON format: one valid object with the critpath block embedded.
+  {
+    const Options o = parse({"profile", "--gen", "path", "--n", "128",
+                             "--sources", "0", "--format", "json", "--quiet"});
+    std::ostringstream out, err;
+    ASSERT_EQ(run_command(o, out, err), 0) << err.str();
+    EXPECT_TRUE(obs::json_valid(out.str())) << out.str();
+    EXPECT_NE(out.str().find("\"critpath\""), std::string::npos);
+    EXPECT_NE(out.str().find("\"chain_le_wall\":true"), std::string::npos);
+  }
+}
+
 TEST(CliCommands, TraceExportEndToEnd) {
   const std::string trace_path = "/tmp/dapsp_cli_test_trace.json";
   const std::string jsonl_path = "/tmp/dapsp_cli_test_trace.jsonl";

@@ -145,14 +145,14 @@ TEST(Oracle, ApproxIsDistanceOnlyWithinRatio) {
 }
 
 TEST(Oracle, MakeOracleRejectsBadInput) {
-  EXPECT_THROW(make_oracle({}, {}, {"x", true, {}}), std::logic_error);
-  EXPECT_THROW(make_oracle({{0, 1}, {1}}, {}, {"x", true, {}}),
+  EXPECT_THROW(make_oracle({}, {}, {"x", true, {}, {}}), std::logic_error);
+  EXPECT_THROW(make_oracle({{0, 1}, {1}}, {}, {"x", true, {}, {}}),
                std::logic_error);
   // Parent 2-cycle must be detected, not looped on.
   std::vector<std::vector<Weight>> dist{{0, 1, 1}, {1, 0, 0}, {1, 0, 0}};
   std::vector<std::vector<NodeId>> parent{
       {kNoNode, 2, 1}, {2, kNoNode, 0}, {1, 0, kNoNode}};
-  EXPECT_THROW(make_oracle(dist, parent, {"x", true, {}}), std::logic_error);
+  EXPECT_THROW(make_oracle(dist, parent, {"x", true, {}, {}}), std::logic_error);
 }
 
 // ---------------------------------------------------------------------------
@@ -244,6 +244,30 @@ TEST(QueryService, StatsCountersPerType) {
   const std::string s = st.summary();
   EXPECT_NE(s.find("queries=4"), std::string::npos);
   EXPECT_NE(s.find("dist[n=2"), std::string::npos);
+}
+
+TEST(QueryService, ProfiledBuildSurfacesCritpathInStats) {
+  const Graph g = graph::path(24, {1, 3, 0.0}, 5);
+  const DistanceOracle o =
+      build_oracle(g, {Solver::kPipelined, 0, 0.5, /*critpath=*/true});
+  ASSERT_FALSE(o.meta().critpath.empty());
+  EXPECT_GT(o.meta().critpath.chain_len, 0u);
+  EXPECT_GT(o.meta().critpath.total_ns, 0u);
+
+  const QueryService svc(build_oracle(g, {Solver::kPipelined, 0, 0.5, true}));
+  const ServiceStats st = svc.stats();
+  EXPECT_FALSE(st.last_build_critpath.empty());
+  EXPECT_NE(st.summary().find("critpath[runs="), std::string::npos);
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  st.write_json(w);
+  EXPECT_TRUE(obs::json_valid(os.str())) << os.str();
+  EXPECT_NE(os.str().find("\"critpath\""), std::string::npos);
+
+  // A reference build has no engine run to profile: the flag is a no-op.
+  const DistanceOracle ref =
+      build_oracle(g, {Solver::kReference, 0, 0.5, true});
+  EXPECT_TRUE(ref.meta().critpath.empty());
 }
 
 TEST(QueryService, StatsCompose) {
