@@ -121,12 +121,18 @@ void run_pipelined_cycle(benchmark::State& state, bool dense) {
 void BM_PipelinedCycleSparse(benchmark::State& state) {
   run_pipelined_cycle(state, /*dense=*/false);
 }
-BENCHMARK(BM_PipelinedCycleSparse)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PipelinedCycleSparse)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_PipelinedCycleDense(benchmark::State& state) {
   run_pipelined_cycle(state, /*dense=*/true);
 }
-BENCHMARK(BM_PipelinedCycleDense)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PipelinedCycleDense)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_EngineFloodRound(benchmark::State& state) {
   const auto n = static_cast<graph::NodeId>(state.range(0));

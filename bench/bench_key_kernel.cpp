@@ -1,0 +1,150 @@
+// Microbenchmarks (google-benchmark) for the exact kappa arithmetic: the
+// scalar GammaSq routines (always 128-bit) against the KappaKernel's hoisted
+// u64 fast path and its batched span entry points.  Both sides are
+// bit-identical (tests/key_test.cpp proves it exhaustively); the ratio here
+// is the pure cost of re-deriving overflow bounds per call plus the 128-bit
+// detour the kernel avoids.
+//
+// Two gamma regimes per benchmark:
+//   paper   gamma^2 = k*h/Delta with small operands -- every element stays
+//           on the kernel's u64 fast lane (the common solver regime)
+//   huge    gamma^2 with ~2^31-scale terms -- distances near the fast-path
+//           boundary, so the kernel mixes fast-lane and 128-bit fallback
+// Wired into scripts/run_all.sh via the build/bench/bench_* glob; JSON lands
+// in BENCH_bench_key_kernel.json.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/key.hpp"
+#include "harness.hpp"
+
+namespace {
+
+using dapsp::core::GammaSq;
+using dapsp::core::KappaKernel;
+using dapsp::core::Key;
+
+constexpr std::size_t kBatch = 4096;
+
+GammaSq regime(std::int64_t which) {
+  // 0: the paper's gamma for k=16 sources, h=256 hops, Delta=1000.
+  // 1: numerator/denominator large enough that d values below push the
+  //    squared products past 2^64 and force the exact 128-bit route.
+  return which == 0 ? GammaSq::paper(16, 256, 1000)
+                    : GammaSq{(1ull << 31) + 7, (1ull << 29) + 3};
+}
+
+std::vector<Key> make_keys(std::int64_t which) {
+  // Deterministic splitmix-style stream; "huge" scales distances to straddle
+  // the kernel's d_fast_/a_fast_ boundaries.
+  std::vector<Key> keys(kBatch);
+  std::uint64_t s = 0x9e3779b97f4a7c15ull;
+  const std::int64_t dmax = which == 0 ? 100000 : (1ll << 33);
+  for (Key& k : keys) {
+    s += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = s;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    k.d = static_cast<std::int64_t>(z % static_cast<std::uint64_t>(dmax));
+    k.l = static_cast<std::uint32_t>(z >> 56);
+  }
+  return keys;
+}
+
+void BM_CeilKappaScalarGamma(benchmark::State& state) {
+  const GammaSq gamma = regime(state.range(0));
+  const std::vector<Key> keys = make_keys(state.range(0));
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    for (const Key& k : keys) acc += k.ceil_kappa(gamma);
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(BM_CeilKappaScalarGamma)->Arg(0)->Arg(1);
+
+void BM_CeilKappaKernel(benchmark::State& state) {
+  const KappaKernel kernel(regime(state.range(0)));
+  const std::vector<Key> keys = make_keys(state.range(0));
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    for (const Key& k : keys) acc += kernel.ceil_kappa(k);
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(BM_CeilKappaKernel)->Arg(0)->Arg(1);
+
+void BM_CeilKappaKernelSpan(benchmark::State& state) {
+  const KappaKernel kernel(regime(state.range(0)));
+  const std::vector<Key> keys = make_keys(state.range(0));
+  std::vector<std::uint64_t> out(keys.size());
+  for (auto _ : state) {
+    kernel.ceil_kappa_span(keys, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(BM_CeilKappaKernelSpan)->Arg(0)->Arg(1);
+
+void BM_CompareScalarGamma(benchmark::State& state) {
+  const GammaSq gamma = regime(state.range(0));
+  const std::vector<Key> keys = make_keys(state.range(0));
+  const Key probe = keys[kBatch / 2];
+  std::int64_t acc = 0;
+  for (auto _ : state) {
+    for (const Key& k : keys) acc += k.compare(probe, gamma);
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(BM_CompareScalarGamma)->Arg(0)->Arg(1);
+
+void BM_CompareKernel(benchmark::State& state) {
+  const KappaKernel kernel(regime(state.range(0)));
+  const std::vector<Key> keys = make_keys(state.range(0));
+  const Key probe = keys[kBatch / 2];
+  std::int64_t acc = 0;
+  for (auto _ : state) {
+    for (const Key& k : keys) acc += kernel.compare(k, probe);
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(BM_CompareKernel)->Arg(0)->Arg(1);
+
+void BM_CompareKernelSpan(benchmark::State& state) {
+  const KappaKernel kernel(regime(state.range(0)));
+  const std::vector<Key> keys = make_keys(state.range(0));
+  const Key probe = keys[kBatch / 2];
+  std::vector<int> out(keys.size());
+  for (auto _ : state) {
+    kernel.compare_span(probe, keys, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(BM_CompareKernelSpan)->Arg(0)->Arg(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dapsp::bench::banner(
+      "KEY-KERNEL",
+      "Exact kappa arithmetic: scalar GammaSq routines vs the KappaKernel "
+      "fast path (Arg 0 = paper gamma, Arg 1 = overflow-boundary gamma).");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -12,8 +12,18 @@
 #
 # Extra arguments are forwarded to the bench binary, e.g.:
 #   scripts/bench_engine.sh --benchmark_min_time=0.01s
+#
+# --compare OLD.json NEW.json skips the run and instead diffs two previously
+# captured benchmark JSON files via scripts/bench_compare.py (per-scenario
+# real_time and critpath_ns deltas; exits non-zero on a >5% real_time
+# regression -- tune with --threshold PCT placed after the two files).
 set -e
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--compare" ]; then
+  shift
+  exec python3 scripts/bench_compare.py "$@"
+fi
 
 if [ -f build/build.ninja ]; then
   cmake --build build --target bench_engine_micro

@@ -49,6 +49,7 @@ void write_table(const DistOutput& r, bool quiet, std::ostream& out) {
   out << "algorithm: " << r.algo << "\n"
       << "rounds: " << r.stats.rounds << " (bound " << r.bound << ")\n"
       << "messages: " << r.stats.total_messages
+      << "  bytes: " << r.stats.message_bytes
       << "  max-link-congestion: " << r.stats.max_link_congestion << "\n"
       << "round-msgs: " << r.stats.round_messages_hist.summary() << "\n";
   if (r.stats.faults.any()) {
@@ -87,6 +88,7 @@ void write_json(const DistOutput& r, bool quiet, std::ostream& out) {
       .field("rounds", static_cast<std::uint64_t>(r.stats.rounds))
       .field("bound", r.bound)
       .field("messages", r.stats.total_messages)
+      .field("message_bytes", r.stats.message_bytes)
       .field("max_link_congestion", r.stats.max_link_congestion)
       .field("max_link_total", r.stats.max_link_total)
       .field("skipped_rounds", static_cast<std::uint64_t>(r.stats.skipped_rounds));
@@ -476,10 +478,15 @@ int cmd_profile(const Options& opt, const Graph& g,
                 const obs::TraceRecorder& rec, std::ostream& out) {
   const auto t0 = std::chrono::steady_clock::now();
   std::string target;
+  congest::RunStats run_stats;
   if (!opt.sources.empty()) {
-    target = run_kssp(opt, g).algo;
+    DistOutput r = run_kssp(opt, g);
+    target = std::move(r.algo);
+    run_stats = std::move(r.stats);
   } else {
-    target = service::build_oracle(g, make_build_options(opt)).solver_label();
+    const auto oracle = service::build_oracle(g, make_build_options(opt));
+    target = oracle.solver_label();
+    run_stats = oracle.build_stats();
   }
   const auto wall_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -501,6 +508,9 @@ int cmd_profile(const Options& opt, const Graph& g,
         .field("n", static_cast<std::uint64_t>(g.node_count()))
         .field("m", static_cast<std::uint64_t>(g.comm_edge_count()))
         .field("wall_ns", wall_ns)
+        .field("messages", run_stats.total_messages)
+        .field("message_bytes", run_stats.message_bytes)
+        .field("deliver_s", run_stats.deliver_seconds)
         .field("chain_le_wall", chain_le_wall)
         .field("chain_ge_max_phase", chain_ge_max_phase);
     w.key("critpath");
@@ -512,7 +522,10 @@ int cmd_profile(const Options& opt, const Graph& g,
            << "graph: n=" << g.node_count() << " m=" << g.comm_edge_count()
            << "\n"
            << "wall: " << std::fixed << std::setprecision(2)
-           << (static_cast<double>(wall_ns) / 1e6) << "ms\n";
+           << (static_cast<double>(wall_ns) / 1e6) << "ms\n"
+           << "deliver: messages=" << run_stats.total_messages
+           << " bytes=" << run_stats.message_bytes << " ("
+           << (run_stats.deliver_seconds * 1e3) << "ms)\n";
     buffer.unsetf(std::ios::fixed);
     obs::write_critpath_table(rep, buffer);
     buffer << "check: chain<=wall " << (chain_le_wall ? "yes" : "NO")
@@ -555,6 +568,24 @@ class FaultScope {
   bool installed_ = false;
 };
 
+/// Process-wide worker pinning for the duration of one command (--pin):
+/// every engine the command constructs pins its resolved pool's workers.
+/// RAII clears the override so library callers never inherit it.
+class PinScope {
+ public:
+  explicit PinScope(const Options& opt) : installed_(opt.pin) {
+    if (installed_) congest::Engine::set_force_pin(true);
+  }
+  ~PinScope() {
+    if (installed_) congest::Engine::set_force_pin(false);
+  }
+  PinScope(const PinScope&) = delete;
+  PinScope& operator=(const PinScope&) = delete;
+
+ private:
+  bool installed_;
+};
+
 }  // namespace
 
 Graph make_input_graph(const Options& opt) {
@@ -584,6 +615,7 @@ int run_command(const Options& opt, std::ostream& out, std::ostream& err) {
     const Graph g = make_input_graph(opt);
     const TraceScope trace(opt);
     const FaultScope faults(opt);
+    const PinScope pin(opt);
     int rc = 0;
     switch (opt.command) {
       case Command::kGen:

@@ -122,6 +122,8 @@ Options parse_options(const std::vector<std::string>& args) {
       const std::int64_t v = parse_int(a, next_value(a));
       if (v < 0) fail("--threads must be >= 0");
       opt.threads = static_cast<std::size_t>(v);
+    } else if (a == "--pin") {
+      opt.pin = true;
     } else if (a == "--cache") {
       const std::int64_t v = parse_int(a, next_value(a));
       if (v < 0) fail("--cache must be >= 0");
@@ -238,6 +240,7 @@ service (serve/query; query lines are "dist U V" | "next U V" | "path U V"):
   --q "path 0 5"           add one query (repeatable)
   --queries FILE           read query lines from FILE
   --threads N              batch query workers (0 = hardware)     [0]
+  --pin                    pin engine worker threads to CPUs (Linux)
   --cache N                path-cache capacity (0 disables)       [4096]
   --shards N               vertex-range oracle shards             [1]
   --max-batch N            largest accepted batch                 [65536]

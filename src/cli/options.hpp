@@ -55,6 +55,7 @@ struct Options {
   std::optional<std::string> queries_file;  // protocol lines for serve/query
   std::vector<std::string> query_strings;   // repeated --q "path 0 5"
   std::size_t threads = 0;                  // batch workers; 0 = hardware
+  bool pin = false;                         // pin engine worker threads
   std::size_t cache_capacity = 4096;        // cached paths; 0 disables
   std::size_t shards = 1;                   // vertex-range oracle shards
   std::size_t max_batch = 1 << 16;          // largest accepted batch

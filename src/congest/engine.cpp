@@ -20,6 +20,7 @@ namespace {
 // they are latched in the Engine constructor, and tests set them between
 // solver runs, never concurrently with engine construction.
 bool g_force_dense = false;
+bool g_force_pin = false;
 std::size_t g_force_threads = Engine::kNoThreadOverride;
 obs::TraceRecorder* g_global_recorder = nullptr;
 const FaultPlan* g_global_fault_plan = nullptr;
@@ -28,6 +29,10 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+double seconds_between(Clock::time_point start, Clock::time_point end) {
+  return std::chrono::duration<double>(end - start).count();
 }
 
 std::uint64_t to_ns(double seconds) {
@@ -49,6 +54,8 @@ bool Engine::force_dense() noexcept { return g_force_dense; }
 void Engine::set_force_threads(std::size_t threads) noexcept {
   g_force_threads = threads;
 }
+void Engine::set_force_pin(bool on) noexcept { g_force_pin = on; }
+bool Engine::force_pin() noexcept { return g_force_pin; }
 void Engine::set_global_recorder(obs::TraceRecorder* rec) noexcept {
   g_global_recorder = rec;
 }
@@ -96,6 +103,9 @@ void NodeContext::broadcast(const Message& m) {
 
 void Engine::enqueue(NodeId from, std::size_t slot, const Message& m) {
   Outbox& ob = out_[from];
+  // Only this sender's own worker writes its mark byte; the pool join
+  // publishes it before deliver() scans the array.
+  sent_mark_[from] = 1;
   if (link_cnt_[slot]++ == 0) {
     ob.touched.push_back(static_cast<std::uint32_t>(slot));
   } else {
@@ -125,6 +135,7 @@ Engine::Engine(const Graph& g, std::vector<std::unique_ptr<Protocol>> protocols,
   } else {
     pool_ = &util::ThreadPool::global();
   }
+  if (options_.pin_threads || g_force_pin) pool_->pin_threads();
 
   link_base_.resize(n + 1, 0);
   for (NodeId v = 0; v < n; ++v) {
@@ -136,6 +147,7 @@ Engine::Engine(const Graph& g, std::vector<std::unique_ptr<Protocol>> protocols,
   link_off_.assign(links, 0);
   link_lifetime_count_.assign(links, 0);
   out_.resize(n);
+  sent_mark_.assign(n, 0);
   inbox_.resize(n);
   inbox_mark_.assign(n, 0);
 
@@ -180,6 +192,8 @@ Engine::Engine(const Graph& g, std::vector<std::unique_ptr<Protocol>> protocols,
     in_next_.assign(n, 0);
     active_next_.reserve(n);
   }
+  track_quiet_ = faults_ == nullptr;
+  if (track_quiet_) quiet_.assign(n, 0);
   contexts_.reserve(n);
   for (NodeId v = 0; v < n; ++v) contexts_.emplace_back(*this, v);
 
@@ -208,6 +222,7 @@ std::size_t Engine::link_slot(NodeId from, NodeId to) const {
 }
 
 bool Engine::all_quiescent() const {
+  if (track_quiet_) return nonquiet_ == 0;
   if (faults_ != nullptr && faults_->plan().has_crashes()) {
     // A crashed node that never revives can never act again; waiting on its
     // quiescent() would spin the run to max_rounds.  A node that will revive
@@ -220,6 +235,41 @@ bool Engine::all_quiescent() const {
   }
   return std::all_of(protocols_.begin(), protocols_.end(),
                      [](const auto& p) { return p->quiescent(); });
+}
+
+void Engine::refresh_quiescence() {
+  // Senders and receivers may overlap; the update is idempotent so the
+  // double query is harmless (and rare).
+  const auto update = [&](NodeId v) {
+    const std::uint8_t q = protocols_[v]->quiescent() ? 1 : 0;
+    if (q != quiet_[v]) {
+      quiet_[v] = q;
+      nonquiet_ += q ? std::uint64_t(-1) : std::uint64_t(1);
+    }
+  };
+  for (const NodeId v : touched_senders_) update(v);
+  for (const NodeId v : receivers_) update(v);
+}
+
+std::size_t Engine::plane_capacity_bytes() const {
+  std::size_t bytes = 0;
+  for (const Outbox& ob : out_) {
+    bytes += ob.slots.capacity() * sizeof(std::uint32_t) +
+             ob.touched.capacity() * sizeof(std::uint32_t) +
+             ob.pos.capacity() * sizeof(std::uint32_t) +
+             ob.msgs.capacity_bytes() + ob.sorted.capacity_bytes();
+  }
+  for (const auto& in : inbox_) bytes += in.capacity() * sizeof(Envelope);
+  bytes += touched_senders_.capacity() * sizeof(NodeId) +
+           receivers_.capacity() * sizeof(NodeId) +
+           partials_.capacity() * sizeof(SenderPartial) +
+           msg_scratch_.capacity() * sizeof(Message) +
+           heap_.capacity() * sizeof(std::pair<Round, NodeId>) +
+           active_next_.capacity() * sizeof(NodeId) +
+           active_now_.capacity() * sizeof(NodeId) +
+           link_scratch_.capacity() *
+               sizeof(std::pair<std::uint64_t, std::uint32_t>);
+  return bytes;
 }
 
 // --- sparse scheduler ------------------------------------------------------
@@ -368,16 +418,18 @@ void Engine::record_work_items() {
 
 void Engine::gather_inbox(NodeId v) {
   auto& in = inbox_[v];
-  in.clear();
+  in.clear();  // already empty by the deferred-clear invariant; kept cheap
   const std::size_t end = in_base_[v + 1];
   for (std::size_t i = in_base_[v]; i < end; ++i) {
     const auto& [from, slot] = in_links_[i];
     const std::uint32_t cnt = link_cnt_[slot];
     if (cnt == 0) continue;
     const Outbox& ob = out_[from];
-    const Message* src =
-        (ob.has_dup ? ob.sorted.data() : ob.msgs.data()) + link_off_[slot];
-    for (std::uint32_t j = 0; j < cnt; ++j) in.push_back({from, src[j]});
+    const MessageColumns& src = ob.has_dup ? ob.sorted : ob.msgs;
+    const std::uint32_t off = link_off_[slot];
+    for (std::uint32_t j = 0; j < cnt; ++j) {
+      src.append_envelope(off + j, from, in);
+    }
   }
   if (options_.scramble_inbox && in.size() > 1) {
     util::Xoshiro256 rng(options_.scramble_seed ^ (v * 0x9e3779b9ULL) ^
@@ -392,35 +444,47 @@ void Engine::gather_inbox(NodeId v) {
 /// deterministic order: sender ascending, links in first-touch order, and
 /// send order within a link.
 void Engine::trace_messages() {
+  if (msg_scratch_.empty()) msg_scratch_.resize(1);
+  Message& m = msg_scratch_[0];
   for (const NodeId sender : touched_senders_) {
     const Outbox& ob = out_[sender];
+    const MessageColumns& src = ob.has_dup ? ob.sorted : ob.msgs;
     for (const std::uint32_t slot : ob.touched) {
-      const Message* src =
-          (ob.has_dup ? ob.sorted.data() : ob.msgs.data()) + link_off_[slot];
+      const std::uint32_t off = link_off_[slot];
       const std::uint32_t cnt = link_cnt_[slot];
       for (std::uint32_t j = 0; j < cnt; ++j) {
-        options_.trace->on_message(round_, sender, link_target_[slot], src[j]);
+        src.materialize(off + j, m);
+        options_.trace->on_message(round_, sender, link_target_[slot], m);
       }
     }
   }
 }
 
-void Engine::deliver(DeliverScope scope) {
-  const auto t0 = Clock::now();
+Engine::ClockTp Engine::deliver(DeliverScope scope, ClockTp t0) {
   const NodeId n = graph_.node_count();
 
-  // 1. Collect this round's senders.  The all-nodes scan yields ascending
-  // order; the active-only path sorts so accounting, tracing, and lifetime
-  // updates happen in the dense engine's order regardless of how the active
-  // set was assembled.
+  // 0. Deferred inbox clearing: only the previous round's receivers hold
+  // envelopes (see the invariant at inbox_'s declaration), so clearing that
+  // list restores the all-empty state without touching the other n inboxes.
+  // The fault plane clears on first touch in release() instead, and its
+  // receive loops never read untouched inboxes.
+  if (faults_ == nullptr) {
+    for (const NodeId v : receivers_) inbox_[v].clear();
+  }
+
+  // 1. Collect this round's senders from the mark bytes (contiguous scan,
+  // no outbox-struct probing).  The all-nodes scan yields ascending order;
+  // the active-only path sorts so accounting, tracing, and lifetime updates
+  // happen in the dense engine's order regardless of how the active set was
+  // assembled.
   touched_senders_.clear();
   if (scope == DeliverScope::kAllNodes) {
     for (NodeId v = 0; v < n; ++v) {
-      if (!out_[v].slots.empty()) touched_senders_.push_back(v);
+      if (sent_mark_[v]) touched_senders_.push_back(v);
     }
   } else {
     for (const NodeId v : active_now_) {
-      if (!out_[v].slots.empty()) touched_senders_.push_back(v);
+      if (sent_mark_[v]) touched_senders_.push_back(v);
     }
     std::sort(touched_senders_.begin(), touched_senders_.end());
   }
@@ -434,24 +498,25 @@ void Engine::deliver(DeliverScope scope) {
     const NodeId v = touched_senders_[i];
     Outbox& ob = out_[v];
     if (!ob.has_dup) {
-      // Every touched link carries exactly one message: its arena offset is
-      // simply the send index.
+      // Every touched link carries exactly one message: its columns offset
+      // is simply the send index.
       for (std::size_t j = 0; j < ob.slots.size(); ++j) {
         link_off_[ob.slots[j]] = static_cast<std::uint32_t>(j);
       }
     } else {
       // Group messages per link, preserving send order: prefix ends over the
-      // touched links, then a backward scatter that rewinds each cursor to
-      // its start offset.
+      // touched links, a backward pass that rewinds each cursor to assign
+      // every send its grouped position, then one columnar scatter.
       std::uint32_t off = 0;
       for (const std::uint32_t s : ob.touched) {
         off += link_cnt_[s];
         link_off_[s] = off;
       }
-      ob.sorted.resize(ob.msgs.size());
+      ob.pos.resize(ob.slots.size());
       for (std::size_t j = ob.slots.size(); j-- > 0;) {
-        ob.sorted[--link_off_[ob.slots[j]]] = ob.msgs[j];
+        ob.pos[j] = --link_off_[ob.slots[j]];
       }
+      ob.sorted.assign_permuted(ob.msgs, ob.pos);
     }
     SenderPartial p;
     for (const std::uint32_t s : ob.touched) {
@@ -461,9 +526,11 @@ void Engine::deliver(DeliverScope scope) {
       link_lifetime_count_[s] += c;
       p.max_link_total = std::max(p.max_link_total, link_lifetime_count_[s]);
     }
-    for (const Message& m : ob.msgs) {
-      p.max_fields = std::max(p.max_fields, m.used);
-    }
+    // Bytes actually moved by delivery: an 8-byte (tag, used) header plus
+    // the used payload words per message -- deterministic, unlike the old
+    // whole-struct copies whose 72 bytes never showed up in any stat.
+    p.bytes = 8 * (ob.msgs.size() + ob.msgs.field_words());
+    p.max_fields = ob.msgs.max_used();
     partials_[i] = p;
   };
   if (touched_senders_.size() >= 1024) {
@@ -479,6 +546,7 @@ void Engine::deliver(DeliverScope scope) {
   std::uint64_t max_cong = 0;
   for (const SenderPartial& p : partials_) {
     round_messages_ += p.msgs;
+    stats_.message_bytes += p.bytes;
     max_cong = std::max(max_cong, p.max_cong);
     stats_.max_link_total = std::max(stats_.max_link_total, p.max_link_total);
     stats_.max_message_fields =
@@ -549,10 +617,15 @@ void Engine::deliver(DeliverScope scope) {
     faults_->begin_round();
     for (const NodeId sender : touched_senders_) {
       const Outbox& ob = out_[sender];
+      const MessageColumns& src = ob.has_dup ? ob.sorted : ob.msgs;
       for (const std::uint32_t slot : ob.touched) {
-        const Message* src =
-            (ob.has_dup ? ob.sorted.data() : ob.msgs.data()) + link_off_[slot];
-        faults_->admit(round_, slot, src, link_cnt_[slot]);
+        const std::uint32_t cnt = link_cnt_[slot];
+        const std::uint32_t off = link_off_[slot];
+        if (msg_scratch_.size() < cnt) msg_scratch_.resize(cnt);
+        for (std::uint32_t j = 0; j < cnt; ++j) {
+          src.materialize(off + j, msg_scratch_[j]);
+        }
+        faults_->admit(round_, slot, msg_scratch_.data(), cnt);
       }
     }
     receivers_.clear();
@@ -570,20 +643,11 @@ void Engine::deliver(DeliverScope scope) {
       }
     }
     stats_.faults += faults_->round_stats();
-  } else if (scope == DeliverScope::kAllNodes) {
-    receivers_.clear();
-    pool_->parallel_for(n, [&](std::size_t v) {
-      gather_inbox(static_cast<NodeId>(v));
-      // (dense path reads every inbox, so none is stale)
-    });
-    if (profile_) {
-      // The dense path normally only counts receivers; work-item recording
-      // needs the list itself (already ascending from the scan order).
-      for (NodeId v = 0; v < n; ++v) {
-        if (!inbox_[v].empty()) receivers_.push_back(v);
-      }
-    }
   } else {
+    // Both schedules derive the receiver set from the touched links and
+    // gather only those inboxes; all other inboxes are empty by the
+    // deferred-clear invariant, so the dense oracle's exhaustive receive
+    // loop still sees exactly what an all-nodes gather produced.
     receivers_.clear();
     for (const NodeId sender : touched_senders_) {
       for (const std::uint32_t slot : out_[sender].touched) {
@@ -609,28 +673,25 @@ void Engine::deliver(DeliverScope scope) {
     ob.msgs.clear();
     ob.touched.clear();
     ob.has_dup = false;
+    sent_mark_[sender] = 0;
   }
-  const double dt = seconds_since(t0);
+  const auto t1 = Clock::now();
+  const double dt = seconds_between(t0, t1);
   stats_.deliver_seconds += dt;
   stats_.deliver_ns_hist.record(to_ns(dt));
   if (trace_event_ != nullptr) {
     trace_event_->deliver_s = dt;
+    trace_event_->receivers = static_cast<std::uint32_t>(receivers_.size());
     if (faults_ != nullptr) {
-      trace_event_->receivers = static_cast<std::uint32_t>(receivers_.size());
       const FaultStats& fs = faults_->round_stats();
       trace_event_->faults_dropped = fs.dropped;
       trace_event_->faults_duplicated = fs.duplicated;
       trace_event_->faults_delayed = fs.delayed;
       trace_event_->faults_deferred = fs.deferred;
       trace_event_->faults_crash_dropped = fs.crash_dropped;
-    } else if (scope == DeliverScope::kAllNodes) {
-      std::uint32_t receivers = 0;
-      for (NodeId v = 0; v < n; ++v) receivers += !inbox_[v].empty();
-      trace_event_->receivers = receivers;
-    } else {
-      trace_event_->receivers = static_cast<std::uint32_t>(receivers_.size());
     }
   }
+  return t1;
 }
 
 // --- rounds ----------------------------------------------------------------
@@ -655,11 +716,11 @@ void Engine::run_init_round() {
       protocols_[v]->init(contexts_[v]);
     }
   });
-  const double send_dt = seconds_since(t0);
+  const auto ts = Clock::now();
+  const double send_dt = seconds_between(t0, ts);
   stats_.send_seconds += send_dt;
   stats_.send_ns_hist.record(to_ns(send_dt));
-  deliver(DeliverScope::kAllNodes);
-  const auto t1 = Clock::now();
+  const auto td = deliver(DeliverScope::kAllNodes, ts);
   if (faults_ != nullptr) {
     // Only nodes the fault plane actually delivered to run a receive phase
     // (an empty-inbox receive is a no-op by the Protocol contract, and the
@@ -687,9 +748,20 @@ void Engine::run_init_round() {
       }
     });
   }
-  const double recv_dt = seconds_since(t1);
+  const auto te = Clock::now();
+  const double recv_dt = seconds_between(td, te);
+  last_tick_ = te;
   stats_.receive_seconds += recv_dt;
   stats_.receive_ns_hist.record(to_ns(recv_dt));
+  if (track_quiet_) {
+    // Every node ran init, so the cache seeds from a full scan.
+    nonquiet_ = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      const bool q = protocols_[v]->quiescent();
+      quiet_[v] = q ? 1 : 0;
+      nonquiet_ += q ? 0 : 1;
+    }
+  }
   if (profile_) record_work_items();
   if (trace_event_ != nullptr) {
     trace_event_->send_s = send_dt;
@@ -725,7 +797,7 @@ std::uint64_t Engine::step() {
   double recv_dt = 0.0;
   if (dense_) {
     const NodeId n = graph_.node_count();
-    const auto t0 = Clock::now();
+    const auto t0 = chain_ticks_ ? last_tick_ : Clock::now();
     pool_->parallel_for(n, [&](std::size_t v) {
       if (faults_ != nullptr &&
           faults_->node_down(static_cast<NodeId>(v), round_)) {
@@ -740,11 +812,11 @@ std::uint64_t Engine::step() {
         protocols_[v]->send_phase(contexts_[v]);
       }
     });
-    send_dt = seconds_since(t0);
+    const auto ts = Clock::now();
+    send_dt = seconds_between(t0, ts);
     stats_.send_seconds += send_dt;
     stats_.send_ns_hist.record(to_ns(send_dt));
-    deliver(DeliverScope::kAllNodes);
-    const auto t1 = Clock::now();
+    const auto td = deliver(DeliverScope::kAllNodes, ts);
     if (faults_ != nullptr) {
       pool_->parallel_for(receivers_.size(), [&](std::size_t i) {
         const NodeId v = receivers_[i];
@@ -769,10 +841,12 @@ std::uint64_t Engine::step() {
         }
       });
     }
-    recv_dt = seconds_since(t1);
+    const auto te = Clock::now();
+    recv_dt = seconds_between(td, te);
+    last_tick_ = te;
   } else {
     build_active_set();
-    const auto t0 = Clock::now();
+    const auto t0 = chain_ticks_ ? last_tick_ : Clock::now();
     pool_->parallel_for(active_now_.size(), [&](std::size_t i) {
       const NodeId v = active_now_[i];
       if (faults_ != nullptr && faults_->node_down(v, round_)) return;
@@ -786,11 +860,11 @@ std::uint64_t Engine::step() {
       }
     });
     reschedule_after_phase(active_now_);
-    send_dt = seconds_since(t0);
+    const auto ts = Clock::now();
+    send_dt = seconds_between(t0, ts);
     stats_.send_seconds += send_dt;
     stats_.send_ns_hist.record(to_ns(send_dt));
-    deliver(DeliverScope::kActiveOnly);
-    const auto t1 = Clock::now();
+    const auto td = deliver(DeliverScope::kActiveOnly, ts);
     pool_->parallel_for(receivers_.size(), [&](std::size_t i) {
       const NodeId v = receivers_[i];
       contexts_[v].rebind(round_, inbox_[v], /*may_send=*/false);
@@ -803,10 +877,13 @@ std::uint64_t Engine::step() {
       }
     });
     reschedule_after_phase(receivers_);
-    recv_dt = seconds_since(t1);
+    const auto te = Clock::now();
+    recv_dt = seconds_between(td, te);
+    last_tick_ = te;
   }
   stats_.receive_seconds += recv_dt;
   stats_.receive_ns_hist.record(to_ns(recv_dt));
+  if (track_quiet_) refresh_quiescence();
   if (profile_) record_work_items();
   if (trace_event_ != nullptr) {
     trace_event_->send_s = send_dt;
@@ -818,10 +895,21 @@ std::uint64_t Engine::step() {
 }
 
 RunStats Engine::run() {
-  if (!init_done_) run_init_round();
+  if (!init_done_) {
+    run_init_round();
+    chain_ticks_ = true;  // last_tick_ was taken moments ago, safe to reuse
+  }
+  // Chain round-boundary ticks only while this loop is driving: a tick left
+  // over from an external step() call could be arbitrarily stale, so the
+  // flag stays off until the first step below refreshes it.
+  struct ChainGuard {
+    bool& flag;
+    ~ChainGuard() { flag = false; }
+  } guard{chain_ticks_};
 
   while (round_ < options_.max_rounds) {
     const std::uint64_t sent = step();
+    chain_ticks_ = true;
     const bool frames_pending = faults_ != nullptr && faults_->has_pending();
     if (options_.stop_on_quiescence && sent == 0 && !frames_pending &&
         all_quiescent()) {

@@ -37,6 +37,7 @@
 // termination arguments are their round bounds, which tests assert.
 #pragma once
 
+#include <chrono>
 #include <limits>
 #include <memory>
 #include <span>
@@ -193,6 +194,10 @@ struct EngineOptions {
   /// Worker threads for node execution; 0 = use the process-global pool.
   /// Results are bit-identical for every value (tested).
   std::size_t threads = 0;
+  /// Pin the resolved pool's worker threads round-robin across CPUs
+  /// (Linux-only; a no-op elsewhere).  Pure scheduling hint: results are
+  /// bit-identical with pinning on or off.
+  bool pin_threads = false;
   /// Optional message observer (not owned; must outlive the engine).
   TraceSink* trace = nullptr;
   /// Optional per-round trace recorder (not owned; must outlive the
@@ -280,6 +285,10 @@ class Engine {
   static void set_force_dense(bool on) noexcept;
   static bool force_dense() noexcept;
   static void set_force_threads(std::size_t threads) noexcept;
+  /// Force worker pinning for every subsequently constructed engine (how the
+  /// CLI's --pin flag reaches engines built deep inside the solvers).
+  static void set_force_pin(bool on) noexcept;
+  static bool force_pin() noexcept;
 
   /// Process-wide trace recorder, latched by every subsequently constructed
   /// engine whose options carry no recorder of their own.  This is how the
@@ -296,6 +305,13 @@ class Engine {
   static void set_global_fault_plan(const FaultPlan* plan) noexcept;
   static const FaultPlan* global_fault_plan() noexcept;
 
+  /// Heap bytes currently reserved by the reusable message plane (outbox
+  /// columns, inboxes, scheduler and accounting scratch).  All of it is
+  /// grow-only across rounds, so once a run reaches steady state this value
+  /// stops changing -- the zero-allocation tests assert exactly that.  Host
+  /// observability, never part of the deterministic stats.
+  std::size_t plane_capacity_bytes() const;
+
   // Low-level send plumbing for Context implementations (not for protocol
   // code; protocols must go through Context so the phase rules hold).
   std::size_t link_slot(NodeId from, NodeId to) const;
@@ -303,15 +319,29 @@ class Engine {
   void enqueue(NodeId from, std::size_t slot, const Message& m);
 
  private:
+  using ClockTp = std::chrono::steady_clock::time_point;
+
   /// How deliver() discovers work: every node (init round / dense path) or
   /// only the senders that were active this round.
   enum class DeliverScope { kAllNodes, kActiveOnly };
 
   void run_init_round();
-  void deliver(DeliverScope scope);
+  /// Delivers this round's sends.  `t_start` is the timestamp taken at the
+  /// end of the send phase (which doubles as delivery start); deliver()
+  /// reads the clock once at its end and returns that timestamp so the
+  /// caller can time the receive phase off it.  Together with the run-loop
+  /// tick chaining (round end doubles as next round's start, see
+  /// last_tick_) a steady-state round reads the clock 3 times instead of 6.
+  ClockTp deliver(DeliverScope scope, ClockTp t_start);
   void gather_inbox(NodeId v);
   void trace_messages();
   bool all_quiescent() const;
+  /// Re-queries quiescent() for this round's senders and receivers and folds
+  /// the result into the cached non-quiescent count.  Sound because the
+  /// Protocol contract (see next_send_round) forbids quiescent() changing in
+  /// a round where the node neither sent nor received.  Disabled under
+  /// faults, where down-forever nodes need the bespoke scan.
+  void refresh_quiescence();
   /// Emits one obs::WorkItem per node that sent or received this round --
   /// a set (and ordering: node id ascending) that is identical for both
   /// schedulers and every thread count, so the critical path extracted
@@ -343,39 +373,65 @@ class Engine {
   RunStats stats_;
   Round round_ = 0;
   bool init_done_ = false;
+  /// Round-boundary tick chaining, active only inside run(): the timestamp
+  /// taken at the end of a round's receive phase doubles as the next
+  /// round's send-phase start, saving one clock read per round.  External
+  /// step() callers keep fresh starts -- otherwise the wall time they spend
+  /// between calls would be billed to send_seconds.
+  bool chain_ticks_ = false;
+  ClockTp last_tick_{};
 
   // --- zero-allocation message plane (steady state) ---
   //
-  // Each sender appends its round's messages to a flat per-node arena in
-  // send order; per directed link (CSR position in the sender's comm
-  // adjacency) only a count and an offset into that arena are kept.  All
-  // buffers are reused across rounds, so after warm-up a round allocates
-  // nothing.
+  // Each sender appends its round's messages to flat per-node columns
+  // (struct-of-arrays: tag stream + packed used-prefix payloads, see
+  // MessageColumns) in send order; per directed link (CSR position in the
+  // sender's comm adjacency) only a count and an offset into those columns
+  // are kept.  All buffers are reused across rounds, so after warm-up a
+  // round allocates nothing (plane_capacity_bytes() proves it).
   struct Outbox {
     std::vector<std::uint32_t> slots;   ///< global link slot per send
-    std::vector<Message> msgs;          ///< parallel to `slots`, send order
+    MessageColumns msgs;                ///< parallel to `slots`, send order
     std::vector<std::uint32_t> touched; ///< distinct slots, first-touch order
-    std::vector<Message> sorted;        ///< per-link-contiguous scatter buffer
+    MessageColumns sorted;              ///< per-link-contiguous scatter buffer
+    std::vector<std::uint32_t> pos;     ///< scatter permutation scratch
     bool has_dup = false;               ///< some link carries > 1 message
   };
   std::vector<std::size_t> link_base_;       // per node, into link arrays
   std::vector<NodeId> link_target_;          // receiver of each directed link
   std::vector<std::uint32_t> link_cnt_;      // messages this round, per link
-  std::vector<std::uint32_t> link_off_;      // start into sender arena
+  std::vector<std::uint32_t> link_off_;      // start into sender columns
   std::vector<std::uint64_t> link_lifetime_count_;  // per link, whole run
   std::vector<Outbox> out_;                  // per sender, reused
+  std::vector<std::uint8_t> sent_mark_;      // sender had sends this round
   std::vector<NodeId> touched_senders_;      // senders with messages, per round
   std::uint64_t round_messages_ = 0;         // messages this round
+  std::vector<Message> msg_scratch_;         // materialized view for
+                                             // faults/trace consumers
 
   // Per-sender accounting partials so the sender-side pass can run on the
   // pool and still reduce deterministically.
   struct SenderPartial {
     std::uint64_t msgs = 0;
+    std::uint64_t bytes = 0;
     std::uint64_t max_cong = 0;
     std::uint64_t max_link_total = 0;
     std::uint32_t max_fields = 0;
   };
   std::vector<SenderPartial> partials_;
+
+  // --- quiescence cache ---
+  //
+  // all_quiescent() used to scan every protocol on every silent executed
+  // round -- the dominant cost of sparse pipelined runs (profiled at ~32% of
+  // CPU on cycle/4096).  The Protocol contract pins quiescent() transitions
+  // to rounds where the node sends or receives, so the engine keeps a
+  // per-node flag plus a non-quiescent count and re-queries only this
+  // round's senders and receivers.  Off under faults (crash semantics need
+  // the bespoke scan).
+  bool track_quiet_ = false;
+  std::vector<std::uint8_t> quiet_;   // 1 = quiescent as of last query
+  std::uint64_t nonquiet_ = 0;        // number of zeros in quiet_
 
   // Incoming link list per receiver, flattened CSR: (sender, link slot),
   // sender-ascending per receiver.
@@ -385,6 +441,12 @@ class Engine {
   };
   std::vector<InLink> in_links_;
   std::vector<std::size_t> in_base_;  // per node, into in_links_
+  // Invariant between rounds (faultless path): every inbox is empty except
+  // those of the most recent round's receivers_.  deliver() clears exactly
+  // that list up front, so delivery touches O(senders + receivers) state
+  // instead of all n inboxes -- on the dense path too, whose exhaustive
+  // receive loop then reads empty spans for non-receivers (a no-op by the
+  // Protocol contract).
   std::vector<std::vector<Envelope>> inbox_;
   std::vector<NodeId> receivers_;         // non-empty inboxes this round
   std::vector<std::uint8_t> inbox_mark_;  // dedup while building receivers_

@@ -14,6 +14,7 @@ RunStats& RunStats::operator+=(const RunStats& o) {
   }
   rounds += o.rounds;
   total_messages += o.total_messages;
+  message_bytes += o.message_bytes;
   max_link_total = std::max(max_link_total, o.max_link_total);
   max_message_fields = std::max(max_message_fields, o.max_message_fields);
   hit_round_limit = hit_round_limit || o.hit_round_limit;
@@ -40,7 +41,7 @@ RunStats& RunStats::operator+=(const RunStats& o) {
 std::string RunStats::summary() const {
   std::ostringstream os;
   os << "rounds=" << rounds << " last_msg_round=" << last_message_round
-     << " messages=" << total_messages
+     << " messages=" << total_messages << " bytes=" << message_bytes
      << " max_congestion=" << max_link_congestion
      << " max_link_total=" << max_link_total;
   if (skipped_rounds > 0) os << " skipped=" << skipped_rounds;

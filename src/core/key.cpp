@@ -10,4 +10,28 @@ int list_order(const Key& a, NodeId xa, const Key& b, NodeId xb,
   return 0;
 }
 
+int list_order(const Key& a, NodeId xa, const Key& b, NodeId xb,
+               const KappaKernel& kernel) {
+  if (const int c = kernel.compare(a, b); c != 0) return c;
+  if (a.d != b.d) return a.d < b.d ? -1 : 1;
+  if (xa != xb) return xa < xb ? -1 : 1;
+  return 0;
+}
+
+void KappaKernel::ceil_kappa_span(std::span<const Key> keys,
+                                  std::span<std::uint64_t> out) const {
+  util::check(keys.size() == out.size(),
+              "KappaKernel::ceil_kappa_span: size mismatch");
+  for (std::size_t i = 0; i < keys.size(); ++i) out[i] = ceil_kappa(keys[i]);
+}
+
+void KappaKernel::compare_span(const Key& probe, std::span<const Key> keys,
+                               std::span<int> out) const {
+  util::check(keys.size() == out.size(),
+              "KappaKernel::compare_span: size mismatch");
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    out[i] = compare(keys[i], probe);
+  }
+}
+
 }  // namespace dapsp::core

@@ -11,8 +11,10 @@
 //   ceil(kappa + p)  =    ceil(d*sqrt(num/den)) + l + p     (p, l integers)
 #pragma once
 
+#include <cmath>
 #include <compare>
 #include <cstdint>
+#include <span>
 
 #include "graph/graph.hpp"
 #include "util/int_math.hpp"
@@ -73,5 +75,101 @@ struct Key {
 /// Returns <0, 0, >0.
 int list_order(const Key& a, NodeId xa, const Key& b, NodeId xb,
                const GammaSq& g);
+
+/// Batched kappa arithmetic under one fixed gamma.
+///
+/// The solvers' list maintenance evaluates ceil(d*gamma)+l and kappa
+/// comparisons in tight loops with gamma constant for the whole run.  The
+/// scalar routines re-derive everything from GammaSq per call and always
+/// take the 128-bit route; this kernel hoists the gamma reduction and the
+/// overflow thresholds once, then runs each element through a u64 fast path
+/// (one 64-bit divide + a hardware sqrt with integer fixup), falling back to
+/// the exact 128-bit arithmetic only when the squared products could exceed
+/// the precomputed bounds.  Results are bit-identical to Key::ceil_kappa /
+/// Key::compare for every input (tested exhaustively and at the overflow
+/// boundary).
+class KappaKernel {
+ public:
+  KappaKernel() : KappaKernel(GammaSq{}) {}
+  explicit KappaKernel(const GammaSq& g) : num_(g.num), den_(g.den) {
+    // Fast-path bound for ceil: d*d*num <= 2^60 keeps the integer fixup's
+    // products (m*m*den ~= d*d*num plus a few sqrt-sized correction terms)
+    // below 2^63.
+    d_fast_ = num_ == 0 ? std::uint64_t(-1)
+                        : util::isqrt_u128(u128_pow2(60) / num_);
+    // Fast-path bounds for compare: |a|^2*num and |b|^2*den must fit u64.
+    a_fast_ = num_ == 0 ? 0 : util::isqrt_u128((u128_pow2(64) - 1) / num_);
+    b_fast_ = util::isqrt_u128((u128_pow2(64) - 1) / den_);
+  }
+
+  /// == Key{d, l}.ceil_kappa(g).
+  std::uint64_t ceil_kappa(const Key& k) const {
+    return ceil_mul_sqrt(static_cast<std::uint64_t>(k.d)) + k.l;
+  }
+
+  /// out[i] = keys[i].ceil_kappa(g); spans must have equal size.
+  void ceil_kappa_span(std::span<const Key> keys,
+                       std::span<std::uint64_t> out) const;
+
+  /// == a.compare(b, g): sign of kappa(a) - kappa(b).
+  int compare(const Key& a, const Key& b) const {
+    const std::int64_t ad = a.d - b.d;
+    const std::int64_t bl =
+        static_cast<std::int64_t>(b.l) - static_cast<std::int64_t>(a.l);
+    if (num_ == 0) return (0 < bl) ? -1 : (0 > bl ? 1 : 0);
+    const bool lneg = ad < 0;
+    const bool rneg = bl < 0;
+    if (lneg != rneg) return lneg ? -1 : 1;
+    const std::uint64_t am =
+        lneg ? std::uint64_t(-(ad + 1)) + 1 : std::uint64_t(ad);
+    const std::uint64_t bm =
+        rneg ? std::uint64_t(-(bl + 1)) + 1 : std::uint64_t(bl);
+    if (am <= a_fast_ && bm <= b_fast_) {
+      const std::uint64_t aa = am * am * num_;
+      const std::uint64_t bb = bm * bm * den_;
+      const int raw = (aa < bb) ? -1 : (aa > bb ? 1 : 0);
+      return lneg ? -raw : raw;
+    }
+    return util::cmp_mul_sqrt(ad, num_, den_, bl);
+  }
+
+  /// out[i] = compare(keys[i], probe); spans must have equal size.
+  void compare_span(const Key& probe, std::span<const Key> keys,
+                    std::span<int> out) const;
+
+  std::uint64_t num() const noexcept { return num_; }
+  std::uint64_t den() const noexcept { return den_; }
+
+ private:
+  static util::u128 u128_pow2(unsigned bits) { return util::u128{1} << bits; }
+
+  std::uint64_t ceil_mul_sqrt(std::uint64_t d) const {
+    if (d == 0 || num_ == 0) return 0;
+    if (d <= d_fast_) {
+      const std::uint64_t prod = d * d * num_;  // <= 2^60 by construction
+      const std::uint64_t q = prod / den_;
+      // Hardware sqrt lands within a couple of ulps of isqrt(q); the fixup
+      // loops settle on the exact smallest m with m*m*den >= prod.  All
+      // products stay below 2^63 (q <= 2^60, so m is within 2 of sqrt(q)
+      // and m*m*den <= prod + O(sqrt(prod*den)) < 2^63).
+      std::uint64_t m =
+          static_cast<std::uint64_t>(std::sqrt(static_cast<double>(q)));
+      while (m * m * den_ < prod) ++m;
+      while (m > 0 && (m - 1) * (m - 1) * den_ >= prod) --m;
+      return m;
+    }
+    return util::ceil_mul_sqrt(d, num_, den_);
+  }
+
+  std::uint64_t num_;
+  std::uint64_t den_;
+  std::uint64_t d_fast_;  ///< largest d whose ceil stays on the u64 path
+  std::uint64_t a_fast_;  ///< largest |a| with a*a*num representable in u64
+  std::uint64_t b_fast_;  ///< largest |b| with b*b*den representable in u64
+};
+
+/// list_order under a prebuilt kernel (same result as the GammaSq overload).
+int list_order(const Key& a, NodeId xa, const Key& b, NodeId xb,
+               const KappaKernel& kernel);
 
 }  // namespace dapsp::core

@@ -30,6 +30,7 @@ struct SharedConfig {
   std::uint32_t h = 0;
   Weight delta = 0;
   GammaSq gamma;
+  KappaKernel kernel;  // batched/fast-path kappa arithmetic for this gamma
   ListPolicy policy = ListPolicy::kDominance;
   std::vector<NodeId> sources;
   std::vector<std::int32_t> source_index;  // node -> index in sources, or -1
@@ -83,7 +84,7 @@ class PipelinedProtocol final : public Protocol {
       z.key = Key{0, 0};
       z.source = self_;
       z.sp = true;
-      z.ck = z.key.ceil_kappa(cfg_.gamma);
+      z.ck = cfg_.kernel.ceil_kappa(z.key);
       list_.push_back(z);
     }
   }
@@ -168,6 +169,13 @@ class PipelinedProtocol final : public Protocol {
   }
 
   void receive_phase(Context& ctx) override {
+    // Parse-then-batch: the admission filters (tag, arc, source, hop
+    // budget) and the ceil(kappa) of each surviving candidate depend only
+    // on message content, so they run first and the kappa ceilings go
+    // through the kernel's span routine in one pass.  List examination
+    // stays in arrival order below, exactly as before.
+    pending_.clear();
+    pkeys_.clear();
     for (const Envelope& env : ctx.inbox()) {
       if (env.msg.tag != kTagEntry) continue;
       const auto w = arc_weight_from(env.from);
@@ -178,23 +186,35 @@ class PipelinedProtocol final : public Protocol {
       const Weight d = env.msg.f[1] + *w;
       const auto l = static_cast<std::uint32_t>(env.msg.f[2]) + 1;
       if (l > cfg_.h) continue;  // hop budget exhausted
-      const auto nu = static_cast<std::uint64_t>(env.msg.f[3]);
+      pending_.push_back(Pending{
+          env.from, x, sidx, static_cast<std::uint64_t>(env.msg.f[3])});
+      pkeys_.push_back(Key{d, l});
+    }
+    pck_.resize(pkeys_.size());
+    cfg_.kernel.ceil_kappa_span(pkeys_, pck_);
+
+    for (std::size_t pi = 0; pi < pending_.size(); ++pi) {
+      const Pending& pd = pending_[pi];
+      const NodeId x = pd.source;
+      const Weight d = pkeys_[pi].d;
+      const std::uint32_t l = pkeys_[pi].l;
+      const std::uint64_t nu = pd.nu;
 
       Entry z;
-      z.key = Key{d, l};
+      z.key = pkeys_[pi];
       z.source = x;
-      z.parent = env.from;
-      z.ck = z.key.ceil_kappa(cfg_.gamma);
+      z.parent = pd.from;
+      z.ck = pck_[pi];
 
-      const auto si = static_cast<std::size_t>(sidx);
-      if (d == best_d_[si] && l == best_l_[si] && env.from < best_p_[si]) {
+      const auto si = static_cast<std::size_t>(pd.sidx);
+      if (d == best_d_[si] && l == best_l_[si] && pd.from < best_p_[si]) {
         // Step 9's parent tie-break: same (d, l), smaller sender id.  The
         // key is identical to the current SP entry's, so update the parent
         // in place instead of inserting a twin.
-        best_p_[si] = env.from;
+        best_p_[si] = pd.from;
         settle_round_ = ctx.round();
         for (Entry& e : list_) {
-          if (e.source == x && e.sp) e.parent = env.from;
+          if (e.source == x && e.sp) e.parent = pd.from;
         }
         continue;
       }
@@ -208,7 +228,7 @@ class PipelinedProtocol final : public Protocol {
       if (better) {
         best_d_[si] = d;
         best_l_[si] = l;
-        best_p_[si] = env.from;
+        best_p_[si] = pd.from;
         settle_round_ = ctx.round();
         z.sp = true;
         const std::size_t at = insert_entry(z);
@@ -225,7 +245,7 @@ class PipelinedProtocol final : public Protocol {
         std::uint64_t gate_count = 0;
         for (const Entry& e : list_) {
           if (e.source != x) continue;
-          const int c = e.key.compare(z.key, cfg_.gamma);
+          const int c = cfg_.kernel.compare(e.key, z.key);
           if (c < 0 || (c == 0 && cfg_.policy == ListPolicy::kDominance)) {
             ++gate_count;
           }
@@ -266,7 +286,7 @@ class PipelinedProtocol final : public Protocol {
     // Position by (kappa, d, x); equal keys keep insertion order stable.
     auto it = std::lower_bound(
         list_.begin(), list_.end(), z, [&](const Entry& a, const Entry& b) {
-          return list_order(a.key, a.source, b.key, b.source, cfg_.gamma) < 0;
+          return list_order(a.key, a.source, b.key, b.source, cfg_.kernel) < 0;
         });
     it = list_.insert(it, z);
     const auto pos = static_cast<std::size_t>(it - list_.begin());
@@ -301,9 +321,22 @@ class PipelinedProtocol final : public Protocol {
     return pos;
   }
 
+  /// One inbox envelope that survived the cheap filters, staged so the
+  /// kappa ceilings of a whole round's arrivals are computed in one
+  /// batched kernel pass before list maintenance touches any of them.
+  struct Pending {
+    NodeId from;
+    NodeId source;
+    std::int32_t sidx;
+    std::uint64_t nu;
+  };
+
   const SharedConfig& cfg_;
   NodeId self_;
   std::vector<Entry> list_;
+  std::vector<Pending> pending_;        // per-round scratch, grow-only
+  std::vector<Key> pkeys_;              // keys of pending_ (same order)
+  std::vector<std::uint64_t> pck_;      // batched ceil_kappa of pkeys_
   std::vector<std::pair<NodeId, Weight>> in_weight_;  // sorted by sender
   std::vector<Weight> best_d_;
   std::vector<std::uint32_t> best_l_;
@@ -344,6 +377,7 @@ KsspResult pipelined_kssp(const Graph& g, PipelinedParams params) {
   cfg.h = params.h;
   cfg.delta = params.delta;
   cfg.gamma = params.gamma;
+  cfg.kernel = KappaKernel(cfg.gamma);
   cfg.policy = params.policy;
   cfg.sources = params.sources;
   cfg.source_index.assign(n, -1);

@@ -28,8 +28,8 @@ constexpr std::uint32_t kTagPair = 21;  // {d, l}
 class ShortRangeInstance final : public Protocol {
  public:
   ShortRangeInstance(const Graph& g, NodeId self, NodeId source,
-                     std::uint32_t h, GammaSq gamma)
-      : self_(self), source_(source), h_(h), gamma_(gamma) {
+                     std::uint32_t h, const KappaKernel& kernel)
+      : self_(self), source_(source), h_(h), kernel_(&kernel) {
     for (const auto& e : g.in_edges(self)) {
       in_weight_.emplace_back(e.from, e.weight);
     }
@@ -77,7 +77,7 @@ class ShortRangeInstance final : public Protocol {
   void emit_due(Context& ctx, congest::Round r) {
     if (!dirty_) return;
     const Key key{d_, l_};
-    if (key.ceil_kappa(gamma_) > r) return;  // scheduled later
+    if (kernel_->ceil_kappa(key) > r) return;  // scheduled later
     dirty_ = false;
     ctx.broadcast(Message(kTagPair, {d_, static_cast<std::int64_t>(l_)}));
   }
@@ -85,7 +85,7 @@ class ShortRangeInstance final : public Protocol {
   NodeId self_;
   NodeId source_;
   std::uint32_t h_;
-  GammaSq gamma_;
+  const KappaKernel* kernel_;  // shared across all n^2 instances (same gamma)
   std::vector<std::pair<NodeId, Weight>> in_weight_;
   Weight d_ = kInfDist;
   std::uint32_t l_ = 0;
@@ -119,11 +119,12 @@ ScaledApspResult scaled_hhop_apsp(const Graph& g, ScaledApspParams params) {
   // delay downstream schedules again), so the clean dilation+n*congestion
   // form is a comparison value, not a hard cap; give the run 2x slack.
   const congest::Round budget = 2 * res.theoretical_bound + 8;
+  const KappaKernel kernel(params.gamma);  // outlives every instance
   const congest::MultiplexResult mux = congest::run_multiplexed(
       g, n,
       [&](std::size_t instance, NodeId node) -> std::unique_ptr<Protocol> {
         return std::make_unique<ShortRangeInstance>(
-            g, node, static_cast<NodeId>(instance), params.h, params.gamma);
+            g, node, static_cast<NodeId>(instance), params.h, kernel);
       },
       budget,
       [&](NodeId v, congest::MultiplexProtocol& node) {

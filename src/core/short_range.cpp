@@ -27,6 +27,7 @@ struct SrConfig {
   const Graph* g = nullptr;
   std::uint32_t h = 0;
   GammaSq gamma;
+  KappaKernel kernel;  // batched/fast-path kappa arithmetic for this gamma
   std::vector<NodeId> sources;
   const std::vector<std::vector<Weight>>* initial = nullptr;
 };
@@ -108,12 +109,22 @@ class ShortRangeProtocol final : public Protocol {
 
  private:
   void emit_due(Context& ctx, Round r) {
+    // Stage dirty sources, resolve their send rounds in one batched kernel
+    // pass, then emit the ones due now.
+    due_idx_.clear();
+    due_keys_.clear();
     for (std::size_t i = 0; i < d_.size(); ++i) {
       if (!dirty_[i]) continue;
-      const Key key{d_[i], l_[i]};
-      const std::uint64_t due = key.ceil_kappa(cfg_.gamma);
+      due_idx_.push_back(i);
+      due_keys_.push_back(Key{d_[i], l_[i]});
+    }
+    due_ck_.resize(due_keys_.size());
+    cfg_.kernel.ceil_kappa_span(due_keys_, due_ck_);
+    for (std::size_t j = 0; j < due_idx_.size(); ++j) {
+      const std::uint64_t due = due_ck_[j];
       if (due > r) continue;  // scheduled for a later round
       if (due < r) ++late_;   // should never happen (invariant violation)
+      const std::size_t i = due_idx_[j];
       dirty_[i] = false;
       ++sends_per_source_[i];
       ctx.broadcast(Message(kTagPair, {static_cast<std::int64_t>(i), d_[i],
@@ -139,6 +150,9 @@ class ShortRangeProtocol final : public Protocol {
   Round settle_round_ = 0;
   std::vector<std::uint64_t> sends_per_source_;
   std::uint64_t late_ = 0;
+  std::vector<std::size_t> due_idx_;   // per-round scratch, grow-only
+  std::vector<Key> due_keys_;
+  std::vector<std::uint64_t> due_ck_;
 };
 
 }  // namespace
@@ -175,6 +189,7 @@ ShortRangeResult short_range(const Graph& g, ShortRangeParams params) {
   cfg.g = &g;
   cfg.h = params.h;
   cfg.gamma = params.gamma;
+  cfg.kernel = KappaKernel(cfg.gamma);
   cfg.sources = params.sources;
   cfg.initial = &params.initial;
 

@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <atomic>
 
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace dapsp::util {
 
 struct ThreadPool::Batch {
@@ -38,6 +43,24 @@ ThreadPool::~ThreadPool() {
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool;
   return pool;
+}
+
+void ThreadPool::pin_threads() {
+  if (pinned_) return;
+  pinned_ = true;
+#ifdef __linux__
+  const unsigned hc = std::thread::hardware_concurrency();
+  const unsigned cpus = hc == 0 ? 1 : hc;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    // Leave CPU 0 to the (unpinned) caller when there is room.
+    CPU_SET(static_cast<int>((i + 1) % cpus), &set);
+    // Best effort: an affinity failure (e.g. restricted cpuset) is harmless.
+    (void)pthread_setaffinity_np(workers_[i].native_handle(), sizeof(set),
+                                 &set);
+  }
+#endif
 }
 
 void ThreadPool::parallel_for_raw(std::size_t n, void* ctx, RawFn fn) {

@@ -55,6 +55,13 @@ class ThreadPool {
   /// already has a C-style callback).
   void parallel_for_raw(std::size_t n, void* ctx, RawFn fn);
 
+  /// Pins the worker threads round-robin across the machine's CPUs
+  /// (Linux-only; a best-effort no-op elsewhere and on repeat calls).  The
+  /// calling thread is left unpinned: it participates in every batch but may
+  /// be the application's main thread.  Pure scheduling hint -- results are
+  /// identical with pinning on or off.
+  void pin_threads();
+
   /// Shared process-wide pool (constructed on first use).
   static ThreadPool& global();
 
@@ -70,6 +77,7 @@ class ThreadPool {
   Batch* batch_ = nullptr;        // current batch, guarded by mutex_
   std::uint64_t generation_ = 0;  // bumped per batch so workers never re-run one
   bool stop_ = false;
+  bool pinned_ = false;  // pin_threads() already applied
 };
 
 }  // namespace dapsp::util

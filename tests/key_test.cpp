@@ -127,5 +127,83 @@ TEST(Key, SendSchedulesStrictlyIncreaseAlongSortedLists) {
   }
 }
 
+// -- KappaKernel: the batched fast-path arithmetic must be bit-identical to
+// the scalar GammaSq routines for every input, including at the u64/128-bit
+// fallback boundary.  The solvers use the kernel for all list maintenance,
+// so any divergence here would silently change schedules.
+
+TEST(KappaKernel, ExhaustiveSmallDomainMatchesScalar) {
+  // Every (gamma, key, key) combination over a small grid: ceil and compare
+  // must agree exactly with the scalar routines.
+  for (std::uint64_t num = 0; num <= 6; ++num) {
+    for (std::uint64_t den = 1; den <= 6; ++den) {
+      const GammaSq g{num, den};
+      const KappaKernel kernel(g);
+      std::vector<Key> keys;
+      for (Weight d = 0; d <= 12; ++d) {
+        for (std::uint32_t l = 0; l <= 4; ++l) keys.push_back(Key{d, l});
+      }
+      for (const Key& a : keys) {
+        ASSERT_EQ(kernel.ceil_kappa(a), a.ceil_kappa(g))
+            << "num=" << num << " den=" << den << " d=" << a.d << " l=" << a.l;
+        for (const Key& b : keys) {
+          ASSERT_EQ(kernel.compare(a, b), a.compare(b, g))
+              << "num=" << num << " den=" << den << " a=(" << a.d << "," << a.l
+              << ") b=(" << b.d << "," << b.l << ")";
+        }
+      }
+      // Span forms agree element-wise with the scalar calls.
+      std::vector<std::uint64_t> ck(keys.size());
+      kernel.ceil_kappa_span(keys, ck);
+      std::vector<int> cmp(keys.size());
+      kernel.compare_span(keys[7], keys, cmp);
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        ASSERT_EQ(ck[i], keys[i].ceil_kappa(g));
+        ASSERT_EQ(cmp[i], keys[i].compare(keys[7], g));
+      }
+    }
+  }
+}
+
+TEST(KappaKernel, OverflowBoundaryRandomizedMatchesScalar) {
+  // Gammas and distances sized so the squared products straddle the
+  // kernel's precomputed fast-path bounds: some elements take the u64 lane,
+  // others must fall back to the exact 128-bit route.  Either way the
+  // result must equal the scalar (always-128-bit) computation.
+  util::Xoshiro256 rng(80);
+  for (int i = 0; i < 20000; ++i) {
+    const GammaSq g{rng() >> static_cast<unsigned>(rng.below(40)),
+                    (rng() >> static_cast<unsigned>(rng.below(40))) | 1};
+    const KappaKernel kernel(g);
+    const auto draw = [&]() -> Key {
+      return Key{static_cast<Weight>(
+                     rng() >> static_cast<unsigned>(2 + rng.below(40))),
+                 static_cast<std::uint32_t>(rng.below(1 << 20))};
+    };
+    const Key a = draw();
+    const Key b = draw();
+    ASSERT_EQ(kernel.ceil_kappa(a), a.ceil_kappa(g))
+        << "num=" << g.num << " den=" << g.den << " d=" << a.d << " l=" << a.l;
+    ASSERT_EQ(kernel.compare(a, b), a.compare(b, g))
+        << "num=" << g.num << " den=" << g.den << " a=(" << a.d << "," << a.l
+        << ") b=(" << b.d << "," << b.l << ")";
+  }
+}
+
+TEST(KappaKernel, ListOrderOverloadMatchesGammaOverload) {
+  util::Xoshiro256 rng(81);
+  for (int i = 0; i < 5000; ++i) {
+    const GammaSq g{rng.below(1000) + 1, rng.below(1000) + 1};
+    const KappaKernel kernel(g);
+    const Key a{static_cast<Weight>(rng.below(100000)),
+                static_cast<std::uint32_t>(rng.below(64))};
+    const Key b{static_cast<Weight>(rng.below(100000)),
+                static_cast<std::uint32_t>(rng.below(64))};
+    const auto xa = static_cast<NodeId>(rng.below(16));
+    const auto xb = static_cast<NodeId>(rng.below(16));
+    EXPECT_EQ(list_order(a, xa, b, xb, kernel), list_order(a, xa, b, xb, g));
+  }
+}
+
 }  // namespace
 }  // namespace dapsp::core

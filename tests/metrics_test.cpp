@@ -118,15 +118,16 @@ TEST(RunStats, ComposeIsAssociativeOnTotals) {
 TEST(RunStats, SummaryFormat) {
   RunStats s = phase(15, 130, 7, 12, 15);
   s.max_link_total = 42;
+  s.message_bytes = 130 * 40;
   EXPECT_EQ(s.summary(),
-            "rounds=15 last_msg_round=15 messages=130 max_congestion=7 "
-            "max_link_total=42");
+            "rounds=15 last_msg_round=15 messages=130 bytes=5200 "
+            "max_congestion=7 max_link_total=42");
   s.hit_round_limit = true;
   EXPECT_EQ(s.summary(),
-            "rounds=15 last_msg_round=15 messages=130 max_congestion=7 "
-            "max_link_total=42 [HIT ROUND LIMIT]");
+            "rounds=15 last_msg_round=15 messages=130 bytes=5200 "
+            "max_congestion=7 max_link_total=42 [HIT ROUND LIMIT]");
   EXPECT_EQ(RunStats{}.summary(),
-            "rounds=0 last_msg_round=0 messages=0 max_congestion=0 "
+            "rounds=0 last_msg_round=0 messages=0 bytes=0 max_congestion=0 "
             "max_link_total=0");
 }
 
