@@ -1,6 +1,8 @@
 #include "cli/options.hpp"
 
 #include <charconv>
+#include <cmath>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -22,6 +24,29 @@ std::int64_t parse_int(const std::string& flag, const std::string& value) {
   return out;
 }
 
+/// Unsigned flag values parse through here so "--n -1" is a loud error, not
+/// a 4-billion-node graph: from_chars into uint64 rejects any sign, and the
+/// per-flag `max` keeps the value inside the field it lands in (NodeId,
+/// uint32, ...) instead of wrapping in a static_cast.
+std::uint64_t parse_unsigned(const std::string& flag, const std::string& value,
+                             std::uint64_t max) {
+  std::uint64_t out = 0;
+  const auto* end = value.data() + value.size();
+  const auto [ptr, ec] = std::from_chars(value.data(), end, out);
+  if (ec == std::errc::result_out_of_range) {
+    fail(flag + " out of range (max " + std::to_string(max) + "): '" + value +
+         "'");
+  }
+  if (ec != std::errc{} || ptr != end) {
+    fail("bad unsigned integer for " + flag + ": '" + value + "'");
+  }
+  if (out > max) {
+    fail(flag + " out of range (max " + std::to_string(max) + "): '" + value +
+         "'");
+  }
+  return out;
+}
+
 double parse_double(const std::string& flag, const std::string& value) {
   std::size_t used = 0;
   double out = 0;
@@ -30,8 +55,18 @@ double parse_double(const std::string& flag, const std::string& value) {
   } catch (const std::exception&) {
     fail("bad number for " + flag + ": '" + value + "'");
   }
-  if (used != value.size()) {
+  if (used != value.size() || !std::isfinite(out)) {
     fail("bad number for " + flag + ": '" + value + "'");
+  }
+  return out;
+}
+
+/// parse_double plus a closed-interval domain check -- probabilities and
+/// fractions ("--p 1.5" used to sail through and produce a complete graph).
+double parse_fraction(const std::string& flag, const std::string& value) {
+  const double out = parse_double(flag, value);
+  if (out < 0.0 || out > 1.0) {
+    fail(flag + " must be in [0, 1]: '" + value + "'");
   }
   return out;
 }
@@ -43,7 +78,8 @@ std::vector<graph::NodeId> parse_id_list(const std::string& flag,
   std::string item;
   while (std::getline(ss, item, ',')) {
     if (item.empty()) fail("empty id in " + flag);
-    out.push_back(static_cast<graph::NodeId>(parse_int(flag, item)));
+    out.push_back(static_cast<graph::NodeId>(
+        parse_unsigned(flag, item, graph::kNoNode - 1)));
   }
   if (out.empty()) fail(flag + " needs at least one id");
   return out;
@@ -58,6 +94,7 @@ Command parse_command(const std::string& word) {
   if (word == "serve") return Command::kServe;
   if (word == "query") return Command::kQuery;
   if (word == "profile") return Command::kProfile;
+  if (word == "worker") return Command::kWorker;
   if (word == "help" || word == "--help" || word == "-h") return Command::kHelp;
   fail("unknown command '" + word + "'");
 }
@@ -82,17 +119,19 @@ Options parse_options(const std::vector<std::string>& args) {
     } else if (a == "--gen") {
       opt.gen = next_value(a);
     } else if (a == "--n") {
-      opt.n = static_cast<graph::NodeId>(parse_int(a, next_value(a)));
+      opt.n = static_cast<graph::NodeId>(
+          parse_unsigned(a, next_value(a), graph::kNoNode - 1));
     } else if (a == "--p") {
-      opt.p = parse_double(a, next_value(a));
+      opt.p = parse_fraction(a, next_value(a));
     } else if (a == "--wmin") {
       opt.wmin = parse_int(a, next_value(a));
     } else if (a == "--wmax") {
       opt.wmax = parse_int(a, next_value(a));
     } else if (a == "--zero") {
-      opt.zero_fraction = parse_double(a, next_value(a));
+      opt.zero_fraction = parse_fraction(a, next_value(a));
     } else if (a == "--seed") {
-      opt.seed = static_cast<std::uint64_t>(parse_int(a, next_value(a)));
+      opt.seed = parse_unsigned(a, next_value(a),
+                                std::numeric_limits<std::uint64_t>::max());
     } else if (a == "--directed") {
       opt.directed = true;
     } else if (a == "--algo") {
@@ -109,7 +148,8 @@ Options parse_options(const std::vector<std::string>& args) {
     } else if (a == "--sources") {
       opt.sources = parse_id_list(a, next_value(a));
     } else if (a == "--h") {
-      opt.h = static_cast<std::uint32_t>(parse_int(a, next_value(a)));
+      opt.h = static_cast<std::uint32_t>(parse_unsigned(
+          a, next_value(a), std::numeric_limits<std::uint32_t>::max()));
     } else if (a == "--eps") {
       opt.eps = parse_double(a, next_value(a));
     } else if (a == "--solver") {
@@ -172,7 +212,31 @@ Options parse_options(const std::vector<std::string>& args) {
     } else if (a == "--faults") {
       opt.faults_spec = next_value(a);
     } else if (a == "--fault-seed") {
-      opt.fault_seed = static_cast<std::uint64_t>(parse_int(a, next_value(a)));
+      opt.fault_seed = parse_unsigned(
+          a, next_value(a), std::numeric_limits<std::uint64_t>::max());
+    } else if (a == "--backend") {
+      opt.backend = next_value(a);
+      if (opt.backend != "inproc" && opt.backend != "socket") {
+        fail("unknown --backend '" + opt.backend + "' (inproc|socket)");
+      }
+    } else if (a == "--workers") {
+      opt.workers =
+          static_cast<std::uint32_t>(parse_unsigned(a, next_value(a), 256));
+      if (opt.workers < 1) fail("--workers must be >= 1");
+    } else if (a == "--transport") {
+      opt.transport = next_value(a);
+      if (opt.transport != "unix" && opt.transport != "tcp") {
+        fail("unknown --transport '" + opt.transport + "' (unix|tcp)");
+      }
+    } else if (a == "--net-timeout-ms") {
+      opt.net_timeout_ms = static_cast<std::uint32_t>(parse_unsigned(
+          a, next_value(a), std::numeric_limits<std::uint32_t>::max()));
+      if (opt.net_timeout_ms < 1) fail("--net-timeout-ms must be >= 1");
+    } else if (a == "--connect") {
+      opt.connect = next_value(a);
+    } else if (a == "--rank") {
+      opt.rank =
+          static_cast<std::uint32_t>(parse_unsigned(a, next_value(a), 255));
     } else {
       fail("unknown flag '" + a + "'");
     }
@@ -193,6 +257,25 @@ Options parse_options(const std::vector<std::string>& args) {
   if (opt.command == Command::kProfile &&
       (opt.format == Format::kCsv || opt.format == Format::kBinary)) {
     fail("profile supports --format table|json");
+  }
+  if (opt.command == Command::kWorker && opt.connect.empty()) {
+    fail("worker needs --connect");
+  }
+  if (opt.backend == "socket") {
+    if (opt.command != Command::kServe && opt.command != Command::kQuery) {
+      fail("--backend socket is only supported by serve and query");
+    }
+    if (opt.shards > 1) {
+      fail("--backend socket does not combine with --shards");
+    }
+    if (opt.faults_spec) {
+      fail("--backend socket does not combine with --faults (the remote "
+           "plane carries real messages, not simulated faults)");
+    }
+    if (opt.critpath) {
+      fail("--backend socket does not combine with --critpath (the build "
+           "runs in worker processes)");
+    }
   }
   return opt;
 }
@@ -218,6 +301,8 @@ commands:
            longest causal chain through the round engine (table or
            --format json); with --sources profiles a k-SSP run, otherwise
            an oracle build for --solver
+  worker   socket-backend shard process; spawned by the coordinator, not
+           meant to be run by hand (needs --connect, --rank)
   help     this text
 
 input (choose one):
@@ -244,6 +329,17 @@ service (serve/query; query lines are "dist U V" | "next U V" | "path U V"):
   --cache N                path-cache capacity (0 disables)       [4096]
   --shards N               vertex-range oracle shards             [1]
   --max-batch N            largest accepted batch                 [65536]
+
+backend (serve/query oracle builds; see docs/BACKENDS.md):
+  --backend inproc|socket  build in-process, or across worker
+                           processes over local sockets           [inproc]
+  --workers N              socket backend: shard processes (1-256) [2]
+  --transport unix|tcp     socket backend: unix-domain or loopback
+                           TCP sockets                            [unix]
+  --net-timeout-ms MS      per-frame deadline, both sides         [120000]
+  --connect SPEC           worker only: coordinator endpoint
+                           ("unix:/path" | "tcp:127.0.0.1:PORT")
+  --rank R                 worker only: shard index
 
 output:
   --format table|json|csv  result format                         [table]

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "congest/faults.hpp"
+#include "congest/plane.hpp"
 #include "obs/trace.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -24,6 +25,7 @@ bool g_force_pin = false;
 std::size_t g_force_threads = Engine::kNoThreadOverride;
 obs::TraceRecorder* g_global_recorder = nullptr;
 const FaultPlan* g_global_fault_plan = nullptr;
+MessagePlane* g_global_plane = nullptr;
 
 using Clock = std::chrono::steady_clock;
 
@@ -68,6 +70,10 @@ void Engine::set_global_fault_plan(const FaultPlan* plan) noexcept {
 const FaultPlan* Engine::global_fault_plan() noexcept {
   return g_global_fault_plan;
 }
+void Engine::set_global_plane(MessagePlane* plane) noexcept {
+  g_global_plane = plane;
+}
+MessagePlane* Engine::global_plane() noexcept { return g_global_plane; }
 
 // --- NodeContext -----------------------------------------------------------
 
@@ -187,6 +193,21 @@ Engine::Engine(const Graph& g, std::vector<std::unique_ptr<Protocol>> protocols,
                                      link_target_);
   }
 
+  plane_ = options_.plane != nullptr ? options_.plane : g_global_plane;
+  if (plane_ == nullptr) plane_ = &InProcessPlane::instance();
+  plane_remote_ = plane_->remote();
+  if (plane_remote_ && faults_ != nullptr) {
+    // A simulated fault plan inside a real distributed run would fork the
+    // replicas' message histories; real faults come from real processes.
+    throw std::logic_error(
+        "Engine: a remote message plane cannot combine with a simulated "
+        "FaultPlan");
+  }
+  if (plane_remote_) {
+    wire_cnt_.assign(links, 0);
+    wire_off_.assign(links, 0);
+  }
+
   if (!dense_) {
     wake_round_.assign(n, 0);
     in_next_.assign(n, 0);
@@ -208,6 +229,7 @@ Engine::Engine(const Graph& g, std::vector<std::unique_ptr<Protocol>> protocols,
     recorder_->begin_run(dense_ ? "engine(dense)" : "engine(sparse)", n,
                          links);
   }
+  plane_->begin_run(n, static_cast<std::uint64_t>(links));
 }
 
 Engine::~Engine() = default;
@@ -440,6 +462,134 @@ void Engine::gather_inbox(NodeId v) {
   }
 }
 
+/// Serializes the finalized round into the canonical block (see plane.hpp):
+/// senders ascending, each sender's links in first-touch order, send order
+/// within a link.  Must run after step 2 of deliver() has filled link_off_.
+void Engine::encode_round_block(std::string& out) const {
+  out.clear();
+  block_put_u32(out, static_cast<std::uint32_t>(touched_senders_.size()));
+  for (const NodeId sender : touched_senders_) {
+    const Outbox& ob = out_[sender];
+    const MessageColumns& src = ob.has_dup ? ob.sorted : ob.msgs;
+    block_put_u32(out, sender);
+    block_put_u32(out, static_cast<std::uint32_t>(ob.touched.size()));
+    const std::size_t len_pos = out.size();
+    block_put_u32(out, 0);  // byte_len, patched once the groups are written
+    const std::size_t body_start = out.size();
+    for (const std::uint32_t slot : ob.touched) {
+      const std::uint32_t cnt = link_cnt_[slot];
+      const std::uint32_t off = link_off_[slot];
+      block_put_u32(out, slot);
+      block_put_u32(out, cnt);
+      for (std::uint32_t j = 0; j < cnt; ++j) {
+        const std::size_t idx = off + j;
+        block_put_u32(out, src.tag(idx));
+        const std::uint32_t used = src.used(idx);
+        block_put_u32(out, used);
+        const std::int64_t* f = src.fields(idx);
+        for (std::uint32_t t = 0; t < used; ++t) {
+          block_put_u64(out, static_cast<std::uint64_t>(f[t]));
+        }
+      }
+    }
+    block_patch_u32(out, len_pos,
+                    static_cast<std::uint32_t>(out.size() - body_start));
+  }
+}
+
+/// Rebuilds the receive side of the round from an authoritative wire block:
+/// validates the canonical layout, fills the wire columns and per-link
+/// (count, offset) tables, and gathers every receiver's inbox from them --
+/// the wire twin of the direct column gather.  Receiver discovery order
+/// matches the in-process path because the block preserves (sender
+/// ascending, first-touch link) order.
+void Engine::decode_and_gather(const std::string& block) {
+  const NodeId n = graph_.node_count();
+  const auto bad = [](const char* why) {
+    throw std::runtime_error(
+        std::string("Engine: malformed wire round block: ") + why);
+  };
+  wire_cols_.clear();
+  wire_slots_.clear();
+  receivers_.clear();
+  BlockReader r(block);
+  const std::uint32_t sender_count = r.u32();
+  NodeId prev_sender = 0;
+  bool have_prev = false;
+  for (std::uint32_t s = 0; s < sender_count && r.ok(); ++s) {
+    const NodeId sender = r.u32();
+    const std::uint32_t groups = r.u32();
+    r.u32();  // byte_len: shard-slicing metadata, redundant here
+    if (!r.ok()) break;
+    if (sender >= n) bad("sender id out of range");
+    if (have_prev && sender <= prev_sender) bad("senders not ascending");
+    prev_sender = sender;
+    have_prev = true;
+    const std::size_t lo = link_base_[sender];
+    const std::size_t hi = link_base_[sender + 1];
+    for (std::uint32_t g = 0; g < groups && r.ok(); ++g) {
+      const std::uint32_t slot = r.u32();
+      const std::uint32_t cnt = r.u32();
+      if (!r.ok()) break;
+      if (slot < lo || slot >= hi) bad("link slot outside sender's range");
+      if (wire_cnt_[slot] != 0) bad("duplicate link group");
+      if (cnt == 0) bad("empty link group");
+      wire_cnt_[slot] = cnt;
+      wire_off_[slot] = static_cast<std::uint32_t>(wire_cols_.size());
+      wire_slots_.push_back(slot);
+      Message m;
+      for (std::uint32_t j = 0; j < cnt && r.ok(); ++j) {
+        m.tag = r.u32();
+        m.used = r.u32();
+        if (!r.ok()) break;
+        if (m.used > Message::kMaxFields) bad("message field count too large");
+        for (std::uint32_t t = 0; t < m.used; ++t) {
+          m.f[t] = static_cast<std::int64_t>(r.u64());
+        }
+        for (std::size_t t = m.used; t < Message::kMaxFields; ++t) m.f[t] = 0;
+        wire_cols_.push_back(m);
+      }
+      const NodeId u = link_target_[slot];
+      if (!inbox_mark_[u]) {
+        inbox_mark_[u] = 1;
+        receivers_.push_back(u);
+      }
+    }
+  }
+  if (!r.ok()) bad("truncated block");
+  if (!r.done()) bad("trailing bytes");
+  pool_->parallel_for(receivers_.size(), [&](std::size_t i) {
+    gather_inbox_wire(receivers_[i]);
+  });
+  for (const NodeId u : receivers_) inbox_mark_[u] = 0;
+  for (const std::uint32_t slot : wire_slots_) wire_cnt_[slot] = 0;
+}
+
+/// gather_inbox over the decoded wire columns instead of the senders'
+/// outboxes; same in-link iteration order and the same scramble draw, so a
+/// healthy wire round is bit-identical to the direct gather.
+void Engine::gather_inbox_wire(NodeId v) {
+  auto& in = inbox_[v];
+  in.clear();
+  const std::size_t end = in_base_[v + 1];
+  for (std::size_t i = in_base_[v]; i < end; ++i) {
+    const auto& [from, slot] = in_links_[i];
+    const std::uint32_t cnt = wire_cnt_[slot];
+    if (cnt == 0) continue;
+    const std::uint32_t off = wire_off_[slot];
+    for (std::uint32_t j = 0; j < cnt; ++j) {
+      wire_cols_.append_envelope(off + j, from, in);
+    }
+  }
+  if (options_.scramble_inbox && in.size() > 1) {
+    util::Xoshiro256 rng(options_.scramble_seed ^ (v * 0x9e3779b9ULL) ^
+                         (round_ << 20));
+    for (std::size_t i = in.size(); i > 1; --i) {
+      std::swap(in[i - 1], in[rng.below(i)]);
+    }
+  }
+}
+
 /// Replays this round's messages into the trace sink in the dense engine's
 /// deterministic order: sender ascending, links in first-touch order, and
 /// send order within a link.
@@ -606,7 +756,16 @@ Engine::ClockTp Engine::deliver(DeliverScope scope, ClockTp t0) {
 
   // 4. Gather per receiver, in (sender, send order) order -- or, when
   // scrambling, in a deterministic per-(receiver, round) permutation.
-  if (faults_ != nullptr) {
+  if (plane_remote_) {
+    // Remote plane: serialize the round, let the plane replace the block
+    // with the authoritative bytes (the coordinator's reassembly of every
+    // shard's owned senders), and gather the receive side from the wire
+    // image only.  That makes the gather below a function of bytes that
+    // actually crossed the transport, never of this replica's own outboxes.
+    encode_round_block(wire_block_);
+    plane_->exchange(round_, wire_block_);
+    decode_and_gather(wire_block_);
+  } else if (faults_ != nullptr) {
     // Fault path: the round's sends pass through the fault plane instead of
     // the direct link arrays.  Admission order is (sender ascending, link in
     // first-touch order, send order within a link) -- deterministic because
@@ -895,6 +1054,14 @@ std::uint64_t Engine::step() {
 }
 
 RunStats Engine::run() {
+  run_loop();
+  // The plane hook sits outside the loop so every exit path (quiescence,
+  // fast-forward stop, round budget) announces the same final stats.
+  plane_->end_run(stats_);
+  return stats_;
+}
+
+void Engine::run_loop() {
   if (!init_done_) {
     run_init_round();
     chain_ticks_ = true;  // last_tick_ was taken moments ago, safe to reuse
@@ -913,7 +1080,7 @@ RunStats Engine::run() {
     const bool frames_pending = faults_ != nullptr && faults_->has_pending();
     if (options_.stop_on_quiescence && sent == 0 && !frames_pending &&
         all_quiescent()) {
-      return stats_;
+      return;
     }
     if (!dense_ && active_next_.empty()) {
       // No node may act next round; the gap up to the earliest heap wake is
@@ -937,7 +1104,7 @@ RunStats Engine::run() {
         if (options_.stop_on_quiescence && !frames_pending &&
             all_quiescent()) {
           skip_silent_rounds(1);
-          return stats_;
+          return;
         }
         skip_silent_rounds(target - round_);
       }
@@ -947,7 +1114,6 @@ RunStats Engine::run() {
   const bool all_quiet = round_messages_ == 0 && all_quiescent() &&
                          (faults_ == nullptr || !faults_->has_pending());
   stats_.hit_round_limit = !all_quiet;
-  return stats_;
 }
 
 }  // namespace dapsp::congest

@@ -1,0 +1,19 @@
+#include "congest/plane.hpp"
+
+namespace dapsp::congest {
+
+InProcessPlane& InProcessPlane::instance() noexcept {
+  static InProcessPlane plane;
+  return plane;
+}
+
+std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace dapsp::congest

@@ -1,0 +1,183 @@
+// MessagePlane: the engine's pluggable round-exchange backend.
+//
+// Every executed round the engine finalizes its senders' outboxes into the
+// SoA per-link columns (congest/engine.*).  With the default in-process
+// plane that is the end of the story: receivers gather straight from the
+// columns.  A *remote* plane interposes a real transport between finalize
+// and gather: the engine serializes the round into the canonical block
+// below, hands it to the plane's exchange(), and gathers the receive side
+// from the bytes the plane returns.  The socket backend (src/net/) is the
+// second implementation: every worker process executes the solver in
+// deterministic lockstep, ships only the senders it *owns* (a contiguous
+// vertex range) to the coordinator, and gathers the round from the
+// authoritative concatenation the coordinator broadcasts back.
+//
+// Canonical round block (all integers little-endian):
+//
+//   block  := u32 sender_count | sender_count x sender
+//   sender := u32 sender_id | u32 group_count | u32 byte_len | groups
+//   groups := group_count x (u32 link_slot | u32 count | count x msg)
+//   msg    := u32 tag | u32 used | used x u64 field
+//
+// Senders appear in ascending id order (the engine's deterministic
+// accounting order); groups appear in the sender's first-touch link order;
+// messages within a group keep send order.  `byte_len` is the size of the
+// sender's `groups` bytes, so a shard can slice its owned senders without
+// decoding message payloads.  A message costs exactly 8 + 8*used bytes on
+// the wire -- the same formula RunStats::message_bytes uses -- so the
+// in-process byte stat *is* the real wire payload byte count, bit for bit.
+//
+// Lifecycle contract: one begin_run per engine construction, one exchange
+// per executed round (fast-forwarded silent gaps are deterministic and
+// exchange nothing), one end_run when Engine::run() returns.  Remote planes
+// use the calls as barriers, so every process in a lockstep fleet must
+// construct and run engines in the same order -- true for all solvers in
+// this repository because engine construction order is a pure function of
+// the (graph, options) inputs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "congest/message.hpp"
+#include "congest/metrics.hpp"
+
+namespace dapsp::congest {
+
+class MessagePlane {
+ public:
+  virtual ~MessagePlane() = default;
+
+  virtual const char* name() const noexcept = 0;
+
+  /// True when the engine must serialize every executed round through
+  /// exchange().  The in-process plane returns false and the engine skips
+  /// encoding entirely (the zero-allocation fast path of PR 8).
+  virtual bool remote() const noexcept = 0;
+
+  /// Start of one engine run: node count and directed link count of the
+  /// communication graph the engine was built on.
+  virtual void begin_run(NodeId nodes, std::uint64_t links) = 0;
+
+  /// Ships the canonical round block and replaces `block` with the
+  /// authoritative bytes to gather from.  On a healthy lockstep run the
+  /// returned bytes equal the input bit for bit; a mismatch is a
+  /// distributed-consistency failure and the plane must throw.
+  virtual void exchange(Round round, std::string& block) = 0;
+
+  /// End of the run, with the engine's final (deterministic) stats.
+  virtual void end_run(const RunStats& stats) = 0;
+};
+
+/// The multi-threaded simulator backend: no serialization, no transport;
+/// every hook is a no-op and remote() steers the engine onto the direct
+/// column-gather path.  Stateless, hence a process-wide singleton.
+class InProcessPlane final : public MessagePlane {
+ public:
+  static InProcessPlane& instance() noexcept;
+
+  const char* name() const noexcept override { return "inproc"; }
+  bool remote() const noexcept override { return false; }
+  void begin_run(NodeId, std::uint64_t) override {}
+  void exchange(Round, std::string&) override {}
+  void end_run(const RunStats&) override {}
+};
+
+// --- canonical block primitives -------------------------------------------
+//
+// Shared by the engine's encoder, the socket plane's shard slicer, and the
+// coordinator's reassembly; all little-endian, bounds-checked on the read
+// side (a truncated or corrupt block latches `ok` false instead of reading
+// out of range).
+
+inline void block_put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+inline void block_put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+/// Overwrites 4 bytes at `pos` (for length fields patched after the fact).
+inline void block_patch_u32(std::string& out, std::size_t pos,
+                            std::uint32_t v) {
+  out[pos] = static_cast<char>(v & 0xff);
+  out[pos + 1] = static_cast<char>((v >> 8) & 0xff);
+  out[pos + 2] = static_cast<char>((v >> 16) & 0xff);
+  out[pos + 3] = static_cast<char>((v >> 24) & 0xff);
+}
+
+class BlockReader {
+ public:
+  explicit BlockReader(std::string_view s)
+      : p_(reinterpret_cast<const unsigned char*>(s.data())),
+        end_(p_ + s.size()) {}
+
+  bool ok() const noexcept { return ok_; }
+  bool done() const noexcept { return p_ == end_; }
+  std::size_t remaining() const noexcept {
+    return static_cast<std::size_t>(end_ - p_);
+  }
+
+  std::uint32_t u32() noexcept {
+    if (remaining() < 4) return fail32();
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{p_[i]} << (8 * i);
+    p_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() noexcept {
+    if (remaining() < 8) return fail64();
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{p_[i]} << (8 * i);
+    p_ += 8;
+    return v;
+  }
+
+  /// Borrows `len` raw bytes; empty view (and latched failure) when short.
+  std::string_view bytes(std::size_t len) noexcept {
+    if (remaining() < len) {
+      ok_ = false;
+      return {};
+    }
+    std::string_view v(reinterpret_cast<const char*>(p_), len);
+    p_ += len;
+    return v;
+  }
+
+  void skip(std::size_t len) noexcept {
+    if (remaining() < len) {
+      ok_ = false;
+      return;
+    }
+    p_ += len;
+  }
+
+ private:
+  std::uint32_t fail32() noexcept {
+    ok_ = false;
+    return 0;
+  }
+  std::uint64_t fail64() noexcept {
+    ok_ = false;
+    return 0;
+  }
+
+  const unsigned char* p_;
+  const unsigned char* end_;
+  bool ok_ = true;
+};
+
+/// FNV-1a 64 over raw bytes: the round digest every worker stamps on its
+/// ROUND frame and checks on the DELIVER it gets back.  Not cryptographic;
+/// it detects divergence and corruption, not adversaries.
+std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+
+}  // namespace dapsp::congest

@@ -1,0 +1,60 @@
+// Coordinator of the multi-process socket backend.
+//
+// socket_build_oracle() runs one oracle build across W worker processes:
+// it spawns `dapsp worker` children (fork/exec of this binary by default),
+// hands each the full job (graph + solver options) over a local socket,
+// drives every executed engine round in lockstep -- collecting each shard's
+// owned senders, verifying all replicas' round digests agree, broadcasting
+// the reassembled canonical block back -- and reassembles the final oracle
+// from the result rows each worker owns.  See docs/BACKENDS.md for the
+// design and protocol.hpp for the frame grammar.
+//
+// Failure semantics: a worker that crashes, hangs past the timeout, or
+// diverges from its replicas kills the whole fleet and raises a
+// std::runtime_error naming the shard ("partition: worker 2 (nodes
+// [24,36)) ..."); the coordinator never hangs on a dead worker and never
+// returns a partially-assembled oracle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "service/oracle.hpp"
+
+namespace dapsp::net {
+
+struct SocketBackendOptions {
+  std::uint32_t workers = 2;
+  bool tcp = false;  ///< default Unix-domain; true = loopback TCP
+  std::uint32_t timeout_ms = 120000;  ///< per-frame deadline, both sides
+  /// Worker executable; empty = /proc/self/exe (the running dapsp binary).
+  /// Tests point this at the CLI binary so the gtest process never re-execs
+  /// itself.
+  std::string worker_binary;
+  std::uint32_t engine_threads = 0;  ///< per-worker engine pool; 0 = global
+  /// Crash-injection test hook: worker `crash_rank` calls _exit just before
+  /// its `crash_at`-th round exchange.  0 = disabled.
+  std::uint32_t crash_rank = 0;
+  std::uint64_t crash_at = 0;
+};
+
+/// Transport-side tallies of one coordinated build (host observability;
+/// never part of the deterministic result).
+struct SocketRunReport {
+  std::uint64_t engine_runs = 0;      ///< RUN_BEGIN barriers observed
+  std::uint64_t round_exchanges = 0;  ///< ROUND/DELIVER barriers driven
+  std::uint64_t frames = 0;           ///< frames sent + received
+  std::uint64_t wire_bytes = 0;       ///< bytes sent + received (with headers)
+};
+
+/// Runs `build` across `opts.workers` processes and returns the assembled
+/// oracle -- bit-identical (modulo wall-clock stats) to build_oracle(g,
+/// build) in-process.  Throws std::runtime_error on worker death,
+/// divergence, protocol violation, or timeout.
+service::DistanceOracle socket_build_oracle(const graph::Graph& g,
+                                            const service::OracleBuildOptions& build,
+                                            const SocketBackendOptions& opts,
+                                            SocketRunReport* report = nullptr);
+
+}  // namespace dapsp::net

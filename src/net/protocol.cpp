@@ -1,0 +1,248 @@
+#include "net/protocol.hpp"
+
+#include <array>
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+#include "net/socket.hpp"
+
+namespace dapsp::net {
+
+using congest::BlockReader;
+using congest::block_patch_u32;
+using congest::block_put_u32;
+using congest::block_put_u64;
+using graph::NodeId;
+
+const char* frame_type_name(FrameType t) noexcept {
+  switch (t) {
+    case FrameType::kHello: return "HELLO";
+    case FrameType::kJob: return "JOB";
+    case FrameType::kRunBegin: return "RUN_BEGIN";
+    case FrameType::kRound: return "ROUND";
+    case FrameType::kDeliver: return "DELIVER";
+    case FrameType::kRunEnd: return "RUN_END";
+    case FrameType::kResultMeta: return "RESULT_META";
+    case FrameType::kResultRows: return "RESULT_ROWS";
+    case FrameType::kDone: return "DONE";
+    case FrameType::kBye: return "BYE";
+    case FrameType::kAbort: return "ABORT";
+  }
+  return "?";
+}
+
+void write_frame(int fd, FrameType type, std::string_view payload) {
+  if (payload.size() + 1 > kMaxFrameBytes) {
+    throw SocketError("frame too large: " + std::to_string(payload.size()) +
+                      " bytes of " + frame_type_name(type));
+  }
+  std::string buf;
+  buf.reserve(5 + payload.size());
+  block_put_u32(buf, static_cast<std::uint32_t>(payload.size() + 1));
+  buf.push_back(static_cast<char>(type));
+  buf.append(payload);
+  write_full(fd, buf.data(), buf.size());
+}
+
+std::optional<Frame> read_frame(int fd, int timeout_ms) {
+  std::array<unsigned char, 4> len_bytes;
+  if (!read_full(fd, len_bytes.data(), len_bytes.size(), timeout_ms)) {
+    return std::nullopt;
+  }
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= std::uint32_t{len_bytes[std::size_t(i)]} << (8 * i);
+  if (len == 0 || len > kMaxFrameBytes) {
+    throw SocketError("bad frame length: " + std::to_string(len));
+  }
+  std::string body(len, '\0');
+  if (!read_full(fd, body.data(), body.size(), timeout_ms)) {
+    throw SocketClosed("socket read: peer closed mid-frame");
+  }
+  const auto type_byte = static_cast<std::uint8_t>(body[0]);
+  if (type_byte < static_cast<std::uint8_t>(FrameType::kHello) ||
+      type_byte > static_cast<std::uint8_t>(FrameType::kAbort)) {
+    throw SocketError("unknown frame type byte: " + std::to_string(type_byte));
+  }
+  Frame f;
+  f.type = static_cast<FrameType>(type_byte);
+  f.payload = body.substr(1);
+  return f;
+}
+
+ShardRange shard_range(NodeId n, std::uint32_t rank,
+                       std::uint32_t workers) noexcept {
+  const std::uint64_t lo = std::uint64_t{n} * rank / workers;
+  const std::uint64_t hi = std::uint64_t{n} * (rank + 1) / workers;
+  return {static_cast<NodeId>(lo), static_cast<NodeId>(hi)};
+}
+
+namespace {
+[[noreturn]] void bad_block(const char* what) {
+  throw std::runtime_error(std::string("malformed canonical block: ") + what);
+}
+}  // namespace
+
+void slice_owned(std::string_view block, NodeId lo, NodeId hi,
+                 std::string& out) {
+  out.clear();
+  block_put_u32(out, 0);  // owned count, patched at the end
+  BlockReader r(block);
+  const std::uint32_t total = r.u32();
+  std::uint32_t owned = 0;
+  for (std::uint32_t s = 0; s < total && r.ok(); ++s) {
+    const std::uint32_t id = r.u32();
+    const std::uint32_t groups = r.u32();
+    const std::uint32_t body_len = r.u32();
+    if (!r.ok()) break;
+    const std::string_view body = r.bytes(body_len);
+    if (!r.ok()) break;
+    if (id >= lo && id < hi) {
+      ++owned;
+      block_put_u32(out, id);
+      block_put_u32(out, groups);
+      block_put_u32(out, body_len);
+      out.append(body);
+    }
+  }
+  if (!r.ok() || !r.done()) bad_block("slice_owned walk failed");
+  block_patch_u32(out, 0, owned);
+}
+
+std::uint64_t block_message_bytes(std::string_view block) {
+  BlockReader r(block);
+  std::uint64_t bytes = 0;
+  const std::uint32_t senders = r.u32();
+  for (std::uint32_t s = 0; s < senders && r.ok(); ++s) {
+    r.u32();  // sender id
+    const std::uint32_t groups = r.u32();
+    r.u32();  // byte_len
+    for (std::uint32_t g = 0; g < groups && r.ok(); ++g) {
+      r.u32();  // link slot
+      const std::uint32_t cnt = r.u32();
+      for (std::uint32_t j = 0; j < cnt && r.ok(); ++j) {
+        r.u32();  // tag
+        const std::uint32_t used = r.u32();
+        if (used > congest::Message::kMaxFields) bad_block("field count");
+        r.skip(std::size_t{used} * 8);
+        bytes += 8 + 8 * std::uint64_t{used};
+      }
+    }
+  }
+  if (!r.ok() || !r.done()) bad_block("message-bytes walk failed");
+  return bytes;
+}
+
+namespace {
+
+void append_histogram(std::string& out, const obs::Histogram& h) {
+  for (const std::uint64_t b : h.buckets()) block_put_u64(out, b);
+  block_put_u64(out, h.count());
+  block_put_u64(out, h.sum());
+  block_put_u64(out, h.min());
+  block_put_u64(out, h.max());
+}
+
+obs::Histogram parse_histogram(BlockReader& r) {
+  std::array<std::uint64_t, obs::Histogram::kBuckets> buckets;
+  for (auto& b : buckets) b = r.u64();
+  const std::uint64_t count = r.u64();
+  const std::uint64_t sum = r.u64();
+  const std::uint64_t min = r.u64();
+  const std::uint64_t max = r.u64();
+  return obs::Histogram::from_raw(buckets, count, sum, min, max);
+}
+
+}  // namespace
+
+void append_run_stats(std::string& out, const congest::RunStats& s) {
+  block_put_u64(out, s.rounds);
+  block_put_u64(out, s.last_message_round);
+  block_put_u64(out, s.total_messages);
+  block_put_u64(out, s.max_link_congestion);
+  block_put_u64(out, s.max_congestion_round);
+  block_put_u64(out, s.max_link_total);
+  block_put_u32(out, s.max_message_fields);
+  block_put_u64(out, s.message_bytes);
+  out.push_back(s.hit_round_limit ? '\x01' : '\x00');
+  block_put_u64(out, s.skipped_rounds);
+  block_put_u64(out, s.faults.dropped);
+  block_put_u64(out, s.faults.duplicated);
+  block_put_u64(out, s.faults.delayed);
+  block_put_u64(out, s.faults.deferred);
+  block_put_u64(out, s.faults.crash_dropped);
+  block_put_u64(out, s.faults.delivered);
+  block_put_u64(out, s.faults.max_backlog);
+  append_histogram(out, s.round_messages_hist);
+}
+
+congest::RunStats parse_run_stats(BlockReader& r) {
+  congest::RunStats s;
+  s.rounds = r.u64();
+  s.last_message_round = r.u64();
+  s.total_messages = r.u64();
+  s.max_link_congestion = r.u64();
+  s.max_congestion_round = r.u64();
+  s.max_link_total = r.u64();
+  s.max_message_fields = r.u32();
+  s.message_bytes = r.u64();
+  const std::string_view flag = r.bytes(1);
+  s.hit_round_limit = !flag.empty() && flag[0] != '\0';
+  s.skipped_rounds = r.u64();
+  s.faults.dropped = r.u64();
+  s.faults.duplicated = r.u64();
+  s.faults.delayed = r.u64();
+  s.faults.deferred = r.u64();
+  s.faults.crash_dropped = r.u64();
+  s.faults.delivered = r.u64();
+  s.faults.max_backlog = r.u64();
+  s.round_messages_hist = parse_histogram(r);
+  if (!r.ok()) throw std::runtime_error("parse_run_stats: truncated blob");
+  return s;
+}
+
+void append_string(std::string& out, std::string_view s) {
+  block_put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+std::string read_string(BlockReader& r) {
+  const std::uint32_t len = r.u32();
+  return std::string(r.bytes(len));
+}
+
+void encode_job(std::string& out, const JobSpec& job) {
+  out.clear();
+  block_put_u32(out, job.rank);
+  block_put_u32(out, job.workers);
+  block_put_u32(out, job.solver);
+  block_put_u32(out, job.h);
+  block_put_u64(out, std::bit_cast<std::uint64_t>(job.eps));
+  out.push_back(job.dense ? '\x01' : '\x00');
+  block_put_u32(out, job.engine_threads);
+  block_put_u32(out, job.timeout_ms);
+  block_put_u64(out, job.crash_at);
+  append_string(out, job.graph_text);
+}
+
+JobSpec decode_job(std::string_view payload) {
+  BlockReader r(payload);
+  JobSpec job;
+  job.rank = r.u32();
+  job.workers = r.u32();
+  job.solver = r.u32();
+  job.h = r.u32();
+  job.eps = std::bit_cast<double>(r.u64());
+  const std::string_view dense = r.bytes(1);
+  job.dense = !dense.empty() && dense[0] != '\0';
+  job.engine_threads = r.u32();
+  job.timeout_ms = r.u32();
+  job.crash_at = r.u64();
+  job.graph_text = read_string(r);
+  if (!r.ok() || !r.done()) {
+    throw std::runtime_error("decode_job: malformed JOB payload");
+  }
+  return job;
+}
+
+}  // namespace dapsp::net

@@ -1,0 +1,140 @@
+// Wire protocol of the socket backend.
+//
+// Framing mirrors serve/wire.*: every frame is `u32le length | u8 type |
+// payload`, where length counts the type byte plus the payload and is
+// capped at kMaxFrameBytes (a garbled length fails loudly instead of
+// allocating gigabytes).  One coordinator talks to W workers in strict
+// lockstep; the conversation per worker is
+//
+//   worker -> HELLO{rank}
+//   coord  -> JOB{JobSpec}
+//   per engine run:
+//     worker -> RUN_BEGIN{run_idx, n, links}          (byte-equal across W)
+//     per executed round:
+//       worker -> ROUND{run_idx, round, digest, owned sender slice}
+//       coord  -> DELIVER{reassembled canonical round block}
+//     worker -> RUN_END{run_idx, rounds, stats blob}  (byte-equal across W)
+//   worker -> RESULT_META{owned rows, chunk count, rows digest | shared blob}
+//   worker -> RESULT_ROWS{row chunk} * chunk_count
+//   worker -> DONE
+//   coord  -> BYE
+//
+// Either side may send ABORT{message} instead of its next frame; the
+// receiver surfaces the message and tears down.  All multi-byte integers
+// are little-endian via the canonical-block helpers in congest/plane.hpp.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "congest/metrics.hpp"
+#include "congest/plane.hpp"
+#include "graph/graph.hpp"
+
+namespace dapsp::net {
+
+/// Same ceiling as serve/wire.*: 64 MiB.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,
+  kJob = 2,
+  kRunBegin = 3,
+  kRound = 4,
+  kDeliver = 5,
+  kRunEnd = 6,
+  kResultMeta = 7,
+  kResultRows = 8,
+  kDone = 9,
+  kBye = 10,
+  kAbort = 11,
+};
+
+const char* frame_type_name(FrameType t) noexcept;
+
+struct Frame {
+  FrameType type = FrameType::kAbort;
+  std::string payload;
+};
+
+/// Writes one frame (single send of header + payload).  Throws SocketClosed
+/// when the peer is gone, SocketError on oversize payloads.
+void write_frame(int fd, FrameType type, std::string_view payload);
+
+/// Reads one frame within `timeout_ms`.  Returns nullopt on a clean EOF at
+/// a frame boundary (orderly shutdown); throws SocketTimeout / SocketClosed
+/// / SocketError otherwise (including unknown type bytes and bad lengths).
+std::optional<Frame> read_frame(int fd, int timeout_ms);
+
+/// Contiguous vertex range owned by `rank` out of `workers` shards:
+/// [n*rank/workers, n*(rank+1)/workers).  Ranges tile [0, n) in rank order
+/// and differ in size by at most one vertex.
+struct ShardRange {
+  graph::NodeId lo = 0;
+  graph::NodeId hi = 0;  ///< exclusive
+};
+ShardRange shard_range(graph::NodeId n, std::uint32_t rank,
+                       std::uint32_t workers) noexcept;
+
+/// Extracts the sender records owned by [lo, hi) from a canonical round
+/// block (see congest/plane.hpp) into `out` as `u32 owned_count | records`.
+/// Header-only walk -- byte_len lets it skip message payloads.  Throws
+/// std::runtime_error on a malformed block.
+void slice_owned(std::string_view block, graph::NodeId lo, graph::NodeId hi,
+                 std::string& out);
+
+/// Sum of the wire message bytes a canonical block carries (8 + 8*used per
+/// message) -- the coordinator's independent check against the workers'
+/// RunStats::message_bytes.  Throws std::runtime_error on malformed input.
+std::uint64_t block_message_bytes(std::string_view block);
+
+/// Serializes the deterministic subset of RunStats -- every field except
+/// the wall-clock timings/histograms and per_round_messages (off in oracle
+/// builds), fault counters included so a nonzero count can never hide.
+/// Byte-equality of two encodings == equality of that subset, which is how
+/// the coordinator compares workers without field-by-field plumbing.
+void append_run_stats(std::string& out, const congest::RunStats& s);
+
+/// Inverse of append_run_stats; wall-clock fields come back zeroed.
+/// Throws std::runtime_error on malformed input.
+congest::RunStats parse_run_stats(congest::BlockReader& r);
+
+/// Everything a worker needs to replicate the build, shipped in one JOB
+/// frame (the graph travels as its graph::write_graph text image, which
+/// round-trips canonically because GraphBuilder::finish sorts adjacency).
+struct JobSpec {
+  std::uint32_t rank = 0;
+  std::uint32_t workers = 1;
+  std::uint32_t solver = 0;  ///< service::Solver enum value
+  std::uint32_t h = 0;
+  double eps = 0.5;
+  bool dense = false;             ///< force the dense fallback engine
+  std::uint32_t engine_threads = 0;  ///< per-worker pool size; 0 = global
+  std::uint32_t timeout_ms = 0;
+  std::uint64_t crash_at = 0;  ///< test hook: _exit before the Nth exchange
+  std::string graph_text;
+};
+
+void encode_job(std::string& out, const JobSpec& job);
+JobSpec decode_job(std::string_view payload);
+
+// Small helpers shared by coordinator and worker payload codecs.
+void append_string(std::string& out, std::string_view s);
+std::string read_string(congest::BlockReader& r);
+
+/// Incremental FNV-1a 64: seed with kFnvBasis, fold chunks in order;
+/// equals congest::fnv1a64 of the concatenation.  Used for the result-row
+/// digests, which are hashed chunk by chunk on both sides.
+inline constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ull;
+inline std::uint64_t fnv1a64_acc(std::uint64_t h,
+                                 std::string_view bytes) noexcept {
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace dapsp::net

@@ -1,0 +1,266 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace dapsp::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[noreturn]] void throw_errno(const std::string& what, int err) {
+  throw SocketError(what + ": " + std::strerror(err));
+}
+
+int ms_left(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return left.count() <= 0 ? 0 : static_cast<int>(left.count());
+}
+
+/// poll() for readability with EINTR handling; throws SocketTimeout on
+/// deadline, SocketError on poll failure.
+void wait_readable(int fd, Clock::time_point deadline) {
+  for (;;) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLIN;
+    const int r = ::poll(&p, 1, ms_left(deadline));
+    if (r > 0) return;  // readable, or HUP/ERR -- the read reports which
+    if (r == 0) throw SocketTimeout("socket read: deadline expired");
+    if (errno == EINTR) continue;
+    throw_errno("poll", errno);
+  }
+}
+
+sockaddr_un make_unix_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw SocketError("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+sockaddr_in make_tcp_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw SocketError("tcp endpoint host must be a numeric IPv4 address: " +
+                      host);
+  }
+  return addr;
+}
+
+Socket make_stream_socket(bool is_unix) {
+  const int fd = ::socket(is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket", errno);
+  Socket s(fd);
+  if (!is_unix) {
+    // Round frames are small and strictly request/response; never batch.
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return s;
+}
+
+}  // namespace
+
+Endpoint Endpoint::parse(std::string_view spec) {
+  Endpoint ep;
+  if (spec.rfind("unix:", 0) == 0) {
+    ep.is_unix = true;
+    ep.path = std::string(spec.substr(5));
+    if (ep.path.empty()) throw SocketError("empty unix socket path");
+    return ep;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    ep.is_unix = false;
+    const std::string_view rest = spec.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string_view::npos || colon == 0 ||
+        colon + 1 == rest.size()) {
+      throw SocketError("malformed tcp endpoint (want tcp:<ipv4>:<port>): " +
+                        std::string(spec));
+    }
+    ep.host = std::string(rest.substr(0, colon));
+    const std::string_view port_str = rest.substr(colon + 1);
+    std::uint32_t port = 0;
+    for (const char c : port_str) {
+      if (c < '0' || c > '9' || port > 65535) {
+        throw SocketError("malformed tcp port: " + std::string(spec));
+      }
+      port = port * 10 + static_cast<std::uint32_t>(c - '0');
+    }
+    if (port == 0 || port > 65535) {
+      throw SocketError("tcp port out of range: " + std::string(spec));
+    }
+    ep.port = static_cast<std::uint16_t>(port);
+    return ep;
+  }
+  throw SocketError("endpoint must start with unix: or tcp: -- got " +
+                    std::string(spec));
+}
+
+std::string Endpoint::spec() const {
+  if (is_unix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+Socket& Socket::operator=(Socket&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Listener::Listener(const Endpoint& ep) : bound_(ep) {
+  fd_ = make_stream_socket(ep.is_unix);
+  if (ep.is_unix) {
+    ::unlink(ep.path.c_str());  // stale file from a crashed prior run
+    const sockaddr_un addr = make_unix_addr(ep.path);
+    if (::bind(fd_.fd(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      throw_errno("bind " + ep.spec(), errno);
+    }
+  } else {
+    sockaddr_in addr = make_tcp_addr(ep.host, ep.port);
+    if (::bind(fd_.fd(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      throw_errno("bind " + ep.spec(), errno);
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd_.fd(), reinterpret_cast<sockaddr*>(&addr), &len) !=
+        0) {
+      throw_errno("getsockname", errno);
+    }
+    bound_.port = ntohs(addr.sin_port);
+  }
+  if (::listen(fd_.fd(), SOMAXCONN) != 0) {
+    throw_errno("listen " + bound_.spec(), errno);
+  }
+}
+
+Listener::~Listener() {
+  fd_.close();
+  if (bound_.is_unix) ::unlink(bound_.path.c_str());
+}
+
+Socket Listener::accept_within(int timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    try {
+      wait_readable(fd_.fd(), deadline);
+    } catch (const SocketTimeout&) {
+      throw SocketTimeout("accept on " + bound_.spec() +
+                          ": no worker connected within deadline");
+    }
+    const int fd = ::accept(fd_.fd(), nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    throw_errno("accept", errno);
+  }
+}
+
+Socket connect_with_retry(const Endpoint& ep, int timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  auto backoff = std::chrono::milliseconds(1);
+  for (;;) {
+    Socket s = make_stream_socket(ep.is_unix);
+    int rc;
+    if (ep.is_unix) {
+      const sockaddr_un addr = make_unix_addr(ep.path);
+      do {
+        rc = ::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof(addr));
+      } while (rc != 0 && errno == EINTR);
+    } else {
+      const sockaddr_in addr = make_tcp_addr(ep.host, ep.port);
+      do {
+        rc = ::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof(addr));
+      } while (rc != 0 && errno == EINTR);
+    }
+    if (rc == 0) return s;
+    // Not-yet-listening shows as ECONNREFUSED (tcp, bound unix file) or
+    // ENOENT (unix file not created yet); both are retryable races against
+    // the coordinator's startup.
+    if (errno != ECONNREFUSED && errno != ENOENT && errno != EAGAIN) {
+      throw_errno("connect " + ep.spec(), errno);
+    }
+    if (Clock::now() + backoff > deadline) {
+      throw SocketTimeout("connect " + ep.spec() +
+                          ": peer never started listening");
+    }
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, std::chrono::milliseconds(100));
+  }
+}
+
+void write_full(int fd, const void* data, std::size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (n > 0) {
+      p += n;
+      len -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      throw SocketClosed("socket write: peer closed the connection");
+    }
+    throw_errno("send", errno);
+  }
+}
+
+bool read_full(int fd, void* data, std::size_t len, int timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < len) {
+    wait_readable(fd, deadline);
+    const ssize_t n = ::recv(fd, p + got, len - got, 0);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      if (got == 0) return false;  // clean EOF on a frame boundary
+      throw SocketClosed("socket read: peer closed mid-frame");
+    }
+    if (errno == EINTR || errno == EAGAIN) continue;
+    if (errno == ECONNRESET) {
+      throw SocketClosed("socket read: connection reset by peer");
+    }
+    throw_errno("recv", errno);
+  }
+  return true;
+}
+
+void ignore_sigpipe() noexcept { ::signal(SIGPIPE, SIG_IGN); }
+
+}  // namespace dapsp::net

@@ -1,0 +1,115 @@
+// Robust blocking-socket plumbing for the multi-process backend.
+//
+// Everything here is deliberately boring POSIX: local stream sockets
+// (Unix-domain by default, 127.0.0.1 TCP on request), full-length reads and
+// writes that survive partial transfers and EINTR, poll()-based deadlines,
+// and connect retry with exponential backoff so a worker can dial the
+// coordinator's listener before it finishes accepting the previous peer.
+// EPIPE/ECONNRESET surface as SocketClosed (the peer process died -- the
+// coordinator turns that into a partition error naming the shard), never as
+// SIGPIPE (callers must install ignore_sigpipe() once per process).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace dapsp::net {
+
+/// Transport-level failure (syscall error, malformed endpoint, oversize
+/// frame).  The two subclasses below distinguish the cases the coordinator
+/// words differently; everything else is a plain SocketError.
+class SocketError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A deadline expired while waiting for the peer.
+class SocketTimeout final : public SocketError {
+ public:
+  using SocketError::SocketError;
+};
+
+/// The peer hung up: EOF mid-object, EPIPE/ECONNRESET on write.
+class SocketClosed final : public SocketError {
+ public:
+  using SocketError::SocketError;
+};
+
+/// A local rendezvous address: "unix:<path>" or "tcp:<ipv4>:<port>".
+/// TCP hosts are numeric IPv4 only -- the backend never leaves loopback, so
+/// there is nothing to resolve.
+struct Endpoint {
+  bool is_unix = true;
+  std::string path;             ///< unix socket path
+  std::string host = "127.0.0.1";  ///< tcp numeric address
+  std::uint16_t port = 0;          ///< tcp port; 0 = kernel-assigned
+
+  /// Parses a spec string; throws SocketError on malformed input.
+  static Endpoint parse(std::string_view spec);
+  /// The canonical spec string ("unix:/tmp/x" / "tcp:127.0.0.1:4242").
+  std::string spec() const;
+};
+
+/// Owning fd wrapper; move-only.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Socket& operator=(Socket&& o) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  ~Socket() { close(); }
+
+  int fd() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Bound, listening rendezvous socket.  Unix paths are unlinked on both
+/// bind (stale socket files from a crashed prior run) and destruction; a
+/// TCP endpoint with port 0 reports the kernel-assigned port via bound().
+class Listener {
+ public:
+  explicit Listener(const Endpoint& ep);
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  const Endpoint& bound() const noexcept { return bound_; }
+
+  /// Accepts one connection; throws SocketTimeout after `timeout_ms`.
+  Socket accept_within(int timeout_ms);
+
+ private:
+  Socket fd_;
+  Endpoint bound_;
+};
+
+/// Dials `ep`, retrying refused/not-yet-bound connects with exponential
+/// backoff (1 ms doubling to 100 ms) until `timeout_ms` elapses.
+Socket connect_with_retry(const Endpoint& ep, int timeout_ms);
+
+/// Writes all `len` bytes, looping over partial writes and EINTR.  Throws
+/// SocketClosed when the peer is gone (EPIPE/ECONNRESET), SocketError on
+/// any other failure.  Blocking fd; no deadline -- local-socket writes only
+/// stall when the peer stops draining, which the read deadlines catch.
+void write_full(int fd, const void* data, std::size_t len);
+
+/// Reads exactly `len` bytes with a poll() deadline per chunk.  Returns
+/// false on a clean EOF before the first byte (orderly peer shutdown);
+/// throws SocketClosed on EOF mid-object, SocketTimeout on deadline,
+/// SocketError otherwise.
+bool read_full(int fd, void* data, std::size_t len, int timeout_ms);
+
+/// Process-wide SIGPIPE suppression (idempotent).  Call once before any
+/// socket writes; broken pipes then surface as EPIPE -> SocketClosed.
+void ignore_sigpipe() noexcept;
+
+}  // namespace dapsp::net

@@ -1,0 +1,245 @@
+#include "net/worker.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "congest/engine.hpp"
+#include "congest/plane.hpp"
+#include "graph/io.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "service/oracle.hpp"
+
+namespace dapsp::net {
+
+namespace {
+
+using congest::block_put_u32;
+using congest::block_put_u64;
+using graph::NodeId;
+
+/// The remote MessagePlane: one instance per worker process, installed as
+/// the engine's process-global plane for the duration of the build.  Every
+/// engine the solver constructs announces itself (RUN_BEGIN), trades one
+/// ROUND/DELIVER pair per executed round, and reports its deterministic
+/// stats (RUN_END).  The exchange doubles as the lockstep barrier: no
+/// replica can run ahead, because the coordinator only delivers once every
+/// worker's round frame arrived and agreed.
+class SocketPlane final : public congest::MessagePlane {
+ public:
+  SocketPlane(int fd, ShardRange owned, int timeout_ms, std::uint64_t crash_at)
+      : fd_(fd), owned_(owned), timeout_ms_(timeout_ms), crash_at_(crash_at) {}
+
+  const char* name() const noexcept override { return "socket"; }
+  bool remote() const noexcept override { return true; }
+
+  void begin_run(NodeId nodes, std::uint64_t links) override {
+    ++run_idx_;
+    payload_.clear();
+    block_put_u32(payload_, run_idx_);
+    block_put_u32(payload_, nodes);
+    block_put_u64(payload_, links);
+    write_frame(fd_, FrameType::kRunBegin, payload_);
+  }
+
+  void exchange(congest::Round round, std::string& block) override {
+    ++exchanges_;
+    // Crash-injection test hook: die exactly where a real worker would --
+    // mid-run, with peers blocked on this round's barrier.
+    if (crash_at_ != 0 && exchanges_ == crash_at_) ::_exit(13);
+    const std::uint64_t digest = congest::fnv1a64(block);
+    payload_.clear();
+    block_put_u32(payload_, run_idx_);
+    block_put_u64(payload_, round);
+    block_put_u64(payload_, digest);
+    slice_owned(block, owned_.lo, owned_.hi, slice_);
+    payload_.append(slice_);
+    write_frame(fd_, FrameType::kRound, payload_);
+
+    std::optional<Frame> f = read_frame(fd_, timeout_ms_);
+    if (!f) {
+      throw SocketClosed("coordinator closed the connection mid-round");
+    }
+    if (f->type == FrameType::kAbort) {
+      throw std::runtime_error("coordinator aborted the run: " + f->payload);
+    }
+    if (f->type != FrameType::kDeliver) {
+      throw std::runtime_error(std::string("protocol violation: expected "
+                                           "DELIVER, got ") +
+                               frame_type_name(f->type));
+    }
+    // Layered divergence check: the authoritative reassembly must equal
+    // this replica's own execution bit for bit.  The coordinator already
+    // compared all workers' digests; this catches coordinator-side
+    // reassembly bugs and transport corruption too.
+    if (congest::fnv1a64(f->payload) != digest) {
+      throw std::runtime_error(
+          "replica divergence: delivered round block does not match local "
+          "execution at round " + std::to_string(round));
+    }
+    block = std::move(f->payload);
+  }
+
+  void end_run(const congest::RunStats& stats) override {
+    payload_.clear();
+    block_put_u32(payload_, run_idx_);
+    append_run_stats(payload_, stats);
+    write_frame(fd_, FrameType::kRunEnd, payload_);
+  }
+
+ private:
+  int fd_;
+  ShardRange owned_;
+  int timeout_ms_;
+  std::uint64_t crash_at_;
+  std::uint32_t run_idx_ = 0;
+  std::uint64_t exchanges_ = 0;
+  std::string payload_;
+  std::string slice_;
+};
+
+/// Clears the process-global engine overrides even when the build throws.
+struct GlobalPlaneScope {
+  explicit GlobalPlaneScope(congest::MessagePlane* plane) {
+    congest::Engine::set_global_plane(plane);
+  }
+  ~GlobalPlaneScope() {
+    congest::Engine::set_global_plane(nullptr);
+    congest::Engine::set_force_dense(false);
+    congest::Engine::set_force_threads(congest::Engine::kNoThreadOverride);
+  }
+};
+
+void encode_row(std::string& out, const service::DistanceOracle& o, NodeId u,
+                bool has_next) {
+  for (const graph::Weight w : o.dist_row(u)) {
+    block_put_u64(out, static_cast<std::uint64_t>(w));
+  }
+  if (has_next) {
+    for (const NodeId x : o.next_row(u)) block_put_u32(out, x);
+  }
+}
+
+/// RESULT_META + owned row chunks + DONE{rows digest}.
+void send_results(int fd, const service::DistanceOracle& o, ShardRange owned) {
+  const NodeId n = o.node_count();
+  const bool has_next = o.has_paths();
+  const std::size_t row_bytes =
+      static_cast<std::size_t>(n) * 8 +
+      (has_next ? static_cast<std::size_t>(n) * 4 : 0);
+  const std::uint32_t rows = owned.hi - owned.lo;
+  // Keep every frame well under the cap; 4 MiB of rows per chunk.
+  const std::uint32_t rows_per_chunk = static_cast<std::uint32_t>(
+      std::max<std::size_t>(1, (std::size_t{4} << 20) / row_bytes));
+  const std::uint32_t chunks =
+      rows == 0 ? 0 : (rows + rows_per_chunk - 1) / rows_per_chunk;
+
+  std::string meta;
+  block_put_u32(meta, owned.lo);
+  block_put_u32(meta, owned.hi);
+  block_put_u32(meta, chunks);
+  // Shared blob: identical on every worker (shadow execution), so the
+  // coordinator compares it byte for byte instead of field by field.
+  block_put_u32(meta, n);
+  meta.push_back(o.exact() ? '\x01' : '\x00');
+  meta.push_back(has_next ? '\x01' : '\x00');
+  append_string(meta, o.solver_label());
+  append_run_stats(meta, o.build_stats());
+  write_frame(fd, FrameType::kResultMeta, meta);
+
+  std::uint64_t digest = kFnvBasis;
+  std::string chunk;
+  NodeId u = owned.lo;
+  while (u < owned.hi) {
+    const std::uint32_t count =
+        std::min(rows_per_chunk, static_cast<std::uint32_t>(owned.hi - u));
+    chunk.clear();
+    block_put_u32(chunk, u);
+    block_put_u32(chunk, count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      encode_row(chunk, o, u + i, has_next);
+    }
+    digest = fnv1a64_acc(digest, std::string_view(chunk).substr(8));
+    write_frame(fd, FrameType::kResultRows, chunk);
+    u += count;
+  }
+  std::string done;
+  block_put_u64(done, digest);
+  write_frame(fd, FrameType::kDone, done);
+}
+
+}  // namespace
+
+int worker_main(const WorkerOptions& opts) {
+  ignore_sigpipe();
+  Socket sock;
+  try {
+    sock = connect_with_retry(Endpoint::parse(opts.connect),
+                              static_cast<int>(opts.timeout_ms));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dapsp worker %u: %s\n", opts.rank, e.what());
+    return 1;
+  }
+  try {
+    std::string hello;
+    block_put_u32(hello, opts.rank);
+    write_frame(sock.fd(), FrameType::kHello, hello);
+
+    std::optional<Frame> jf =
+        read_frame(sock.fd(), static_cast<int>(opts.timeout_ms));
+    if (!jf || jf->type != FrameType::kJob) {
+      throw std::runtime_error("expected JOB from coordinator");
+    }
+    const JobSpec job = decode_job(jf->payload);
+    const int tmo = job.timeout_ms != 0 ? static_cast<int>(job.timeout_ms)
+                                        : static_cast<int>(opts.timeout_ms);
+    if (job.rank != opts.rank) {
+      throw std::runtime_error("JOB rank does not match --rank");
+    }
+    if (job.workers == 0 || job.rank >= job.workers) {
+      throw std::runtime_error("JOB rank/worker count out of range");
+    }
+
+    std::istringstream is(job.graph_text);
+    const graph::Graph g = graph::read_graph(is);
+    const ShardRange owned = shard_range(g.node_count(), job.rank, job.workers);
+
+    SocketPlane plane(sock.fd(), owned, tmo, job.crash_at);
+    GlobalPlaneScope scope(&plane);
+    congest::Engine::set_force_dense(job.dense);
+    if (job.engine_threads != 0) {
+      congest::Engine::set_force_threads(job.engine_threads);
+    }
+
+    service::OracleBuildOptions build;
+    if (job.solver > static_cast<std::uint32_t>(service::Solver::kReference)) {
+      throw std::runtime_error("JOB carries an unknown solver id");
+    }
+    build.solver = static_cast<service::Solver>(job.solver);
+    build.h = job.h;
+    build.eps = job.eps;
+    build.critpath = false;
+    const service::DistanceOracle oracle = service::build_oracle(g, build);
+
+    send_results(sock.fd(), oracle, owned);
+    // Hold the connection until the coordinator has everything; BYE (or a
+    // clean EOF if it already tore down) releases us.
+    (void)read_frame(sock.fd(), tmo);
+    return 0;
+  } catch (const std::exception& e) {
+    try {
+      write_frame(sock.fd(), FrameType::kAbort, e.what());
+    } catch (...) {
+      // Coordinator already gone; stderr is all that's left.
+    }
+    std::fprintf(stderr, "dapsp worker %u: %s\n", opts.rank, e.what());
+    return 1;
+  }
+}
+
+}  // namespace dapsp::net

@@ -1,0 +1,25 @@
+// Worker-shard side of the socket backend: `dapsp worker --connect <spec>
+// --rank <r>` lands in worker_main(), which dials the coordinator, receives
+// the job (graph + solver options), replicates the whole build with a
+// SocketPlane installed as the process-global message plane, and ships its
+// owned result rows back.  See coordinator.hpp for the big picture and
+// docs/BACKENDS.md for the design.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dapsp::net {
+
+struct WorkerOptions {
+  std::string connect;  ///< coordinator endpoint spec ("unix:…"/"tcp:…")
+  std::uint32_t rank = 0;
+  std::uint32_t timeout_ms = 120000;  ///< connect + per-frame deadline
+};
+
+/// Runs one worker session to completion.  Returns the process exit code:
+/// 0 on success, 1 on any failure (after best-effort sending ABORT to the
+/// coordinator and printing the reason to stderr).
+int worker_main(const WorkerOptions& opts);
+
+}  // namespace dapsp::net

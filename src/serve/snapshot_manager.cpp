@@ -35,6 +35,7 @@ void SnapshotManager::rebuild_async() {
   {
     std::lock_guard lock(mu_);
     pending_ = true;
+    ++submitted_gen_;
   }
   cv_.notify_one();
 }
@@ -45,15 +46,16 @@ void SnapshotManager::wait_idle() {
 }
 
 service::RebuildOutcome SnapshotManager::rebuild_now() {
-  rebuild_async();
-  wait_idle();
-  const Stats st = stats();
-  service::RebuildOutcome out;
-  out.ok = st.last_error.empty();
-  out.epoch = st.last_epoch;
-  out.build_ns = st.last_build_ns;
-  out.error = st.last_error;
-  return out;
+  std::uint64_t my_gen = 0;
+  {
+    std::lock_guard lock(mu_);
+    pending_ = true;
+    my_gen = ++submitted_gen_;
+  }
+  cv_.notify_one();
+  std::unique_lock lock(mu_);
+  done_cv_.wait(lock, [this, my_gen] { return done_gen_ >= my_gen; });
+  return last_outcome_;
 }
 
 SnapshotManager::Stats SnapshotManager::stats() const {
@@ -63,6 +65,7 @@ SnapshotManager::Stats SnapshotManager::stats() const {
 
 void SnapshotManager::worker_loop() {
   for (;;) {
+    std::uint64_t claimed_gen = 0;
     {
       std::unique_lock lock(mu_);
       cv_.wait(lock, [this] { return pending_ || stop_; });
@@ -71,17 +74,21 @@ void SnapshotManager::worker_loop() {
       if (stop_ && !pending_) return;
       pending_ = false;
       building_ = true;
+      // Claim every request submitted so far: the build about to run copies
+      // the graph *after* this point, so it observes all of their inputs.
+      claimed_gen = submitted_gen_;
     }
-    run_one_rebuild();
+    run_one_rebuild(claimed_gen);
     {
       std::lock_guard lock(mu_);
       building_ = false;
     }
     idle_cv_.notify_all();
+    done_cv_.notify_all();
   }
 }
 
-void SnapshotManager::run_one_rebuild() {
+void SnapshotManager::run_one_rebuild(std::uint64_t claimed_gen) {
   // Copy the input under the lock, build without it: set_graph and new
   // rebuild_async calls stay non-blocking for the whole build.
   graph::Graph g;
@@ -102,12 +109,16 @@ void SnapshotManager::run_one_rebuild() {
     stats_.last_build_ns = build_ns;
     stats_.last_epoch = epoch;
     stats_.last_error.clear();
+    done_gen_ = claimed_gen;
+    last_outcome_ = {true, epoch, build_ns, {}};
   } catch (const std::exception& e) {
     // The serving snapshot is untouched: a failed build is an observability
     // event, not an outage.
     std::lock_guard lock(mu_);
     ++stats_.rebuilds_failed;
     stats_.last_error = e.what();
+    done_gen_ = claimed_gen;
+    last_outcome_ = {false, stats_.last_epoch, 0, e.what()};
   }
 }
 

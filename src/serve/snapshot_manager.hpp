@@ -61,15 +61,21 @@ class SnapshotManager {
   /// Blocks until no rebuild is running or pending.
   void wait_idle();
 
-  /// Requests a rebuild and waits for it (and anything already queued) to
-  /// publish; returns the outcome of the newest completed rebuild.
+  /// Requests a rebuild and waits until a build that *covers this request*
+  /// completes, returning that build's outcome.  "Covers" is tracked with a
+  /// generation counter: each request stamps a generation, the worker claims
+  /// the newest generation when it dequeues, and completion publishes it --
+  /// so a caller returns as soon as any build submitted at-or-after its
+  /// request finishes, even while other threads keep flooding
+  /// rebuild_async.  (The old wait-for-idle implementation could starve
+  /// under that flood and, worse, report a different caller's outcome.)
   service::RebuildOutcome rebuild_now();
 
   Stats stats() const;
 
  private:
   void worker_loop();
-  void run_one_rebuild();
+  void run_one_rebuild(std::uint64_t claimed_gen);
 
   service::QueryService& svc_;
   const service::OracleBuildOptions opts_;
@@ -83,6 +89,15 @@ class SnapshotManager {
   bool building_ = false;
   bool stop_ = false;
   Stats stats_;
+
+  // Rebuild generations (all under mu_): a request bumps submitted_gen_;
+  // the worker claims submitted_gen_ at dequeue and stores it into
+  // done_gen_ (with the outcome in last_outcome_) when that build lands.
+  // rebuild_now(gen g) waits for done_gen_ >= g.
+  std::uint64_t submitted_gen_ = 0;
+  std::uint64_t done_gen_ = 0;
+  service::RebuildOutcome last_outcome_;
+  std::condition_variable done_cv_;  // wakes rebuild_now waiters
 
   std::thread worker_;
 };

@@ -254,6 +254,24 @@ DistanceOracle make_oracle_from_distances(
   return o;
 }
 
+DistanceOracle make_oracle_from_rows(NodeId n, std::vector<Weight> dist,
+                                     std::vector<NodeId> next,
+                                     OracleMeta meta) {
+  const std::size_t cells = static_cast<std::size_t>(n) * n;
+  util::check(n > 0, "make_oracle_from_rows: empty oracle");
+  util::check(dist.size() == cells,
+              "make_oracle_from_rows: dist table is not n*n");
+  util::check(next.empty() || next.size() == cells,
+              "make_oracle_from_rows: next table is not n*n");
+  DistanceOracle o;
+  o.n_ = n;
+  o.exact_ = meta.exact;
+  o.meta_ = std::move(meta);
+  o.dist_ = std::move(dist);
+  o.next_ = std::move(next);
+  return o;
+}
+
 DistanceOracle build_oracle(const Graph& g, const OracleBuildOptions& opts) {
   util::check(g.node_count() > 0, "build_oracle: empty graph");
   // kReference never touches the engine: no fault plan can have bent it,

@@ -67,6 +67,101 @@ TEST(CliOptions, RejectsBadInput) {
   EXPECT_THROW(parse({"kssp", "--sources", "1,,2"}), std::invalid_argument);
 }
 
+// Regression: unsigned flags used to be parsed as int64 and static_cast into
+// their field, so "--n -1" silently became a ~4-billion-node graph and
+// "--seed -1" wrapped to UINT64_MAX.  Every numeric flag now rejects
+// negatives and values beyond its field's range.
+TEST(CliOptions, RejectsNegativeAndOverflowingIntegers) {
+  // Negatives on every unsigned flag.
+  EXPECT_THROW(parse({"gen", "--n", "-1"}), std::invalid_argument);
+  EXPECT_THROW(parse({"apsp", "--h", "-3"}), std::invalid_argument);
+  EXPECT_THROW(parse({"gen", "--seed", "-1"}), std::invalid_argument);
+  EXPECT_THROW(parse({"apsp", "--fault-seed", "-7"}), std::invalid_argument);
+  EXPECT_THROW(parse({"kssp", "--sources", "0,-2"}), std::invalid_argument);
+  EXPECT_THROW(parse({"query", "--q", "dist 0 1", "--workers", "-2"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"worker", "--connect", "unix:/tmp/x", "--rank", "-1"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"query", "--q", "dist 0 1", "--net-timeout-ms", "-5"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"serve", "--threads", "-1"}), std::invalid_argument);
+  EXPECT_THROW(parse({"serve", "--cache", "-1"}), std::invalid_argument);
+  EXPECT_THROW(parse({"serve", "--shards", "-1"}), std::invalid_argument);
+  EXPECT_THROW(parse({"serve", "--max-batch", "-1"}), std::invalid_argument);
+  EXPECT_THROW(parse({"profile", "--top", "-1"}), std::invalid_argument);
+  EXPECT_THROW(parse({"apsp", "--trace-capacity", "-1"}),
+               std::invalid_argument);
+
+  // Out-of-range / overflow per field.
+  EXPECT_THROW(parse({"gen", "--n", "4294967295"}), std::invalid_argument);
+  EXPECT_THROW(parse({"gen", "--n", "99999999999999999999"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"apsp", "--h", "4294967296"}), std::invalid_argument);
+  EXPECT_THROW(parse({"kssp", "--sources", "4294967295"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"query", "--q", "dist 0 1", "--workers", "257"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"worker", "--connect", "unix:/tmp/x", "--rank", "256"}),
+               std::invalid_argument);
+
+  // The full unsigned range still parses where the field allows it.
+  EXPECT_EQ(parse({"gen", "--seed", "18446744073709551615"}).seed,
+            18446744073709551615ull);
+  EXPECT_EQ(parse({"gen", "--n", "4294967294"}).n, 4294967294u);
+}
+
+// Regression: parse_double accepted nan/inf/out-of-domain values, so
+// "--p 1.5" generated a complete graph and "--eps nan" poisoned the scale
+// ladder.  Probabilities now live in [0, 1] and eps in (0, inf).
+TEST(CliOptions, RejectsNonFiniteAndOutOfDomainDoubles) {
+  for (const char* bad : {"nan", "inf", "-inf", "1e999"}) {
+    EXPECT_THROW(parse({"gen", "--p", bad}), std::invalid_argument) << bad;
+    EXPECT_THROW(parse({"gen", "--zero", bad}), std::invalid_argument) << bad;
+    EXPECT_THROW(parse({"approx", "--eps", bad}), std::invalid_argument)
+        << bad;
+  }
+  EXPECT_THROW(parse({"gen", "--p", "1.5"}), std::invalid_argument);
+  EXPECT_THROW(parse({"gen", "--p", "-0.1"}), std::invalid_argument);
+  EXPECT_THROW(parse({"gen", "--zero", "2"}), std::invalid_argument);
+  EXPECT_THROW(parse({"approx", "--eps", "-0.5"}), std::invalid_argument);
+  // Boundaries stay legal.
+  EXPECT_DOUBLE_EQ(parse({"gen", "--p", "0"}).p, 0.0);
+  EXPECT_DOUBLE_EQ(parse({"gen", "--p", "1"}).p, 1.0);
+  EXPECT_DOUBLE_EQ(parse({"gen", "--zero", "1"}).zero_fraction, 1.0);
+}
+
+TEST(CliOptions, ParsesBackendAndWorkerFlags) {
+  const Options q = parse({"query", "--q", "dist 0 1", "--backend", "socket",
+                           "--workers", "4", "--transport", "tcp",
+                           "--net-timeout-ms", "9000"});
+  EXPECT_EQ(q.backend, "socket");
+  EXPECT_EQ(q.workers, 4u);
+  EXPECT_EQ(q.transport, "tcp");
+  EXPECT_EQ(q.net_timeout_ms, 9000u);
+
+  const Options w = parse({"worker", "--connect", "unix:/tmp/s.sock",
+                           "--rank", "3", "--net-timeout-ms", "500"});
+  EXPECT_EQ(w.command, Command::kWorker);
+  EXPECT_EQ(w.connect, "unix:/tmp/s.sock");
+  EXPECT_EQ(w.rank, 3u);
+
+  EXPECT_THROW(parse({"worker"}), std::invalid_argument);  // needs --connect
+  EXPECT_THROW(parse({"query", "--q", "x", "--backend", "bogus"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"query", "--q", "x", "--transport", "carrier-pigeon"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"apsp", "--backend", "socket"}), std::invalid_argument);
+  EXPECT_THROW(parse({"query", "--q", "x", "--backend", "socket", "--shards",
+                      "2"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"query", "--q", "x", "--backend", "socket", "--faults",
+                      "drop=0.1"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"query", "--q", "x", "--backend", "socket",
+                      "--critpath"}),
+               std::invalid_argument);
+}
+
 TEST(CliCommands, MakeInputGraphGenerators) {
   for (const char* kind : {"erdos_renyi", "cycle", "path", "tree", "ba"}) {
     Options o = parse({"info", "--gen", kind, "--n", "12", "--seed", "4"});

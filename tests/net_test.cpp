@@ -1,0 +1,514 @@
+// The socket backend's acceptance suite.
+//
+// The headline test is cross-backend bit-identity: every solver, on several
+// graph families, must produce byte-for-byte the same deterministic stats
+// and the same dist/next tables whether the oracle is built in-process
+// (sparse or dense engine) or across 2/4 worker processes over real
+// sockets.  Around it: protocol unit tests (framing, shard tiling, owned-
+// slice reassembly), the loud-partition-on-crash test the acceptance
+// criteria demand, and an exactness test for the reliable transport whose
+// wire messages cross a real socketpair with >= 10% injected loss.
+//
+// Worker processes exec the CLI binary (DAPSP_CLI_BIN, injected by CMake)
+// rather than /proc/self/exe: re-execing the gtest binary would rerun the
+// test suite inside every worker.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <span>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "congest/engine.hpp"
+#include "congest/plane.hpp"
+#include "congest/reliable.hpp"
+#include "graph/generators.hpp"
+#include "net/coordinator.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "service/oracle.hpp"
+
+namespace dapsp::net {
+namespace {
+
+using congest::block_put_u32;
+using congest::block_put_u64;
+using graph::Graph;
+using graph::NodeId;
+using service::DistanceOracle;
+using service::OracleBuildOptions;
+using service::Solver;
+
+// ---------------------------------------------------------------------------
+// Protocol unit tests.
+
+TEST(ShardRangeTest, TilesAndBalances) {
+  for (const NodeId n : {1u, 2u, 5u, 7u, 24u, 97u, 1024u}) {
+    for (const std::uint32_t w : {1u, 2u, 3u, 4u, 7u, 16u}) {
+      NodeId covered = 0;
+      NodeId min_size = n, max_size = 0;
+      for (std::uint32_t r = 0; r < w; ++r) {
+        const ShardRange s = shard_range(n, r, w);
+        EXPECT_EQ(s.lo, covered) << "gap/overlap at rank " << r;
+        EXPECT_LE(s.lo, s.hi);
+        covered = s.hi;
+        const NodeId size = s.hi - s.lo;
+        min_size = std::min(min_size, size);
+        max_size = std::max(max_size, size);
+      }
+      EXPECT_EQ(covered, n) << "ranges do not tile [0, " << n << ")";
+      EXPECT_LE(max_size - min_size, 1u)
+          << "n=" << n << " w=" << w << " is not balanced";
+    }
+  }
+}
+
+TEST(FrameTest, RoundTripsOverARealSocketpair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::vector<std::pair<FrameType, std::string>> cases = {
+      {FrameType::kHello, std::string("\x01\x02\x03", 3)},
+      {FrameType::kRound, std::string(1 << 16, 'x')},  // forces partial reads
+      {FrameType::kBye, ""},
+  };
+  for (const auto& [type, payload] : cases) {
+    write_frame(fds[0], type, payload);
+    const std::optional<Frame> f = read_frame(fds[1], 2000);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->type, type);
+    EXPECT_EQ(f->payload, payload);
+  }
+  // Clean shutdown at a frame boundary reads as nullopt, not an error.
+  ::close(fds[0]);
+  EXPECT_FALSE(read_frame(fds[1], 2000).has_value());
+  ::close(fds[1]);
+}
+
+TEST(FrameTest, RejectsOversizeAndGarbage) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // Writing above the cap throws before touching the socket.
+  const std::string big(kMaxFrameBytes + 1, 'y');
+  EXPECT_THROW(write_frame(fds[0], FrameType::kRound, big), SocketError);
+  // A forged oversize length on the read side fails loudly too.
+  std::string forged;
+  block_put_u32(forged, kMaxFrameBytes + 42);
+  forged.push_back(static_cast<char>(FrameType::kRound));
+  ASSERT_EQ(::send(fds[0], forged.data(), forged.size(), 0),
+            static_cast<ssize_t>(forged.size()));
+  EXPECT_THROW((void)read_frame(fds[1], 2000), SocketError);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+/// Builds a canonical round block with the given (sender -> groups) layout;
+/// each group is (slot, messages...).
+std::string make_block(
+    const std::vector<std::pair<std::uint32_t,
+                                std::vector<std::pair<std::uint32_t, int>>>>&
+        senders) {
+  std::string b;
+  block_put_u32(b, static_cast<std::uint32_t>(senders.size()));
+  for (const auto& [sender, groups] : senders) {
+    block_put_u32(b, sender);
+    block_put_u32(b, static_cast<std::uint32_t>(groups.size()));
+    const std::size_t len_at = b.size();
+    block_put_u32(b, 0);  // byte_len placeholder
+    const std::size_t body_at = b.size();
+    for (const auto& [slot, count] : groups) {
+      block_put_u32(b, slot);
+      block_put_u32(b, static_cast<std::uint32_t>(count));
+      for (int m = 0; m < count; ++m) {
+        block_put_u32(b, 7u);  // tag
+        block_put_u32(b, 2u);  // used
+        block_put_u64(b, static_cast<std::uint64_t>(m));
+        block_put_u64(b, static_cast<std::uint64_t>(sender));
+      }
+    }
+    congest::block_patch_u32(b, len_at,
+                             static_cast<std::uint32_t>(b.size() - body_at));
+  }
+  return b;
+}
+
+TEST(SliceTest, OwnedSlicesReassembleToTheOriginalBlock) {
+  // Senders 1, 3, 6 with varied group shapes; shards [0,4) and [4,8).
+  const std::string block = make_block({
+      {1, {{0, 2}, {1, 1}}},
+      {3, {{5, 3}}},
+      {6, {{9, 1}, {10, 1}, {11, 2}}},
+  });
+  std::string lo, hi;
+  slice_owned(block, 0, 4, lo);
+  slice_owned(block, 4, 8, hi);
+
+  // Reassemble exactly as the coordinator does: total count, then the
+  // slices' records in rank order.
+  std::string joined;
+  block_put_u32(joined, 0);
+  std::uint32_t total = 0;
+  for (const std::string* s : {&lo, &hi}) {
+    congest::BlockReader r(*s);
+    total += r.u32();
+    ASSERT_TRUE(r.ok());
+    joined.append(std::string_view(*s).substr(4));
+  }
+  congest::block_patch_u32(joined, 0, total);
+  EXPECT_EQ(joined, block);
+  EXPECT_EQ(congest::fnv1a64(joined), congest::fnv1a64(block));
+
+  // An empty shard contributes an empty (but valid) slice.
+  std::string none;
+  slice_owned(block, 7, 8, none);
+  congest::BlockReader r(none);
+  EXPECT_EQ(r.u32(), 0u);
+  EXPECT_TRUE(r.done());
+
+  // 10 messages x (8 header + 16 payload) bytes.
+  EXPECT_EQ(block_message_bytes(block), 10u * 24u);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-backend differential suite.
+
+OracleBuildOptions build_opts(Solver s) {
+  OracleBuildOptions b;
+  b.solver = s;
+  b.eps = 0.25;
+  return b;
+}
+
+SocketBackendOptions socket_opts(std::uint32_t workers, bool tcp = false) {
+  SocketBackendOptions o;
+  o.workers = workers;
+  o.tcp = tcp;
+  o.timeout_ms = 60000;
+  o.worker_binary = DAPSP_CLI_BIN;
+  return o;
+}
+
+/// Byte image of the deterministic stats subset -- equality of images is
+/// equality of every compared field, wall clock excluded by construction.
+std::string stats_image(const congest::RunStats& s) {
+  std::string out;
+  append_run_stats(out, s);
+  return out;
+}
+
+/// `ignore_skipped` is for the sparse-vs-dense leg only: skipped_rounds
+/// counts the silent rounds the sparse scheduler fast-forwarded, which the
+/// dense engine (by definition) never does -- host observability, not
+/// CONGEST accounting (docs/PERF.md).  Socket workers run the sparse
+/// scheduler, so that leg compares every field.
+void expect_identical(const DistanceOracle& a, const DistanceOracle& b,
+                      const std::string& what, bool ignore_skipped = false) {
+  ASSERT_EQ(a.node_count(), b.node_count()) << what;
+  EXPECT_EQ(a.exact(), b.exact()) << what;
+  EXPECT_EQ(a.solver_label(), b.solver_label()) << what;
+  EXPECT_EQ(a.has_paths(), b.has_paths()) << what;
+  EXPECT_EQ(a.build_stats().rounds, b.build_stats().rounds) << what;
+  congest::RunStats sa = a.build_stats();
+  congest::RunStats sb = b.build_stats();
+  if (ignore_skipped) sa.skipped_rounds = sb.skipped_rounds = 0;
+  EXPECT_EQ(stats_image(sa), stats_image(sb))
+      << what << ": deterministic stats subsets differ";
+  const NodeId n = a.node_count();
+  for (NodeId u = 0; u < n; ++u) {
+    const auto da = a.dist_row(u), db = b.dist_row(u);
+    ASSERT_TRUE(std::equal(da.begin(), da.end(), db.begin(), db.end()))
+        << what << ": dist row " << u << " differs";
+    if (a.has_paths()) {
+      const auto na = a.next_row(u), nb = b.next_row(u);
+      ASSERT_TRUE(std::equal(na.begin(), na.end(), nb.begin(), nb.end()))
+          << what << ": next row " << u << " differs";
+    }
+  }
+}
+
+struct Family {
+  const char* name;
+  Graph g;
+};
+
+std::vector<Family> graph_families() {
+  std::vector<Family> out;
+  out.push_back({"er", graph::erdos_renyi(26, 0.2, {1, 9, 0.0}, 91)});
+  out.push_back({"tree", graph::random_tree(30, {1, 7, 0.0}, 92)});
+  out.push_back(
+      {"er_zero_directed",
+       graph::erdos_renyi(22, 0.25, {0, 6, 0.25}, 93, /*directed=*/true)});
+  return out;
+}
+
+TEST(SocketBackendTest, AllSolversBitIdenticalAcrossBackendsAndWorkerCounts) {
+  const std::vector<Family> families = graph_families();
+  const Solver solvers[] = {Solver::kPipelined, Solver::kBlocker,
+                            Solver::kScaled, Solver::kApprox,
+                            Solver::kReference};
+  for (const Family& fam : families) {
+    for (const Solver s : solvers) {
+      const OracleBuildOptions b = build_opts(s);
+      const DistanceOracle sparse = service::build_oracle(fam.g, b);
+
+      congest::Engine::set_force_dense(true);
+      const DistanceOracle dense = service::build_oracle(fam.g, b);
+      congest::Engine::set_force_dense(false);
+      expect_identical(sparse, dense,
+                       std::string(fam.name) + "/dense/" + sparse.solver_label(),
+                       /*ignore_skipped=*/true);
+
+      for (const std::uint32_t workers : {2u, 4u}) {
+        SocketRunReport rep;
+        const DistanceOracle remote =
+            socket_build_oracle(fam.g, b, socket_opts(workers), &rep);
+        const std::string what = std::string(fam.name) + "/socket-w" +
+                                 std::to_string(workers) + "/" +
+                                 sparse.solver_label();
+        expect_identical(sparse, remote, what);
+        // Solvers that run engines must have exchanged every executed round
+        // over the wire (the reference solver runs none).
+        if (sparse.build_stats().rounds > 0) {
+          EXPECT_GT(rep.engine_runs, 0u) << what;
+          EXPECT_GT(rep.round_exchanges, 0u) << what;
+        }
+        EXPECT_GT(rep.frames, 0u) << what;
+        EXPECT_GT(rep.wire_bytes, 0u) << what;
+      }
+    }
+  }
+}
+
+TEST(SocketBackendTest, TcpTransportMatchesUnix) {
+  const Graph g = graph::erdos_renyi(24, 0.2, {1, 8, 0.0}, 94);
+  const OracleBuildOptions b = build_opts(Solver::kPipelined);
+  const DistanceOracle inproc = service::build_oracle(g, b);
+  const DistanceOracle tcp =
+      socket_build_oracle(g, b, socket_opts(3, /*tcp=*/true));
+  expect_identical(inproc, tcp, "tcp");
+}
+
+TEST(SocketBackendTest, SingleWorkerDegenerateCaseMatches) {
+  const Graph g = graph::random_tree(17, {1, 5, 0.0}, 95);
+  const OracleBuildOptions b = build_opts(Solver::kBlocker);
+  expect_identical(service::build_oracle(g, b),
+                   socket_build_oracle(g, b, socket_opts(1)), "w1");
+}
+
+TEST(SocketBackendTest, WorkerCrashFailsLoudlyNamingTheShard) {
+  const Graph g = graph::erdos_renyi(24, 0.25, {1, 9, 0.0}, 96);
+  SocketBackendOptions o = socket_opts(2);
+  o.timeout_ms = 15000;  // the failure must arrive well within this
+  o.crash_rank = 1;
+  o.crash_at = 2;  // die mid-run, peers blocked on the round barrier
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    (void)socket_build_oracle(g, build_opts(Solver::kPipelined), o);
+    FAIL() << "a crashed worker must fail the build";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("partition"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("worker 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("nodes [12,24)"), std::string::npos) << msg;
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  // Loud and prompt: EOF detection, not timeout expiry, raises the error.
+  EXPECT_LT(
+      std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(),
+      15000);
+}
+
+TEST(SocketBackendTest, RejectsEmptyGraphAndBadWorkerCounts) {
+  const Graph g = graph::random_tree(6, {1, 3, 0.0}, 97);
+  EXPECT_THROW(
+      (void)socket_build_oracle(Graph{}, build_opts(Solver::kReference),
+                                socket_opts(2)),
+      std::runtime_error);
+  SocketBackendOptions o = socket_opts(0);
+  EXPECT_THROW(
+      (void)socket_build_oracle(g, build_opts(Solver::kReference), o),
+      std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Reliable transport over real sockets with injected loss.
+//
+// The transport's wire messages (data frames and acks) cross an AF_UNIX
+// socketpair instead of the simulator's in-memory inbox, and the receiving
+// side drops ~15% of them (seeded, both directions).  The inner protocol --
+// a sender streaming numbered messages to a consumer -- must still see
+// exactly-once, in-order delivery, and the loss must have forced real
+// retransmissions.
+
+/// Collects a node's outgoing wire messages for shipment over the socket.
+class WireContext final : public congest::Context {
+ public:
+  WireContext(NodeId self, congest::Round round, NodeId peer,
+              std::span<const congest::Envelope> inbox, bool may_send)
+      : Context(self, round, inbox, may_send), peer_(peer) {}
+
+  NodeId node_count() const noexcept override { return 2; }
+  std::span<const NodeId> neighbors() const noexcept override {
+    return {&peer_, 1};
+  }
+  void send(NodeId to, const congest::Message& m) override {
+    ASSERT_EQ(to, peer_);
+    sent.push_back(m);
+  }
+  void broadcast(const congest::Message& m) override { send(peer_, m); }
+
+  std::vector<congest::Message> sent;
+
+ private:
+  NodeId peer_;
+};
+
+/// Inner protocol, sender side: queues `total` numbered messages up front;
+/// the transport windows them out.
+class StreamSender final : public congest::Protocol {
+ public:
+  explicit StreamSender(int total) : total_(total) {}
+  void init(congest::Context& ctx) override {
+    for (int i = 0; i < total_; ++i) {
+      ctx.send(1, congest::Message(1, {std::int64_t{i}}));
+    }
+  }
+  bool quiescent() const override { return true; }
+
+ private:
+  int total_;
+};
+
+/// Inner protocol, consumer side: records the delivered sequence.
+class StreamConsumer final : public congest::Protocol {
+ public:
+  void receive_phase(congest::Context& ctx) override {
+    for (const congest::Envelope& e : ctx.inbox()) {
+      received.push_back(e.msg.f[0]);
+    }
+  }
+  std::vector<std::int64_t> received;
+};
+
+TEST(ReliableOverSocketsTest, ExactInOrderDeliveryAtFifteenPercentLoss) {
+  constexpr int kMessages = 120;
+  constexpr double kLoss = 0.15;
+
+  graph::GraphBuilder gb(2, /*directed=*/false);
+  gb.add_edge(0, 1, 1);
+  const Graph g = std::move(gb).build();
+
+  auto consumer_owned = std::make_unique<StreamConsumer>();
+  StreamConsumer* consumer = consumer_owned.get();
+  congest::ReliableTransport node0(g, 0,
+                                   std::make_unique<StreamSender>(kMessages));
+  congest::ReliableTransport node1(g, 1, std::move(consumer_owned));
+
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::mt19937_64 rng(2026);
+  std::bernoulli_distribution drop(kLoss);
+  std::uint64_t shipped = 0, dropped = 0, data_frames_lost = 0;
+
+  // Ships one node's round output through the socket, applying loss on the
+  // receive side, and returns the surviving envelopes.
+  const auto transmit = [&](NodeId from, std::vector<congest::Message>& msgs)
+      -> std::vector<congest::Envelope> {
+    const int wr = from == 0 ? fds[0] : fds[1];
+    const int rd = from == 0 ? fds[1] : fds[0];
+    std::string payload;
+    for (const congest::Message& m : msgs) {
+      payload.clear();
+      block_put_u32(payload, m.tag);
+      block_put_u32(payload, m.used);
+      for (std::uint32_t i = 0; i < m.used; ++i) {
+        block_put_u64(payload, static_cast<std::uint64_t>(m.f[i]));
+      }
+      write_frame(wr, FrameType::kDeliver, payload);
+    }
+    std::vector<congest::Envelope> inbox;
+    for (std::size_t i = 0; i < msgs.size(); ++i) {
+      const std::optional<Frame> f = read_frame(rd, 2000);
+      if (!f.has_value()) break;
+      ++shipped;
+      congest::BlockReader r(f->payload);
+      congest::Message m;
+      m.tag = r.u32();
+      if (drop(rng)) {
+        ++dropped;  // the lossy network ate this one
+        if (m.tag == congest::ReliableTransport::kTagData) ++data_frames_lost;
+        continue;
+      }
+      m.used = r.u32();
+      for (std::uint32_t k = 0; k < m.used; ++k) {
+        m.f[k] = static_cast<std::int64_t>(r.u64());
+      }
+      EXPECT_TRUE(r.ok() && r.done());
+      inbox.push_back({from, m});
+    }
+    return inbox;
+  };
+
+  // Round 0: init (the sender enqueues its stream), then lockstep rounds of
+  // send -> wire with loss -> receive until both transports go quiescent.
+  congest::Round round = 0;
+  {
+    WireContext c0(0, round, 1, {}, true);
+    WireContext c1(1, round, 0, {}, true);
+    node0.init(c0);
+    node1.init(c1);
+    auto in1 = transmit(0, c0.sent);
+    auto in0 = transmit(1, c1.sent);
+    WireContext r0(0, round, 1, in0, false);
+    WireContext r1(1, round, 0, in1, false);
+    node0.receive_phase(r0);
+    node1.receive_phase(r1);
+  }
+  const congest::Round kMaxRounds = 20000;
+  while (!(node0.quiescent() && node1.quiescent())) {
+    ++round;
+    ASSERT_LT(round, kMaxRounds) << "transport failed to converge; delivered "
+                                 << consumer->received.size() << "/"
+                                 << kMessages;
+    WireContext c0(0, round, 1, {}, true);
+    WireContext c1(1, round, 0, {}, true);
+    node0.send_phase(c0);
+    node1.send_phase(c1);
+    auto in1 = transmit(0, c0.sent);
+    auto in0 = transmit(1, c1.sent);
+    WireContext r0(0, round, 1, in0, false);
+    WireContext r1(1, round, 0, in1, false);
+    node0.receive_phase(r0);
+    node1.receive_phase(r1);
+  }
+  ::close(fds[0]);
+  ::close(fds[1]);
+
+  // Exactness: every message, exactly once, in order.
+  ASSERT_EQ(consumer->received.size(), static_cast<std::size_t>(kMessages));
+  for (int i = 0; i < kMessages; ++i) {
+    EXPECT_EQ(consumer->received[static_cast<std::size_t>(i)], i);
+  }
+  // The loss was real (>= 10% of wire traffic died) and the transport
+  // actually had to work for the result.
+  ASSERT_GT(shipped, 0u);
+  EXPECT_GE(static_cast<double>(dropped) / static_cast<double>(shipped), 0.10);
+  EXPECT_GT(node0.transport_stats().retransmits, 0u);
+  // Conservation: sender-side data transmissions = deliveries + losses +
+  // duplicate arrivals the receiver suppressed.
+  EXPECT_EQ(node0.transport_stats().data_frames,
+            static_cast<std::uint64_t>(kMessages) +
+                node1.transport_stats().duplicates_dropped +
+                data_frames_lost);
+}
+
+}  // namespace
+}  // namespace dapsp::net

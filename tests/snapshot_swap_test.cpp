@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -124,6 +125,57 @@ TEST(SnapshotSwap, RebuildAsyncCoalescesToLatestGraph) {
   EXPECT_LE(st.rebuilds_ok, 32u);
   EXPECT_EQ(st.rebuilds_failed, 0u);
   EXPECT_EQ(svc.snapshot()->epoch(), st.last_epoch);
+}
+
+// Regression: rebuild_now used to be rebuild_async + wait_idle + "read the
+// latest stats", which has two failure modes under concurrency.  First,
+// wait_idle never returns while other threads keep the pending slot full,
+// so a flooded rebuild_now starves.  Second, the stats it finally read
+// could describe a build that finished *before* this caller's request was
+// ever dequeued -- another caller's outcome.  The generation counter fixes
+// both: each rebuild_now returns as soon as a build that covers its own
+// request lands, and returns that build's outcome.
+TEST(SnapshotSwap, RebuildNowReturnsOwnOutcomeUnderConcurrentRequests) {
+  const Graph g = graph::erdos_renyi(10, 0.3, {1, 5, 0.0}, 53);
+  QueryService svc(service::build_oracle(g, kRef));
+  SnapshotManager manager(svc, g, kRef, 2);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> flooders;
+  for (int t = 0; t < 2; ++t) {
+    flooders.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        manager.rebuild_async();
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t last_epoch = 0;
+  for (int i = 0; i < 8; ++i) {
+    const service::RebuildOutcome out = manager.rebuild_now();
+    // The covering build really ran and published: a real epoch, a real
+    // duration, and monotone progress across our calls.
+    EXPECT_TRUE(out.ok) << out.error;
+    EXPECT_GT(out.epoch, 0u);
+    EXPECT_GE(out.epoch, last_epoch);
+    EXPECT_GT(out.build_ns, 0u);
+    EXPECT_TRUE(out.error.empty());
+    last_epoch = out.epoch;
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : flooders) t.join();
+
+  // Starvation guard: with the flooders keeping pending_ permanently set,
+  // the old wait_idle-based implementation never gets past its predicate;
+  // eight blocking rebuilds of a 10-node oracle must finish promptly.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+            30);
+  manager.wait_idle();
+  EXPECT_EQ(manager.stats().rebuilds_failed, 0u);
+  EXPECT_GE(svc.snapshot()->epoch(), last_epoch);
 }
 
 // The headline race test: N threads issue single queries and batches while
