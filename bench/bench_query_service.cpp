@@ -13,7 +13,9 @@
 // solvers themselves at small n.
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <atomic>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -222,6 +224,96 @@ void BM_ServeSustainedQPS(benchmark::State& state) {
       static_cast<std::int64_t>(clients * kBatchesPerClient * batch.size()));
 }
 BENCHMARK(BM_ServeSustainedQPS)->Arg(2)->Arg(8)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Mixed analytics + point traffic (kpath / route / report / bc / dist)
+/// against a live service while the snapshot manager rebuilds and hot-swaps
+/// underneath.  Per-family ok counters are exported; an iteration where any
+/// analytics family fails to produce a single in-band answer aborts the
+/// bench, so the reported QPS is all-four-families-live throughput during
+/// rebuild, not a survivor average.
+void BM_ServeAnalyticsUnderRebuild(benchmark::State& state) {
+  const std::size_t clients = static_cast<std::size_t>(state.range(0));
+  static const std::shared_ptr<const graph::Graph> g =
+      std::make_shared<const graph::Graph>(
+          graph::rmat(/*scale=*/7, /*edgefactor=*/8, {0, 8, 0.2}, 21));
+  const graph::NodeId n = g->node_count();
+
+  QueryServiceConfig cfg;
+  cfg.threads = 2;
+  QueryService svc(serve::build_sharded_oracle(*g, kRefBuild, 4), cfg);
+  svc.enable_analytics(g);
+  serve::SnapshotManager manager(svc, *g, kRefBuild, 4);
+
+  util::Xoshiro256 rng(31);
+  std::vector<Query> batch;
+  for (int i = 0; i < 64; ++i) {
+    const auto u = static_cast<graph::NodeId>(rng.below(n));
+    const auto v = static_cast<graph::NodeId>(rng.below(n));
+    Query kq;
+    kq.type = QueryType::kKPaths;
+    kq.u = u;
+    kq.v = v;
+    kq.k = 4;
+    batch.push_back(kq);
+    Query rq;
+    rq.type = QueryType::kRoute;
+    rq.u = u;
+    rq.v = v;
+    rq.constraints.avoid_nodes = {static_cast<graph::NodeId>((u + v) % n)};
+    batch.push_back(rq);
+    Query dq;
+    dq.type = QueryType::kDist;
+    dq.u = u;
+    dq.v = v;
+    batch.push_back(dq);
+  }
+  Query gq;
+  gq.type = QueryType::kReport;
+  batch.push_back(gq);
+  Query bq;
+  bq.type = QueryType::kBetweenness;
+  bq.samples = 8;
+  batch.push_back(bq);
+
+  std::array<std::atomic<std::uint64_t>, service::kQueryTypeCount> ok{};
+  const auto client = [&] {
+    const auto results = svc.query_batch(batch);
+    for (const auto& r : results) {
+      if (r.ok) ok[static_cast<std::size_t>(r.type)].fetch_add(1);
+    }
+  };
+
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) threads.emplace_back(client);
+    // A full rebuild+swap cycle lands while this iteration's traffic runs.
+    manager.rebuild_now();
+    for (auto& t : threads) t.join();
+  }
+
+  const auto count = [&ok](QueryType t) {
+    return static_cast<double>(ok[static_cast<std::size_t>(t)].load());
+  };
+  state.counters["kpath_ok"] = count(QueryType::kKPaths);
+  state.counters["route_ok"] = count(QueryType::kRoute);
+  state.counters["report_ok"] = count(QueryType::kReport);
+  state.counters["bc_ok"] = count(QueryType::kBetweenness);
+  state.counters["dist_ok"] = count(QueryType::kDist);
+  state.counters["swaps"] = static_cast<double>(svc.stats().swaps);
+  for (const QueryType t : {QueryType::kKPaths, QueryType::kRoute,
+                            QueryType::kReport, QueryType::kBetweenness}) {
+    if (count(t) == 0.0) {
+      state.SkipWithError("an analytics family produced no ok answer under "
+                          "rebuild");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(clients * batch.size()));
+}
+BENCHMARK(BM_ServeAnalyticsUnderRebuild)->Arg(4)->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 /// Per-line text protocol: the baseline the batch+binary path is measured

@@ -340,6 +340,11 @@ service::QueryService make_service(const Options& opt, const Graph& g,
 int cmd_serve(const Options& opt, const Graph& g, std::ostream& out) {
   double build_ms = 0;
   service::QueryService svc = make_service(opt, g, out, &build_ms);
+  // Attach the input graph so the analytics families (kpath/route/report/bc)
+  // answer instead of erroring.  Non-owning alias: `g` outlives the service
+  // (both live in run_command's scope).
+  svc.enable_analytics(
+      std::shared_ptr<const Graph>(std::shared_ptr<const Graph>{}, &g));
   // The manager gives the session's "rebuild" directive a real hot swap:
   // same graph + build options, fresh snapshot, published atomically under
   // whatever traffic the serve loop is carrying.
@@ -370,7 +375,9 @@ int cmd_serve(const Options& opt, const Graph& g, std::ostream& out) {
 
 int cmd_query(const Options& opt, const Graph& g, std::ostream& out) {
   double build_ms = 0;
-  const service::QueryService svc = make_service(opt, g, out, &build_ms);
+  service::QueryService svc = make_service(opt, g, out, &build_ms);
+  svc.enable_analytics(
+      std::shared_ptr<const Graph>(std::shared_ptr<const Graph>{}, &g));
   // Collect the batch: every --q, then every line of --queries.
   std::vector<std::string> lines = opt.query_strings;
   if (opt.queries_file) {
@@ -614,6 +621,10 @@ Graph make_input_graph(const Options& opt) {
   if (opt.gen == "path") return graph::path(opt.n, w, opt.seed, opt.directed);
   if (opt.gen == "tree") return graph::random_tree(opt.n, w, opt.seed);
   if (opt.gen == "ba") return graph::barabasi_albert(opt.n, 2, w, opt.seed);
+  if (opt.gen == "rmat") {
+    return graph::rmat(opt.scale, opt.edgefactor, w, opt.seed, opt.directed,
+                       /*connect=*/true, opt.threads);
+  }
   throw std::invalid_argument("unknown generator '" + opt.gen + "'");
 }
 

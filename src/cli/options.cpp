@@ -116,8 +116,15 @@ Options parse_options(const std::vector<std::string>& args) {
     const std::string& a = args[i];
     if (a == "--graph") {
       opt.graph_file = next_value(a);
-    } else if (a == "--gen") {
+    } else if (a == "--gen" || a == "--family") {
       opt.gen = next_value(a);
+    } else if (a == "--scale") {
+      opt.scale = static_cast<std::uint32_t>(
+          parse_unsigned(a, next_value(a), 26));
+    } else if (a == "--edgefactor") {
+      const std::int64_t v = parse_int(a, next_value(a));
+      if (v < 1) fail("--edgefactor must be >= 1");
+      opt.edgefactor = static_cast<graph::NodeId>(v);
     } else if (a == "--n") {
       opt.n = static_cast<graph::NodeId>(
           parse_unsigned(a, next_value(a), graph::kNoNode - 1));
@@ -307,8 +314,11 @@ commands:
 
 input (choose one):
   --graph FILE             load a dapsp edge-list file
-  --gen KIND               erdos_renyi|grid|cycle|path|tree|ba  [erdos_renyi]
+  --gen KIND               erdos_renyi|grid|cycle|path|tree|ba|rmat
+                           (--family is an alias)                [erdos_renyi]
   --n N --p P              generator size / density              [32, 0.1]
+  --scale S                rmat: n = 2^S (max 26)                [10]
+  --edgefactor E           rmat: m = E * n edge candidates       [8]
   --wmin W --wmax W        weight range                          [0, 8]
   --zero F                 fraction of zero-weight edges         [0]
   --seed S --directed      determinism / directedness

@@ -36,9 +36,11 @@ struct Options {
 
   // Input: either a file or a generator spec.
   std::optional<std::string> graph_file;
-  std::string gen = "erdos_renyi";  // erdos_renyi|grid|cycle|path|tree|ba
+  std::string gen = "erdos_renyi";  // erdos_renyi|grid|cycle|path|tree|ba|rmat
   graph::NodeId n = 32;
   double p = 0.1;
+  std::uint32_t scale = 10;         // rmat: n = 2^scale
+  graph::NodeId edgefactor = 8;     // rmat: m = edgefactor * n
   graph::Weight wmin = 0;
   graph::Weight wmax = 8;
   double zero_fraction = 0.0;

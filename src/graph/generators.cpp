@@ -6,6 +6,7 @@
 
 #include "graph/properties.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dapsp::graph {
 
@@ -260,6 +261,71 @@ Graph bounded_distance_graph(NodeId n, double p, Weight delta,
     g = std::move(b).build();
   }
   return g;
+}
+
+Graph rmat(std::uint32_t scale, NodeId edgefactor, const WeightSpec& spec,
+           std::uint64_t seed, bool directed, bool connect,
+           std::size_t threads) {
+  if (scale < 1 || scale > 26) {
+    throw std::logic_error("rmat: need 1 <= scale <= 26");
+  }
+  const NodeId n = NodeId{1} << scale;
+  const std::uint64_t m = static_cast<std::uint64_t>(n) * edgefactor;
+
+  // Classic Graph500 quadrant partition.  Quadrants are chosen top-down per
+  // bit: a = (0,0), b = (0,1), c = (1,0), d = (1,1).
+  constexpr double kA = 0.57, kB = 0.19, kC = 0.19;
+
+  // Candidate endpoints are a pure function of (seed, edge index), so the
+  // fill order -- and therefore the thread count -- cannot change the
+  // output.  The builder pass below is sequential and consumes candidates
+  // in index order.
+  std::vector<std::pair<NodeId, NodeId>> cand(m);
+  const auto draw = [&](std::size_t i) {
+    Xoshiro256 rng(seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+    NodeId src = 0, dst = 0;
+    for (std::uint32_t bit = 0; bit < scale; ++bit) {
+      const double r = rng.uniform01();
+      src <<= 1;
+      dst <<= 1;
+      if (r < kA) {
+        // top-left: neither bit set
+      } else if (r < kA + kB) {
+        dst |= 1;
+      } else if (r < kA + kB + kC) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    cand[i] = {src, dst};
+  };
+  if (threads > 1) {
+    util::ThreadPool pool(threads);
+    pool.parallel_for(m, draw);
+  } else {
+    for (std::uint64_t i = 0; i < m; ++i) draw(i);
+  }
+
+  GraphBuilder b(n, directed);
+  Xoshiro256 rng(seed);
+  WeightDrawer w(spec, seed + 1);
+  if (connect && n > 1) {
+    // Random backbone path (cycle when directed) exactly as in erdos_renyi,
+    // so differential workloads get strongly connected inputs.
+    const auto perm = permutation(n, rng);
+    for (NodeId i = 0; i + 1 < n; ++i) {
+      b.add_edge(perm[i], perm[i + 1], w.next());
+    }
+    if (directed && n > 2) b.add_edge(perm[n - 1], perm[0], w.next());
+  }
+  for (const auto& [src, dst] : cand) {
+    if (src == dst) continue;
+    if (b.has_arc(src, dst)) continue;
+    b.add_edge(src, dst, w.next());
+  }
+  return std::move(b).build();
 }
 
 }  // namespace dapsp::graph

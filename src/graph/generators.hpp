@@ -95,4 +95,21 @@ Graph fig1_gadget(NodeId h);
 Graph bounded_distance_graph(NodeId n, double p, Weight delta,
                              std::uint64_t seed, bool directed = false);
 
+/// Graph500-style RMAT (recursive matrix) generator: n = 2^scale nodes,
+/// `edgefactor * n` candidate edges drawn by recursive quadrant descent with
+/// the classic (a, b, c, d) = (0.57, 0.19, 0.19, 0.05) partition, giving the
+/// skewed degree distribution of real networks (hubs grow with scale).
+///
+/// Determinism contract: each candidate edge is drawn from an RNG seeded by
+/// (seed, edge_index) alone -- like draw_weight -- so the output is
+/// bit-identical for a fixed seed regardless of how many threads generate
+/// (pass `threads` > 1 to parallelize candidate generation; 0/1 = serial).
+/// Self-loops and duplicate arcs are skipped, so the built graph usually has
+/// fewer than edgefactor*n edges -- the standard Graph500 behavior.  When
+/// `connect` is true a random backbone (path, or cycle when directed) makes
+/// the graph strongly connected first, as in erdos_renyi.
+Graph rmat(std::uint32_t scale, NodeId edgefactor, const WeightSpec& spec,
+           std::uint64_t seed, bool directed = false, bool connect = true,
+           std::size_t threads = 0);
+
 }  // namespace dapsp::graph

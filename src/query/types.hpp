@@ -1,0 +1,119 @@
+// Value types shared by the analytics query layer (src/query/) and its
+// sequential reference implementations (src/seq/).
+//
+// Every analytics answer is defined in terms of the repo-wide *canonical
+// path* contract (see seq/dijkstra.hpp): among equal-weight paths the
+// fewest-hop one wins, and among equal (weight, hops) the smaller
+// predecessor id wins at every node, making the chosen path unique.  Both
+// the closure-backed engine (query/analytics.hpp) and the sequential
+// references (seq/constrained.hpp, seq/yen.hpp, seq/centrality.hpp)
+// implement these semantics independently, which is what makes the
+// differential tests in tests/property_test.cpp exact comparisons instead
+// of tolerance checks (betweenness excepted: its dependency accumulation is
+// floating point, so only it compares with a tolerance).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dapsp::query {
+
+using graph::NodeId;
+using graph::Weight;
+
+/// One concrete route: node sequence plus its total weight.  `nodes` always
+/// starts at the query source and ends at the target; a single-node route
+/// (source == target) has weight 0.
+struct Route {
+  Weight weight = 0;
+  std::vector<NodeId> nodes;
+
+  std::uint32_t hops() const {
+    return nodes.empty() ? 0 : static_cast<std::uint32_t>(nodes.size() - 1);
+  }
+
+  friend bool operator==(const Route&, const Route&) = default;
+};
+
+/// Total order used to rank alternative routes and Yen candidates:
+/// (weight, hops, lexicographic node sequence).  Strict-weak and total over
+/// distinct simple paths, so both the engine and the reference sort
+/// candidate sets identically.
+inline bool route_less(const Route& a, const Route& b) {
+  if (a.weight != b.weight) return a.weight < b.weight;
+  if (a.nodes.size() != b.nodes.size()) return a.nodes.size() < b.nodes.size();
+  return a.nodes < b.nodes;
+}
+
+/// Constraints for a `route` query.  All default-constructed fields mean
+/// "unconstrained", i.e. the query degenerates to the canonical shortest
+/// path.
+struct RouteConstraints {
+  /// Maximum number of edges on the route; 0 = unlimited.  Values >= n-1
+  /// are vacuous and treated as unlimited.
+  std::uint32_t max_hops = 0;
+  /// Nodes the route must not visit.  A source or target listed here makes
+  /// the query infeasible.
+  std::vector<NodeId> avoid_nodes;
+  /// Node pairs the route must not traverse.  For an undirected graph the
+  /// pair bans the link in both directions; for a directed graph only the
+  /// listed orientation.
+  std::vector<std::pair<NodeId, NodeId>> avoid_edges;
+
+  bool unconstrained() const {
+    return max_hops == 0 && avoid_nodes.empty() && avoid_edges.empty();
+  }
+
+  friend bool operator==(const RouteConstraints&,
+                         const RouteConstraints&) = default;
+};
+
+/// Per-source row of a whole-graph report.  All quantities are over
+/// *finite* distances only, so they stay well-defined on graphs that are
+/// not strongly connected (see docs/QUERY.md).
+struct SourceReport {
+  Weight eccentricity = 0;    ///< max finite dist from this source
+  Weight farness = 0;         ///< sum of finite dists from this source
+  std::uint32_t reached = 0;  ///< targets (!= source) with finite dist
+
+  friend bool operator==(const SourceReport&, const SourceReport&) = default;
+};
+
+/// Whole-graph distance report: radius/diameter are the min/max source
+/// eccentricity, reachable_pairs counts ordered (s, t != s) pairs with
+/// finite distance.
+struct GraphReport {
+  Weight radius = 0;
+  Weight diameter = 0;
+  std::uint64_t reachable_pairs = 0;
+  std::vector<SourceReport> per_source;
+
+  friend bool operator==(const GraphReport&, const GraphReport&) = default;
+};
+
+/// Deterministic source sample for betweenness: `samples` == 0 (or >= n)
+/// selects every source; otherwise sources are taken at a fixed stride so a
+/// sample spreads over the id range instead of clustering at 0.  Shared by
+/// the engine and the reference so a differential run scores the same
+/// source set.
+inline std::vector<NodeId> betweenness_sources(NodeId n,
+                                               std::uint32_t samples) {
+  std::vector<NodeId> out;
+  if (n == 0) return out;
+  if (samples == 0 || samples >= n) {
+    out.resize(n);
+    for (NodeId i = 0; i < n; ++i) out[i] = i;
+    return out;
+  }
+  out.reserve(samples);
+  for (std::uint32_t i = 0; i < samples; ++i) {
+    out.push_back(static_cast<NodeId>(
+        (static_cast<std::uint64_t>(i) * n) / samples));
+  }
+  return out;
+}
+
+}  // namespace dapsp::query

@@ -1,0 +1,96 @@
+#include "seq/centrality.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "seq/dijkstra.hpp"
+
+namespace dapsp::seq {
+
+using graph::Edge;
+using graph::Graph;
+using graph::kInfDist;
+using graph::NodeId;
+using graph::Weight;
+
+query::GraphReport graph_report(const Graph& g) {
+  const NodeId n = g.node_count();
+  query::GraphReport rep;
+  rep.per_source.resize(n);
+  for (NodeId s = 0; s < n; ++s) {
+    const SsspResult r = dijkstra(g, s);
+    query::SourceReport& row = rep.per_source[s];
+    for (NodeId t = 0; t < n; ++t) {
+      if (t == s || r.dist[t] == kInfDist) continue;
+      row.eccentricity = std::max(row.eccentricity, r.dist[t]);
+      row.farness += r.dist[t];
+      ++row.reached;
+    }
+    rep.reachable_pairs += row.reached;
+  }
+  if (n > 0) {
+    rep.radius = kInfDist;
+    for (const query::SourceReport& row : rep.per_source) {
+      rep.radius = std::min(rep.radius, row.eccentricity);
+      rep.diameter = std::max(rep.diameter, row.eccentricity);
+    }
+  }
+  return rep;
+}
+
+std::vector<double> betweenness(const Graph& g,
+                                const std::vector<NodeId>& sources) {
+  const NodeId n = g.node_count();
+  std::vector<double> bc(n, 0.0);
+  std::vector<double> sigma(n), delta(n);
+  std::vector<NodeId> order;
+  order.reserve(n);
+  for (const NodeId s : sources) {
+    const SsspResult r = dijkstra(g, s);
+    // Process reachable nodes in ascending (d, l): every canonical-DAG arc
+    // strictly increases (d, l) lexicographically, so by the time a node is
+    // visited all its DAG predecessors are final.
+    order.clear();
+    for (NodeId v = 0; v < n; ++v) {
+      if (r.dist[v] != kInfDist) order.push_back(v);
+    }
+    std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+      if (r.dist[a] != r.dist[b]) return r.dist[a] < r.dist[b];
+      if (r.hops[a] != r.hops[b]) return r.hops[a] < r.hops[b];
+      return a < b;
+    });
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    sigma[s] = 1.0;
+    const auto dag_arc = [&](NodeId u, const Edge& e) {
+      return r.dist[e.to] != kInfDist &&
+             r.dist[u] + e.weight == r.dist[e.to] &&
+             r.hops[u] + 1 == r.hops[e.to];
+    };
+    for (const NodeId u : order) {
+      // out_edges are sorted by (from, to): skip duplicate parallel arcs so
+      // a doubled link does not double the path count.
+      NodeId prev_to = graph::kNoNode;
+      for (const Edge& e : g.out_edges(u)) {
+        if (e.to == prev_to) continue;
+        if (!dag_arc(u, e)) continue;
+        prev_to = e.to;
+        sigma[e.to] += sigma[u];
+      }
+    }
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const NodeId u = *it;
+      NodeId prev_to = graph::kNoNode;
+      for (const Edge& e : g.out_edges(u)) {
+        if (e.to == prev_to) continue;
+        if (!dag_arc(u, e)) continue;
+        prev_to = e.to;
+        delta[u] += sigma[u] / sigma[e.to] * (1.0 + delta[e.to]);
+      }
+      if (u != s) bc[u] += delta[u];
+    }
+  }
+  return bc;
+}
+
+}  // namespace dapsp::seq

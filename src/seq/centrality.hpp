@@ -1,0 +1,32 @@
+// Sequential references for whole-graph analytics: distance reports
+// (eccentricity / radius / diameter / farness) and betweenness centrality.
+//
+// Betweenness is Brandes' algorithm over the *canonical* shortest-path DAG:
+// an arc (u, v) belongs to source s's DAG iff d(s,u) + w(u,v) = d(s,v) AND
+// l(s,u) + 1 = l(s,v), where (d, l) is the (distance, hops) lexicographic
+// metric of seq::dijkstra.  Restricting to hop-minimal shortest paths keeps
+// the DAG acyclic even with zero-weight edges (hops strictly increase along
+// arcs), which is exactly why the paper's algorithms carry l everywhere.
+// query::Analytics::betweenness rebuilds the same DAG from the served
+// closure and must agree up to floating-point accumulation order.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "query/types.hpp"
+
+namespace dapsp::seq {
+
+/// Whole-graph distance report from n Dijkstra sweeps (finite-distance
+/// semantics; see query::GraphReport).
+query::GraphReport graph_report(const graph::Graph& g);
+
+/// Betweenness centrality accumulated over the canonical shortest-path DAGs
+/// of `sources` (ordered-pair convention: every (s, t) with finite distance
+/// contributes, including both directions of an undirected pair).  Nodes
+/// are scored for their role as intermediates only (endpoints excluded).
+std::vector<double> betweenness(const graph::Graph& g,
+                                const std::vector<graph::NodeId>& sources);
+
+}  // namespace dapsp::seq

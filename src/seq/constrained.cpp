@@ -1,0 +1,106 @@
+#include "seq/constrained.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace dapsp::seq {
+
+using graph::Edge;
+using graph::Graph;
+using graph::kInfDist;
+using graph::kNoNode;
+using graph::NodeId;
+using graph::Weight;
+
+namespace {
+
+std::uint64_t arc_key(NodeId u, NodeId v) {
+  return static_cast<std::uint64_t>(u) << 32 | v;
+}
+
+}  // namespace
+
+std::optional<query::Route> constrained_route(const Graph& g, NodeId source,
+                                              NodeId target,
+                                              const query::RouteConstraints& c) {
+  const NodeId n = g.node_count();
+  std::vector<char> banned(n, 0);
+  for (const NodeId x : c.avoid_nodes) {
+    if (x < n) banned[x] = 1;
+  }
+  if (banned[source] || banned[target]) return std::nullopt;
+  if (source == target) return query::Route{0, {source}};
+
+  // Banned arcs as sorted keys; undirected graphs ban both orientations of
+  // each listed pair (one physical link).
+  std::vector<std::uint64_t> banned_arcs;
+  banned_arcs.reserve(c.avoid_edges.size() * (g.directed() ? 1 : 2));
+  for (const auto& [a, b] : c.avoid_edges) {
+    banned_arcs.push_back(arc_key(a, b));
+    if (!g.directed()) banned_arcs.push_back(arc_key(b, a));
+  }
+  std::sort(banned_arcs.begin(), banned_arcs.end());
+  const auto arc_banned = [&](NodeId a, NodeId b) {
+    return std::binary_search(banned_arcs.begin(), banned_arcs.end(),
+                              arc_key(a, b));
+  };
+
+  // Hop budget: a path on n nodes has at most n-1 edges, so larger budgets
+  // are vacuous.
+  const std::uint32_t cap = n - 1;
+  const std::uint32_t h =
+      (c.max_hops == 0 || c.max_hops > cap) ? cap : c.max_hops;
+
+  // dist[j][x] = minimum weight of a feasible walk source -> x with exactly
+  // j hops; parent[j][x] = smallest-id predecessor achieving it.  The
+  // (weight, hops)-minimal answer extracted below is always a simple path:
+  // any repeated node could be cut for no extra weight and fewer hops,
+  // contradicting minimality.
+  const std::size_t layers = static_cast<std::size_t>(h) + 1;
+  std::vector<std::vector<Weight>> dist(layers,
+                                        std::vector<Weight>(n, kInfDist));
+  std::vector<std::vector<NodeId>> parent(layers,
+                                          std::vector<NodeId>(n, kNoNode));
+  dist[0][source] = 0;
+  for (std::size_t j = 1; j < layers; ++j) {
+    const auto& prev = dist[j - 1];
+    auto& cur = dist[j];
+    auto& par = parent[j];
+    for (NodeId u = 0; u < n; ++u) {
+      if (prev[u] == kInfDist) continue;
+      for (const Edge& e : g.out_edges(u)) {
+        if (banned[e.to] || arc_banned(u, e.to)) continue;
+        const Weight cand = prev[u] + e.weight;
+        if (cand < cur[e.to]) {
+          cur[e.to] = cand;
+          par[e.to] = u;
+        } else if (cand == cur[e.to] && u < par[e.to]) {
+          par[e.to] = u;
+        }
+      }
+    }
+  }
+
+  Weight best = kInfDist;
+  std::size_t best_hops = 0;
+  for (std::size_t j = 0; j < layers; ++j) {
+    if (dist[j][target] < best) {
+      best = dist[j][target];
+      best_hops = j;  // first (smallest) j achieving the min weight
+    }
+  }
+  if (best == kInfDist) return std::nullopt;
+
+  query::Route route;
+  route.weight = best;
+  route.nodes.resize(best_hops + 1);
+  NodeId x = target;
+  for (std::size_t j = best_hops; j > 0; --j) {
+    route.nodes[j] = x;
+    x = parent[j][x];
+  }
+  route.nodes[0] = x;
+  return route;
+}
+
+}  // namespace dapsp::seq

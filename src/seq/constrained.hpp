@@ -1,0 +1,31 @@
+// Sequential reference for constrained routes: the exact minimum-weight
+// path under avoid-node / avoid-edge sets and an optional hop budget.
+//
+// Semantics (shared with query::Analytics, which must produce bit-identical
+// answers -- see docs/QUERY.md): among feasible paths the minimum weight
+// wins, then the minimum hop count, then the unique path obtained by
+// picking the smallest-id predecessor at every node -- the same
+// (d, l, parent) tie-breaking the paper's algorithms and seq::dijkstra use.
+// Implemented as hop-layered dynamic programming (exact-j-hop Bellman-Ford
+// layers, like seq::hop_limited_sssp) over the filtered graph: obviously
+// correct, deliberately independent from the closure-accelerated engine it
+// anchors in the differential tests.
+#pragma once
+
+#include <optional>
+
+#include "graph/graph.hpp"
+#include "query/types.hpp"
+
+namespace dapsp::seq {
+
+/// Exact canonical constrained shortest path from `source` to `target`, or
+/// nullopt when no feasible route exists (unreachable, all routes hit an
+/// avoided node/edge or exceed max_hops, or source/target are themselves
+/// avoided).  Ids must be < g.node_count().
+std::optional<query::Route> constrained_route(const graph::Graph& g,
+                                              graph::NodeId source,
+                                              graph::NodeId target,
+                                              const query::RouteConstraints& c);
+
+}  // namespace dapsp::seq

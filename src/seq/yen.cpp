@@ -1,0 +1,79 @@
+#include "seq/yen.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "seq/constrained.hpp"
+
+namespace dapsp::seq {
+
+using graph::Graph;
+using graph::NodeId;
+using graph::Weight;
+using query::Route;
+using query::RouteConstraints;
+
+namespace {
+
+struct RouteLess {
+  bool operator()(const Route& a, const Route& b) const {
+    return query::route_less(a, b);
+  }
+};
+
+}  // namespace
+
+std::vector<Route> k_shortest_paths(const Graph& g, NodeId source,
+                                    NodeId target, std::uint32_t k) {
+  std::vector<Route> paths;
+  if (k == 0) return paths;
+  auto first = constrained_route(g, source, target, RouteConstraints{});
+  if (!first) return paths;
+  paths.push_back(std::move(*first));
+
+  // Candidate pool ordered by the shared route total order; `seen` dedupes
+  // by node sequence so a path discovered from two spur nodes enters once.
+  std::set<Route, RouteLess> candidates;
+  std::set<std::vector<NodeId>> seen;
+  seen.insert(paths.back().nodes);
+
+  while (paths.size() < k) {
+    const Route last = paths.back();
+    Weight prefix_weight = 0;
+    for (std::size_t i = 0; i + 1 < last.nodes.size(); ++i) {
+      const NodeId spur = last.nodes[i];
+      RouteConstraints c;
+      // The root (everything before the spur node) must not be revisited,
+      // and the spur edges of every accepted path sharing this root are
+      // banned so the spur path deviates.
+      c.avoid_nodes.assign(last.nodes.begin(),
+                           last.nodes.begin() + static_cast<std::ptrdiff_t>(i));
+      for (const Route& p : paths) {
+        if (p.nodes.size() <= i + 1) continue;
+        if (!std::equal(p.nodes.begin(),
+                        p.nodes.begin() + static_cast<std::ptrdiff_t>(i + 1),
+                        last.nodes.begin())) {
+          continue;
+        }
+        c.avoid_edges.emplace_back(p.nodes[i], p.nodes[i + 1]);
+      }
+      if (auto spur_route = constrained_route(g, spur, target, c)) {
+        Route cand;
+        cand.nodes.assign(
+            last.nodes.begin(),
+            last.nodes.begin() + static_cast<std::ptrdiff_t>(i));
+        cand.nodes.insert(cand.nodes.end(), spur_route->nodes.begin(),
+                          spur_route->nodes.end());
+        cand.weight = prefix_weight + spur_route->weight;
+        if (seen.insert(cand.nodes).second) candidates.insert(std::move(cand));
+      }
+      prefix_weight += *g.arc_weight(last.nodes[i], last.nodes[i + 1]);
+    }
+    if (candidates.empty()) break;
+    paths.push_back(*candidates.begin());
+    candidates.erase(candidates.begin());
+  }
+  return paths;
+}
+
+}  // namespace dapsp::seq

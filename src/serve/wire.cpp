@@ -1,5 +1,6 @@
 #include "serve/wire.hpp"
 
+#include <bit>
 #include <cstring>
 #include <istream>
 #include <ostream>
@@ -22,9 +23,17 @@ constexpr std::uint8_t kOpBatch = 0x01;
 constexpr std::uint8_t kOpStats = 0x02;
 constexpr std::uint8_t kOpQuit = 0x03;
 constexpr std::uint8_t kOpRebuild = 0x04;
+constexpr std::uint8_t kOpKPath = 0x05;
+constexpr std::uint8_t kOpRoute = 0x06;
+constexpr std::uint8_t kOpReport = 0x07;
+constexpr std::uint8_t kOpBc = 0x08;
 constexpr std::uint8_t kOpBatchResp = 0x81;
 constexpr std::uint8_t kOpStatsResp = 0x82;
 constexpr std::uint8_t kOpRebuildResp = 0x83;
+constexpr std::uint8_t kOpKPathResp = 0x85;
+constexpr std::uint8_t kOpRouteResp = 0x86;
+constexpr std::uint8_t kOpReportResp = 0x87;
+constexpr std::uint8_t kOpBcResp = 0x88;
 constexpr std::uint8_t kOpError = 0xEE;
 
 // Per-query wire size inside a batch request: qtype + u + v.
@@ -125,6 +134,52 @@ void begin_request(std::string& buf, std::uint8_t opcode) {
   buf.push_back(static_cast<char>(opcode));
 }
 
+void begin_response(std::string& buf, std::uint8_t opcode) {
+  buf.push_back(kRespMagic0);
+  buf.push_back(kRespMagic1);
+  buf.push_back(static_cast<char>(kVersion));
+  buf.push_back(static_cast<char>(opcode));
+}
+
+/// status(err) for an analytics response: the query reached the service and
+/// failed there (bad ids, analytics unavailable, ...) -- in-band, not a
+/// protocol ERROR frame.
+void put_status(std::string& p, const service::QueryResult& r) {
+  if (r.ok) {
+    p.push_back('\1');
+    return;
+  }
+  p.push_back('\0');
+  put_u32(p, static_cast<std::uint32_t>(r.error.size()));
+  p.append(r.error);
+}
+
+void put_route(std::string& p, const query::Route& rt) {
+  put_i64(p, rt.weight);
+  put_u32(p, static_cast<std::uint32_t>(rt.nodes.size()));
+  for (const graph::NodeId x : rt.nodes) put_u32(p, x);
+}
+
+query::Route read_route(Reader& r) {
+  query::Route rt;
+  rt.weight = r.i64();
+  const std::uint32_t len = r.u32();
+  rt.nodes.reserve(len);
+  for (std::uint32_t i = 0; r.ok && i < len; ++i) rt.nodes.push_back(r.u32());
+  return rt;
+}
+
+/// Decodes the leading status byte of an analytics response body into
+/// `out->ok` / `out->error`; returns out->ok.
+bool read_status(Reader& r, service::QueryResult* out) {
+  out->ok = r.u8() != 0;
+  if (!out->ok) {
+    const std::uint32_t mlen = r.u32();
+    out->error = r.bytes(mlen);
+  }
+  return out->ok;
+}
+
 std::string make_error_payload(ErrorCode code, std::string_view msg) {
   std::string p;
   p.push_back(kRespMagic0);
@@ -171,6 +226,9 @@ const char* error_code_name(ErrorCode c) {
     case ErrorCode::kFrameTooLarge: return "frame_too_large";
     case ErrorCode::kBatchTooLarge: return "batch_too_large";
     case ErrorCode::kBadQueryType: return "bad_query_type";
+    case ErrorCode::kBadK: return "bad_k";
+    case ErrorCode::kBadAvoidSet: return "bad_avoid_set";
+    case ErrorCode::kBadBody: return "bad_body";
   }
   return "?";
 }
@@ -206,6 +264,50 @@ void append_quit_request(std::string& buf) {
 void append_rebuild_request(std::string& buf) {
   std::string p;
   begin_request(p, kOpRebuild);
+  put_u32(buf, static_cast<std::uint32_t>(p.size()));
+  buf.append(p);
+}
+
+void append_kpath_request(std::string& buf, graph::NodeId u, graph::NodeId v,
+                          std::uint32_t k) {
+  std::string p;
+  begin_request(p, kOpKPath);
+  put_u32(p, u);
+  put_u32(p, v);
+  put_u32(p, k);
+  put_u32(buf, static_cast<std::uint32_t>(p.size()));
+  buf.append(p);
+}
+
+void append_route_request(std::string& buf, graph::NodeId u, graph::NodeId v,
+                          const query::RouteConstraints& c) {
+  std::string p;
+  begin_request(p, kOpRoute);
+  put_u32(p, u);
+  put_u32(p, v);
+  put_u32(p, c.max_hops);
+  put_u32(p, static_cast<std::uint32_t>(c.avoid_nodes.size()));
+  put_u32(p, static_cast<std::uint32_t>(c.avoid_edges.size()));
+  for (const graph::NodeId x : c.avoid_nodes) put_u32(p, x);
+  for (const auto& [a, b] : c.avoid_edges) {
+    put_u32(p, a);
+    put_u32(p, b);
+  }
+  put_u32(buf, static_cast<std::uint32_t>(p.size()));
+  buf.append(p);
+}
+
+void append_report_request(std::string& buf) {
+  std::string p;
+  begin_request(p, kOpReport);
+  put_u32(buf, static_cast<std::uint32_t>(p.size()));
+  buf.append(p);
+}
+
+void append_bc_request(std::string& buf, std::uint32_t samples) {
+  std::string p;
+  begin_request(p, kOpBc);
+  put_u32(p, samples);
   put_u32(buf, static_cast<std::uint32_t>(p.size()));
   buf.append(p);
 }
@@ -268,6 +370,63 @@ std::optional<Response> read_response(std::istream& in) {
       resp.kind = Response::Kind::kRebuild;
       resp.epoch = r.u64();
       resp.build_ns = r.u64();
+      break;
+    }
+    case kOpKPathResp: {
+      resp.kind = Response::Kind::kKPath;
+      resp.result.type = service::QueryType::kKPaths;
+      if (!read_status(r, &resp.result)) break;
+      const std::uint32_t n = r.u32();
+      resp.result.routes.reserve(n);
+      for (std::uint32_t i = 0; r.ok && i < n; ++i) {
+        resp.result.routes.push_back(read_route(r));
+      }
+      if (!resp.result.routes.empty()) {
+        resp.result.dist = resp.result.routes.front().weight;
+      }
+      break;
+    }
+    case kOpRouteResp: {
+      resp.kind = Response::Kind::kRoute;
+      resp.result.type = service::QueryType::kRoute;
+      if (!read_status(r, &resp.result)) break;
+      resp.result.feasible = r.u8() != 0;
+      if (resp.result.feasible) {
+        query::Route rt = read_route(r);
+        resp.result.dist = rt.weight;
+        resp.result.path = rt.nodes;
+        resp.result.routes.push_back(std::move(rt));
+      }
+      break;
+    }
+    case kOpReportResp: {
+      resp.kind = Response::Kind::kReport;
+      resp.result.type = service::QueryType::kReport;
+      if (!read_status(r, &resp.result)) break;
+      auto& g = resp.result.report;
+      g.radius = r.i64();
+      g.diameter = r.i64();
+      g.reachable_pairs = r.u64();
+      const std::uint32_t n = r.u32();
+      g.per_source.reserve(n);
+      for (std::uint32_t i = 0; r.ok && i < n; ++i) {
+        query::SourceReport s;
+        s.eccentricity = r.i64();
+        s.farness = r.i64();
+        s.reached = r.u32();
+        g.per_source.push_back(s);
+      }
+      break;
+    }
+    case kOpBcResp: {
+      resp.kind = Response::Kind::kBc;
+      resp.result.type = service::QueryType::kBetweenness;
+      if (!read_status(r, &resp.result)) break;
+      const std::uint32_t n = r.u32();
+      resp.result.centrality.reserve(n);
+      for (std::uint32_t i = 0; r.ok && i < n; ++i) {
+        resp.result.centrality.push_back(std::bit_cast<double>(r.u64()));
+      }
       break;
     }
     case kOpError: {
@@ -404,7 +563,9 @@ int serve_binary(const service::QueryService& svc, std::istream& in,
           service::Query q;
           q.u = r.u32();
           q.v = r.u32();
-          if (t >= service::kQueryTypeCount) {
+          if (t >= service::kPointQueryTypeCount) {
+            // Analytics types have dedicated opcodes: their bodies are not
+            // the fixed-size records a batch frame is made of.
             bad_type = true;
             break;
           }
@@ -415,7 +576,8 @@ int serve_binary(const service::QueryService& svc, std::istream& in,
           // Reject the whole batch: partial answers would desynchronize the
           // caller's results[i] <-> queries[i] pairing.
           fail(ErrorCode::kBadQueryType,
-               "batch contains a query type outside dist/next/path");
+               "batch contains a query type outside dist/next/path "
+               "(analytics use dedicated opcodes)");
           break;
         }
         const std::vector<service::QueryResult> results =
@@ -427,6 +589,141 @@ int serve_binary(const service::QueryService& svc, std::istream& in,
         p.push_back(static_cast<char>(kOpBatchResp));
         put_u32(p, static_cast<std::uint32_t>(results.size()));
         for (const service::QueryResult& qr : results) append_result(p, qr);
+        frame_and_write(out, p);
+        break;
+      }
+      case kOpKPath: {
+        service::Query q;
+        q.type = service::QueryType::kKPaths;
+        q.u = r.u32();
+        q.v = r.u32();
+        q.k = r.u32();
+        if (!r.ok) {
+          fail(ErrorCode::kTruncated, "kpath body shorter than 12 bytes");
+          break;
+        }
+        if (r.pos != payload.size()) {
+          fail(ErrorCode::kBadBody, "kpath body has trailing bytes");
+          break;
+        }
+        if (q.k == 0) {
+          fail(ErrorCode::kBadK, "kpath k must be >= 1");
+          break;
+        }
+        const service::QueryResult qr = svc.query(q);
+        std::string p;
+        begin_response(p, kOpKPathResp);
+        put_status(p, qr);
+        if (qr.ok) {
+          put_u32(p, static_cast<std::uint32_t>(qr.routes.size()));
+          for (const query::Route& rt : qr.routes) put_route(p, rt);
+        }
+        frame_and_write(out, p);
+        break;
+      }
+      case kOpRoute: {
+        service::Query q;
+        q.type = service::QueryType::kRoute;
+        q.u = r.u32();
+        q.v = r.u32();
+        q.constraints.max_hops = r.u32();
+        const std::uint32_t n_nodes = r.u32();
+        const std::uint32_t n_edges = r.u32();
+        if (!r.ok) {
+          fail(ErrorCode::kTruncated, "route header shorter than 20 bytes");
+          break;
+        }
+        // Bound the avoid sets before trusting the declared counts with any
+        // allocation: a hostile count must cost nothing.
+        if (n_nodes > svc.config().max_avoid ||
+            n_edges > svc.config().max_avoid) {
+          fail(ErrorCode::kBadAvoidSet,
+               "route avoid set exceeds max_avoid=" +
+                   std::to_string(svc.config().max_avoid));
+          break;
+        }
+        const std::size_t want = static_cast<std::size_t>(n_nodes) * 4 +
+                                 static_cast<std::size_t>(n_edges) * 8;
+        const std::size_t have = payload.size() - r.pos;
+        if (have < want) {
+          fail(ErrorCode::kTruncated,
+               "route avoid sets truncated (" + std::to_string(have) +
+                   " bytes, need " + std::to_string(want) + ")");
+          break;
+        }
+        if (have > want) {
+          fail(ErrorCode::kBadBody, "route body has trailing bytes");
+          break;
+        }
+        q.constraints.avoid_nodes.reserve(n_nodes);
+        for (std::uint32_t i = 0; i < n_nodes; ++i) {
+          q.constraints.avoid_nodes.push_back(r.u32());
+        }
+        q.constraints.avoid_edges.reserve(n_edges);
+        for (std::uint32_t i = 0; i < n_edges; ++i) {
+          const graph::NodeId a = r.u32();
+          const graph::NodeId b = r.u32();
+          q.constraints.avoid_edges.emplace_back(a, b);
+        }
+        const service::QueryResult qr = svc.query(q);
+        std::string p;
+        begin_response(p, kOpRouteResp);
+        put_status(p, qr);
+        if (qr.ok) {
+          p.push_back(qr.feasible ? '\1' : '\0');
+          if (qr.feasible) put_route(p, qr.routes.front());
+        }
+        frame_and_write(out, p);
+        break;
+      }
+      case kOpReport: {
+        if (r.pos != payload.size()) {
+          fail(ErrorCode::kBadBody, "report body must be empty");
+          break;
+        }
+        service::Query q;
+        q.type = service::QueryType::kReport;
+        const service::QueryResult qr = svc.query(q);
+        std::string p;
+        begin_response(p, kOpReportResp);
+        put_status(p, qr);
+        if (qr.ok) {
+          const query::GraphReport& g = qr.report;
+          put_i64(p, g.radius);
+          put_i64(p, g.diameter);
+          put_u64(p, g.reachable_pairs);
+          put_u32(p, static_cast<std::uint32_t>(g.per_source.size()));
+          for (const query::SourceReport& s : g.per_source) {
+            put_i64(p, s.eccentricity);
+            put_i64(p, s.farness);
+            put_u32(p, s.reached);
+          }
+        }
+        frame_and_write(out, p);
+        break;
+      }
+      case kOpBc: {
+        service::Query q;
+        q.type = service::QueryType::kBetweenness;
+        q.samples = r.u32();
+        if (!r.ok) {
+          fail(ErrorCode::kTruncated, "bc body shorter than 4 bytes");
+          break;
+        }
+        if (r.pos != payload.size()) {
+          fail(ErrorCode::kBadBody, "bc body has trailing bytes");
+          break;
+        }
+        const service::QueryResult qr = svc.query(q);
+        std::string p;
+        begin_response(p, kOpBcResp);
+        put_status(p, qr);
+        if (qr.ok) {
+          put_u32(p, static_cast<std::uint32_t>(qr.centrality.size()));
+          for (const double d : qr.centrality) {
+            put_u64(p, std::bit_cast<std::uint64_t>(d));
+          }
+        }
         frame_and_write(out, p);
         break;
       }

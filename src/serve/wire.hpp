@@ -12,6 +12,12 @@
 //     0x02 STATS   body := empty (response carries the stats JSON document)
 //     0x03 QUIT    body := empty (ends the session, no response)
 //     0x04 REBUILD body := empty (runs the session's rebuild hook)
+//     0x05 KPATH   body := u32le u u32le v u32le k              (exactly 12 B)
+//     0x06 ROUTE   body := u32le u u32le v u32le max_hops
+//                          u32le n_nodes u32le n_edges
+//                          | n_nodes x u32le | n_edges x { u32le a u32le b }
+//     0x07 REPORT  body := empty
+//     0x08 BC      body := u32le samples                        (exactly 4 B)
 //   response := 'D' 'R' u8 version=1 u8 opcode | body
 //     0x81 BATCH   body := u32le count | count x result
 //       result(ok)  := u8 qtype 0x01 i64le dist u32le next
@@ -19,16 +25,28 @@
 //       result(err) := u8 qtype 0x00 u32le msg_len | msg bytes
 //     0x82 STATS   body := u32le json_len | json bytes
 //     0x83 REBUILD body := u64le epoch u64le build_ns
+//     0x85 KPATH   body := status | u32le n | n x route
+//       route      := i64le dist u32le len | len x u32le
+//     0x86 ROUTE   body := status | u8 feasible [ route ]
+//     0x87 REPORT  body := status | i64le radius i64le diameter
+//                          u64le reachable_pairs u32le n
+//                          | n x { i64le ecc i64le farness u32le reached }
+//     0x88 BC      body := status | u32le n | n x f64le score
+//       status(ok)  := u8 0x01   status(err) := u8 0x00 u32le msg_len | msg
 //     0xEE ERROR   body := u16le code u32le msg_len | msg bytes
 //
 // qtype is 0=dist 1=next 2=path; dist/next use the library sentinels
-// (kInfDist, kNoNode) verbatim.  Malformed input is answered with a
+// (kInfDist, kNoNode) verbatim.  BATCH frames carry only those point types
+// -- the analytics families have dedicated opcodes because their bodies and
+// answers are not fixed-size records.  Malformed input is answered with a
 // structured ERROR frame, never best-effort partial output: recoverable
-// frames (bad magic/version/opcode, oversized or corrupt batch body) are
-// consumed whole and serving continues; a truncated length prefix or
-// payload cannot be resynchronized and ends the session after the ERROR
-// frame.  Oversized batches (count > config().max_batch) are rejected with
-// kBatchTooLarge before any query executes.
+// frames (bad magic/version/opcode, oversized or corrupt batch body, a bad
+// k / avoid-set / trailing analytics body) are consumed whole and serving
+// continues; a truncated length prefix or payload cannot be resynchronized
+// and ends the session after the ERROR frame.  Oversized batches (count >
+// config().max_batch) are rejected with kBatchTooLarge before any query
+// executes; service-level failures (bad ids, analytics unavailable) travel
+// in-band as a status(err) inside the family's own response frame.
 #pragma once
 
 #include <cstdint>
@@ -52,7 +70,10 @@ enum class ErrorCode : std::uint16_t {
                       ///< than its declared count
   kFrameTooLarge = 5, ///< length prefix exceeds kMaxFrameBytes
   kBatchTooLarge = 6, ///< batch count exceeds the service's max_batch
-  kBadQueryType = 7,  ///< qtype byte outside {0,1,2}
+  kBadQueryType = 7,  ///< batch qtype byte outside the point types {0,1,2}
+  kBadK = 8,          ///< KPATH with k == 0
+  kBadAvoidSet = 9,   ///< ROUTE avoid-set count exceeds the service limit
+  kBadBody = 10,      ///< analytics body has the wrong size (trailing bytes)
 };
 
 const char* error_code_name(ErrorCode c);
@@ -64,17 +85,29 @@ void append_batch_request(std::string& buf,
 void append_stats_request(std::string& buf);
 void append_quit_request(std::string& buf);
 void append_rebuild_request(std::string& buf);
+void append_kpath_request(std::string& buf, graph::NodeId u, graph::NodeId v,
+                          std::uint32_t k);
+void append_route_request(std::string& buf, graph::NodeId u, graph::NodeId v,
+                          const query::RouteConstraints& c);
+void append_report_request(std::string& buf);
+void append_bc_request(std::string& buf, std::uint32_t samples);
 
 // --- client-side decoding --------------------------------------------------
 
 /// One parsed response frame.
 struct Response {
-  enum class Kind { kBatch, kStats, kRebuild, kError };
+  enum class Kind { kBatch, kStats, kRebuild, kKPath, kRoute, kReport, kBc,
+                    kError };
   Kind kind = Kind::kError;
   std::vector<service::QueryResult> results;  ///< kBatch
   std::string stats_json;                     ///< kStats
   std::uint64_t epoch = 0;                    ///< kRebuild
   std::uint64_t build_ns = 0;                 ///< kRebuild
+  /// kKPath/kRoute/kReport/kBc: the decoded analytics answer.  `result.ok`
+  /// is false when the server answered with an in-band status(err) (e.g.
+  /// analytics unavailable) -- distinct from Kind::kError, which is a
+  /// protocol-level ERROR frame.
+  service::QueryResult result;
   ErrorCode code = ErrorCode::kBadMagic;      ///< kError
   std::string message;                        ///< kError
 };

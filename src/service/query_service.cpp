@@ -1,7 +1,9 @@
 #include "service/query_service.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <chrono>
+#include <iomanip>
 #include <limits>
 #include <list>
 #include <mutex>
@@ -10,6 +12,7 @@
 #include <unordered_map>
 
 #include "obs/json.hpp"
+#include "query/analytics.hpp"
 
 namespace dapsp::service {
 
@@ -109,6 +112,100 @@ class QueryService::PathCache {
 
   std::vector<Shard> shards_;
   std::size_t per_shard_capacity_;
+};
+
+// ---------------------------------------------------------------------------
+// Epoch-stamped LRU for analytics results.
+//
+// Analytics queries (kpath / route / report / bc) cost a search or a full
+// matrix scan, so identical requests are worth replaying from memory.  The
+// key is a hash of the *entire* query (type, endpoints, k, samples,
+// constraints) and the stored query is compared on hit, so a hash collision
+// can never serve the wrong answer.  Entries carry the snapshot epoch like
+// PathCache entries: a swap invalidates everything implicitly.
+
+class QueryService::AnalyticsCache {
+ public:
+  explicit AnalyticsCache(std::size_t capacity)
+      : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+  static std::uint64_t key_of(const Query& q) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a over the full query
+    const auto mix = [&h](std::uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xFF;
+        h *= 0x100000001b3ULL;
+      }
+    };
+    mix(static_cast<std::uint64_t>(q.type));
+    mix(static_cast<std::uint64_t>(q.u) << 32 | q.v);
+    mix(static_cast<std::uint64_t>(q.k) << 32 | q.samples);
+    mix(q.constraints.max_hops);
+    for (const NodeId x : q.constraints.avoid_nodes) mix(x);
+    for (const auto& [a, b] : q.constraints.avoid_edges) {
+      mix(static_cast<std::uint64_t>(a) << 32 | b);
+    }
+    return h;
+  }
+
+  bool lookup(const Query& q, std::uint64_t epoch, QueryResult* out) {
+    const std::uint64_t key = key_of(q);
+    std::lock_guard lock(mu_);
+    const auto it = map_.find(key);
+    if (it == map_.end() || it->second->epoch != epoch ||
+        !(it->second->query == q)) {
+      ++misses_;
+      return false;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    *out = it->second->result;
+    ++hits_;
+    return true;
+  }
+
+  void insert(const Query& q, std::uint64_t epoch, const QueryResult& r) {
+    const std::uint64_t key = key_of(q);
+    std::lock_guard lock(mu_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      *it->second = Entry{key, epoch, q, r};
+      return;
+    }
+    lru_.push_front(Entry{key, epoch, q, r});
+    map_.emplace(key, lru_.begin());
+    if (map_.size() > capacity_) {
+      map_.erase(lru_.back().key);
+      lru_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  void account(ServiceStats* st) const {
+    std::lock_guard lock(mu_);
+    st->cache_hits += hits_;
+    st->cache_misses += misses_;
+    st->cache_evictions += evictions_;
+  }
+
+  void reset() {
+    std::lock_guard lock(mu_);
+    hits_ = misses_ = evictions_ = 0;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;
+    std::uint64_t epoch = 0;
+    Query query;
+    QueryResult result;
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> map_;
+  std::uint64_t hits_ = 0, misses_ = 0, evictions_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -230,6 +327,13 @@ QueryService::QueryService(std::shared_ptr<OracleSnapshot> snapshot,
 
 QueryService::~QueryService() = default;
 
+void QueryService::enable_analytics(std::shared_ptr<const graph::Graph> g) {
+  analytics_ = std::make_unique<query::Analytics>(std::move(g));
+  if (cfg_.analytics_cache_capacity > 0) {
+    acache_ = std::make_unique<AnalyticsCache>(cfg_.analytics_cache_capacity);
+  }
+}
+
 std::uint64_t QueryService::swap_snapshot(
     std::shared_ptr<OracleSnapshot> next, std::uint64_t rebuild_ns) {
   const auto t0 = std::chrono::steady_clock::now();
@@ -261,6 +365,9 @@ QueryResult QueryService::execute(const OracleSnapshot& snap,
   r.type = q.type;
   r.u = q.u;
   r.v = q.v;
+  if (static_cast<std::size_t>(q.type) >= kPointQueryTypeCount) {
+    return execute_analytics(snap, q);
+  }
   const NodeId n = snap.node_count();
   if (q.u >= n || q.v >= n) {
     r.error = "node id out of range (n=" + std::to_string(n) + ")";
@@ -307,6 +414,113 @@ QueryResult QueryService::execute(const OracleSnapshot& snap,
   return r;
 }
 
+QueryResult QueryService::execute_analytics(const OracleSnapshot& snap,
+                                            const Query& q) const {
+  QueryResult r;
+  r.type = q.type;
+  r.u = q.u;
+  r.v = q.v;
+  if (!analytics_) {
+    r.error = "analytics unavailable (no graph attached)";
+    return r;
+  }
+  const NodeId n = snap.node_count();
+  if (analytics_->graph().node_count() != n) {
+    r.error = "analytics graph does not match snapshot (graph n=" +
+              std::to_string(analytics_->graph().node_count()) +
+              ", snapshot n=" + std::to_string(n) + ")";
+    return r;
+  }
+  const bool pair_query =
+      q.type == QueryType::kKPaths || q.type == QueryType::kRoute;
+  if (pair_query && (q.u >= n || q.v >= n)) {
+    r.error = "node id out of range (n=" + std::to_string(n) + ")";
+    return r;
+  }
+  // Per-family limits and capability gates, before any work happens.
+  switch (q.type) {
+    case QueryType::kKPaths:
+      if (q.k < 1 || q.k > cfg_.max_k) {
+        r.error = "k must be in [1, " + std::to_string(cfg_.max_k) + "]";
+        return r;
+      }
+      if (!snap.has_paths()) {
+        r.error = "oracle is distance-only (no next-hop table)";
+        return r;
+      }
+      break;
+    case QueryType::kRoute: {
+      const auto& c = q.constraints;
+      if (c.avoid_nodes.size() > cfg_.max_avoid ||
+          c.avoid_edges.size() > cfg_.max_avoid) {
+        r.error =
+            "avoid set exceeds max_avoid=" + std::to_string(cfg_.max_avoid);
+        return r;
+      }
+      // A budget of >= n-1 hops is vacuous (any loopless path fits), so it is
+      // always accepted; between max_hops and n-1 it would force an
+      // O(max_hops * n) layered search and is refused.
+      if (c.max_hops != 0 && c.max_hops > cfg_.max_hops &&
+          c.max_hops < n - 1) {
+        r.error = "max_hops " + std::to_string(c.max_hops) +
+                  " exceeds limit " + std::to_string(cfg_.max_hops) +
+                  " (use 0 for an unlimited hop budget)";
+        return r;
+      }
+      if (!snap.has_paths()) {
+        r.error = "oracle is distance-only (no next-hop table)";
+        return r;
+      }
+      break;
+    }
+    case QueryType::kReport:
+    case QueryType::kBetweenness:
+      if (!snap.exact()) {
+        r.error = "report/bc require exact distances (snapshot is approximate)";
+        return r;
+      }
+      break;
+    default:
+      r.error = "not an analytics query type";
+      return r;
+  }
+  if (acache_ && acache_->lookup(q, snap.epoch(), &r)) return r;
+  switch (q.type) {
+    case QueryType::kKPaths:
+      r.routes = analytics_->k_shortest(snap, q.u, q.v, q.k);
+      r.dist = r.routes.empty() ? kInfDist : r.routes.front().weight;
+      r.ok = true;
+      break;
+    case QueryType::kRoute: {
+      auto route =
+          analytics_->constrained_route(snap, q.u, q.v, q.constraints);
+      r.ok = true;
+      if (route) {
+        r.feasible = true;
+        r.dist = route->weight;
+        r.path = route->nodes;
+        r.routes.push_back(std::move(*route));
+      } else {
+        r.feasible = false;
+        r.dist = kInfDist;
+      }
+      break;
+    }
+    case QueryType::kReport:
+      r.report = analytics_->report(snap, *pool_);
+      r.ok = true;
+      break;
+    case QueryType::kBetweenness:
+      r.centrality = analytics_->betweenness(snap, q.samples, *pool_);
+      r.ok = true;
+      break;
+    default:
+      break;
+  }
+  if (r.ok && acache_) acache_->insert(q, snap.epoch(), r);
+  return r;
+}
+
 QueryResult QueryService::timed_execute(const OracleSnapshot& snap,
                                         const Query& q) const {
   const auto t0 = std::chrono::steady_clock::now();
@@ -346,6 +560,7 @@ ServiceStats QueryService::stats() const {
   }
   st.batches = recorder_->batches.load();
   if (cache_) cache_->account(&st);
+  if (acache_) acache_->account(&st);
   {
     std::lock_guard lock(recorder_->swap_mu);
     st.swaps = recorder_->swaps;
@@ -364,6 +579,7 @@ ServiceStats QueryService::stats() const {
 void QueryService::reset_stats() {
   recorder_->reset();
   if (cache_) cache_->reset();
+  if (acache_) acache_->reset();
 }
 
 // ---------------------------------------------------------------------------
@@ -408,44 +624,194 @@ void write_serve_error(std::ostream& out, bool json, std::string_view code,
 
 }  // namespace
 
+namespace {
+
+/// Parses "a,b,c" into ids; empty string yields an empty list.
+bool parse_node_list(std::string_view s, std::vector<NodeId>* out) {
+  while (!s.empty()) {
+    const std::size_t comma = s.find(',');
+    const std::string_view tok = s.substr(0, comma);
+    const auto x = parse_node(tok);
+    if (!x) return false;
+    out->push_back(*x);
+    if (comma == std::string_view::npos) break;
+    s.remove_prefix(comma + 1);
+  }
+  return true;
+}
+
+/// Parses "a-b,c-d" into endpoint pairs.
+bool parse_edge_list(std::string_view s,
+                     std::vector<std::pair<NodeId, NodeId>>* out) {
+  while (!s.empty()) {
+    const std::size_t comma = s.find(',');
+    const std::string_view tok = s.substr(0, comma);
+    const std::size_t dash = tok.find('-');
+    if (dash == std::string_view::npos) return false;
+    const auto a = parse_node(tok.substr(0, dash));
+    const auto b = parse_node(tok.substr(dash + 1));
+    if (!a || !b) return false;
+    out->emplace_back(*a, *b);
+    if (comma == std::string_view::npos) break;
+    s.remove_prefix(comma + 1);
+  }
+  return true;
+}
+
+}  // namespace
+
 std::optional<Query> QueryService::parse_query(std::string_view line,
                                                std::string* error) {
   const auto toks = split_ws(line);
-  if (toks.size() != 3) {
-    if (error) *error = "expected '<dist|next|path> U V'";
+  const auto fail = [error](std::string msg) -> std::optional<Query> {
+    if (error) *error = std::move(msg);
     return std::nullopt;
+  };
+  if (toks.empty()) {
+    return fail(
+        "expected '<dist|next|path> U V', 'kpath U V K', 'route U V "
+        "[hops=H] [avoid=...] [avoidedge=...]', 'report' or 'bc [SAMPLES]'");
   }
   Query q;
+  // Zero-argument / optional-argument forms first.
+  if (toks[0] == "report") {
+    if (toks.size() != 1) return fail("expected 'report' with no arguments");
+    q.type = QueryType::kReport;
+    return q;
+  }
+  if (toks[0] == "bc") {
+    if (toks.size() > 2) return fail("expected 'bc [SAMPLES]'");
+    q.type = QueryType::kBetweenness;
+    if (toks.size() == 2) {
+      const auto s = parse_node(toks[1]);
+      if (!s) return fail("bc sample count must be a non-negative integer");
+      q.samples = *s;
+    }
+    return q;
+  }
   if (toks[0] == "dist") {
     q.type = QueryType::kDist;
   } else if (toks[0] == "next") {
     q.type = QueryType::kNextHop;
   } else if (toks[0] == "path") {
     q.type = QueryType::kPath;
+  } else if (toks[0] == "kpath") {
+    q.type = QueryType::kKPaths;
+  } else if (toks[0] == "route") {
+    q.type = QueryType::kRoute;
   } else {
-    if (error) {
-      *error = "unknown query type '" + std::string(toks[0]) +
-               "' (dist|next|path)";
-    }
-    return std::nullopt;
+    return fail("unknown query type '" + std::string(toks[0]) +
+                "' (dist|next|path|kpath|route|report|bc)");
+  }
+  if (toks.size() < 3) {
+    return fail("expected '" + std::string(toks[0]) + " U V ...'");
   }
   const auto u = parse_node(toks[1]);
   const auto v = parse_node(toks[2]);
-  if (!u || !v) {
-    if (error) *error = "node ids must be non-negative integers";
-    return std::nullopt;
-  }
+  if (!u || !v) return fail("node ids must be non-negative integers");
   q.u = *u;
   q.v = *v;
+  if (q.type == QueryType::kKPaths) {
+    if (toks.size() != 4) return fail("expected 'kpath U V K'");
+    const auto k = parse_node(toks[3]);
+    if (!k || *k == 0) return fail("k must be a positive integer");
+    q.k = *k;
+    return q;
+  }
+  if (q.type == QueryType::kRoute) {
+    for (std::size_t i = 3; i < toks.size(); ++i) {
+      const std::string_view t = toks[i];
+      if (t.rfind("hops=", 0) == 0) {
+        const auto h = parse_node(t.substr(5));
+        if (!h) return fail("hops= must be a non-negative integer");
+        q.constraints.max_hops = *h;
+      } else if (t.rfind("avoidedge=", 0) == 0) {
+        if (!parse_edge_list(t.substr(10), &q.constraints.avoid_edges)) {
+          return fail("avoidedge= must be a-b pairs separated by commas");
+        }
+      } else if (t.rfind("avoid=", 0) == 0) {
+        if (!parse_node_list(t.substr(6), &q.constraints.avoid_nodes)) {
+          return fail("avoid= must be node ids separated by commas");
+        }
+      } else {
+        return fail("unknown route option '" + std::string(t) +
+                    "' (hops=|avoid=|avoidedge=)");
+      }
+    }
+    return q;
+  }
+  if (toks.size() != 3) {
+    return fail("expected '" + std::string(toks[0]) + " U V'");
+  }
   return q;
 }
+
+namespace {
+
+void write_route_text(const query::Route& rt, std::ostream& out) {
+  for (std::size_t i = 0; i < rt.nodes.size(); ++i) {
+    out << (i ? " " : "") << rt.nodes[i];
+  }
+  out << " (dist " << rt.weight << ", " << rt.hops() << " hops)";
+}
+
+}  // namespace
 
 void QueryService::write_result_text(const QueryResult& r, std::ostream& out) {
   if (!r.ok) {
     out << "error: " << r.error << "\n";
     return;
   }
+  // Whole-graph families do not carry a (u, v) pair or a dist.
+  if (r.type == QueryType::kReport) {
+    const auto& g = r.report;
+    out << "report = radius " << g.radius << ", diameter " << g.diameter
+        << ", reachable_pairs " << g.reachable_pairs << ", sources "
+        << g.per_source.size() << "\n";
+    return;
+  }
+  if (r.type == QueryType::kBetweenness) {
+    // Top scores only; the full vector is available via the JSON protocol.
+    std::vector<std::size_t> order(r.centrality.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (r.centrality[a] != r.centrality[b]) {
+        return r.centrality[a] > r.centrality[b];
+      }
+      return a < b;
+    });
+    out << "bc = " << r.centrality.size() << " nodes, top:";
+    const std::size_t top = std::min<std::size_t>(8, order.size());
+    for (std::size_t i = 0; i < top; ++i) {
+      out << " " << order[i] << "=" << std::setprecision(6)
+          << r.centrality[order[i]];
+    }
+    out << "\n";
+    return;
+  }
   out << query_type_name(r.type) << " " << r.u << " " << r.v << " = ";
+  if (r.type == QueryType::kKPaths) {
+    if (r.routes.empty()) {
+      out << "unreachable\n";
+      return;
+    }
+    out << r.routes.size() << " paths\n";
+    for (std::size_t i = 0; i < r.routes.size(); ++i) {
+      out << "  [" << (i + 1) << "] ";
+      write_route_text(r.routes[i], out);
+      out << "\n";
+    }
+    return;
+  }
+  if (r.type == QueryType::kRoute) {
+    if (!r.feasible) {
+      out << "infeasible\n";
+      return;
+    }
+    write_route_text(r.routes.front(), out);
+    out << "\n";
+    return;
+  }
   if (r.dist == kInfDist) {
     out << "unreachable\n";
     return;
@@ -465,6 +831,8 @@ void QueryService::write_result_text(const QueryResult& r, std::ostream& out) {
       }
       out << " (dist " << r.dist << ", " << (r.path.size() - 1) << " hops)";
       break;
+    default:
+      break;
   }
   out << "\n";
 }
@@ -477,6 +845,52 @@ void QueryService::write_result_json(const QueryResult& r, std::ostream& out) {
     // escape it or a quote in the input corrupts the JSONL stream.
     out << ",\"error\":";
     obs::write_json_string(out, r.error);
+    out << "}\n";
+    return;
+  }
+  if (r.type == QueryType::kReport) {
+    const auto& g = r.report;
+    out << ",\"radius\":" << g.radius << ",\"diameter\":" << g.diameter
+        << ",\"reachable_pairs\":" << g.reachable_pairs << ",\"sources\":[";
+    for (std::size_t i = 0; i < g.per_source.size(); ++i) {
+      const auto& s = g.per_source[i];
+      out << (i ? "," : "") << "{\"ecc\":" << s.eccentricity
+          << ",\"farness\":" << s.farness << ",\"reached\":" << s.reached
+          << "}";
+    }
+    out << "]}\n";
+    return;
+  }
+  if (r.type == QueryType::kBetweenness) {
+    out << ",\"centrality\":[" << std::setprecision(17);
+    for (std::size_t i = 0; i < r.centrality.size(); ++i) {
+      out << (i ? "," : "") << r.centrality[i];
+    }
+    out << "]}\n";
+    return;
+  }
+  if (r.type == QueryType::kKPaths) {
+    out << ",\"routes\":[";
+    for (std::size_t i = 0; i < r.routes.size(); ++i) {
+      const auto& rt = r.routes[i];
+      out << (i ? "," : "") << "{\"dist\":" << rt.weight << ",\"path\":[";
+      for (std::size_t j = 0; j < rt.nodes.size(); ++j) {
+        out << (j ? "," : "") << rt.nodes[j];
+      }
+      out << "]}";
+    }
+    out << "]}\n";
+    return;
+  }
+  if (r.type == QueryType::kRoute) {
+    out << ",\"feasible\":" << (r.feasible ? "true" : "false");
+    if (r.feasible) {
+      out << ",\"dist\":" << r.dist << ",\"path\":[";
+      for (std::size_t i = 0; i < r.path.size(); ++i) {
+        out << (i ? "," : "") << r.path[i];
+      }
+      out << "]";
+    }
     out << "}\n";
     return;
   }

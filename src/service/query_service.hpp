@@ -34,9 +34,14 @@
 #include <string_view>
 #include <vector>
 
+#include "query/types.hpp"
 #include "service/snapshot.hpp"
 #include "service/stats.hpp"
 #include "util/thread_pool.hpp"
+
+namespace dapsp::query {
+class Analytics;
+}  // namespace dapsp::query
 
 namespace dapsp::service {
 
@@ -44,6 +49,10 @@ struct Query {
   QueryType type = QueryType::kDist;
   NodeId u = 0;
   NodeId v = 0;
+  // Analytics parameters (ignored by the point-lookup types).
+  std::uint32_t k = 1;        ///< kKPaths: number of paths requested
+  std::uint32_t samples = 0;  ///< kBetweenness: source sample (0 = all)
+  query::RouteConstraints constraints;  ///< kRoute
 
   friend bool operator==(const Query&, const Query&) = default;
 };
@@ -57,6 +66,11 @@ struct QueryResult {
   Weight dist = graph::kInfDist;  ///< kInfDist when unreachable
   NodeId next_hop = graph::kNoNode;
   std::vector<NodeId> path;   ///< filled for kPath when reachable
+  // Analytics payloads.
+  bool feasible = true;       ///< kRoute: false when no route satisfies
+  std::vector<query::Route> routes;      ///< kKPaths (route_less order)
+  query::GraphReport report;             ///< kReport
+  std::vector<double> centrality;        ///< kBetweenness
 
   friend bool operator==(const QueryResult&, const QueryResult&) = default;
 };
@@ -74,6 +88,18 @@ struct QueryServiceConfig {
   /// binary batch frames).  Oversized batches are rejected whole with a
   /// structured error, never served partially.
   std::size_t max_batch = 1 << 16;
+  /// Analytics limits, enforced at parse/decode time with stable errors:
+  /// k must be in [1, max_k], each avoid set holds at most max_avoid
+  /// entries, and a hop budget that is neither vacuous (>= n-1) nor within
+  /// max_hops is refused (it would force an O(max_hops * n) layered
+  /// search).
+  std::uint32_t max_k = 64;
+  std::uint32_t max_avoid = 4096;
+  std::uint32_t max_hops = 4096;
+  /// Entries kept in the epoch-stamped analytics result cache (keyed by the
+  /// full query, so identical kpath/route/report/bc requests replay from
+  /// memory until the snapshot swaps); 0 disables it.
+  std::size_t analytics_cache_capacity = 256;
 };
 
 /// Result of a serve-loop "rebuild" directive (text or binary): the hook is
@@ -114,6 +140,14 @@ class QueryService {
   }
   const QueryServiceConfig& config() const noexcept { return cfg_; }
 
+  /// Attaches the graph the snapshots were built from, enabling the four
+  /// analytics query families (kpath/route/report/bc).  Without it they are
+  /// answered with a structured "analytics unavailable" error.  Call before
+  /// serving; the graph must outlive the service and match every snapshot's
+  /// node count.
+  void enable_analytics(std::shared_ptr<const graph::Graph> g);
+  bool analytics_enabled() const noexcept { return analytics_ != nullptr; }
+
   /// Atomically publishes `next` as the serving snapshot and returns its
   /// freshly assigned epoch.  Never blocks readers: in-flight queries finish
   /// on the snapshot they started with, and the old snapshot is destroyed
@@ -138,8 +172,14 @@ class QueryService {
   ServiceStats stats() const;
   void reset_stats();
 
-  /// Parses one protocol line: "dist U V" | "next U V" | "path U V".
-  /// Returns nullopt and fills *error on malformed input.
+  /// Parses one protocol line:
+  ///   "dist U V" | "next U V" | "path U V"
+  ///   "kpath U V K"
+  ///   "route U V [hops=H] [avoid=a,b,...] [avoidedge=a-b,c-d,...]"
+  ///   "report"
+  ///   "bc [SAMPLES]"
+  /// Returns nullopt and fills *error on malformed input.  Limits (max_k,
+  /// max_avoid) are enforced later, at execution, where the config lives.
   static std::optional<Query> parse_query(std::string_view line,
                                           std::string* error);
 
@@ -164,9 +204,12 @@ class QueryService {
 
  private:
   class PathCache;
+  class AnalyticsCache;
   struct Recorder;
 
   QueryResult execute(const OracleSnapshot& snap, const Query& q) const;
+  QueryResult execute_analytics(const OracleSnapshot& snap,
+                                const Query& q) const;
   QueryResult timed_execute(const OracleSnapshot& snap, const Query& q) const;
   void serve_batch_directive(std::istream& in, std::ostream& out,
                              const ServeOptions& opts, std::uint64_t count,
@@ -179,6 +222,8 @@ class QueryService {
   std::unique_ptr<PathCache> cache_;     // null when capacity == 0
   std::unique_ptr<Recorder> recorder_;
   std::unique_ptr<util::ThreadPool> pool_;
+  std::unique_ptr<query::Analytics> analytics_;  // null until enabled
+  std::unique_ptr<AnalyticsCache> acache_;       // null when disabled
 };
 
 }  // namespace dapsp::service

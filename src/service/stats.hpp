@@ -38,17 +38,28 @@ struct ShardInfo {
 };
 
 enum class QueryType : std::uint8_t {
-  kDist,     ///< point lookup: distance u -> v
-  kNextHop,  ///< first hop on a shortest path u -> v
-  kPath,     ///< full path reconstruction u -> v
+  kDist,         ///< point lookup: distance u -> v
+  kNextHop,      ///< first hop on a shortest path u -> v
+  kPath,         ///< full path reconstruction u -> v
+  kKPaths,       ///< k shortest loopless paths u -> v (analytics)
+  kRoute,        ///< constrained route u -> v (analytics)
+  kReport,       ///< whole-graph distance report (analytics)
+  kBetweenness,  ///< betweenness centrality (analytics)
 };
-inline constexpr std::size_t kQueryTypeCount = 3;
+inline constexpr std::size_t kQueryTypeCount = 7;
+/// The first three types are point lookups; only they are accepted inside
+/// binary BATCH frames (analytics types have dedicated opcodes and bodies).
+inline constexpr std::size_t kPointQueryTypeCount = 3;
 
 inline const char* query_type_name(QueryType t) {
   switch (t) {
     case QueryType::kDist: return "dist";
     case QueryType::kNextHop: return "next";
     case QueryType::kPath: return "path";
+    case QueryType::kKPaths: return "kpath";
+    case QueryType::kRoute: return "route";
+    case QueryType::kReport: return "report";
+    case QueryType::kBetweenness: return "bc";
   }
   return "?";
 }
@@ -147,9 +158,11 @@ struct ServiceStats {
     std::ostringstream os;
     os << "queries=" << total_queries() << " errors=" << total_errors()
        << " batches=" << batches;
+    // Every type is listed -- including ones that have served nothing yet --
+    // so dashboards see new query families appear with zeroed (never
+    // sentinel) histograms the moment a build ships them.
     for (std::size_t i = 0; i < kQueryTypeCount; ++i) {
       const auto& t = per_type[i];
-      if (t.count() == 0 && t.errors == 0) continue;
       os << " " << query_type_name(static_cast<QueryType>(i)) << "[n="
          << t.count() << " mean_ns=" << static_cast<std::uint64_t>(t.mean_ns())
          << " p99_ns=" << t.p99_ns() << " max_ns=" << t.max_ns() << "]";

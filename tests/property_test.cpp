@@ -12,6 +12,9 @@
 // `dapsp_cli --graph FILE` without re-deriving the generator arguments.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -19,8 +22,13 @@
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
 #include "graph/io.hpp"
+#include "query/types.hpp"
+#include "seq/centrality.hpp"
+#include "seq/constrained.hpp"
 #include "seq/dijkstra.hpp"
+#include "seq/yen.hpp"
 #include "service/oracle.hpp"
+#include "service/query_service.hpp"
 
 namespace dapsp::service {
 namespace {
@@ -179,6 +187,239 @@ INSTANTIATE_TEST_SUITE_P(
     Families, SolverProperty, ::testing::ValuesIn(all_cases()),
     [](const ::testing::TestParamInfo<Case>& param_info) {
       return std::string(family_name(param_info.param.family)) + "_" +
+             solver_name(param_info.param.solver);
+    });
+
+// ---------------------------------------------------------------------------
+// Query-differential dimension: the closure-backed analytics engine
+// (query::Analytics, exercised through the full QueryService) against the
+// sequential references in src/seq/, across graph families including RMAT.
+// All comparisons are exact (operator== on the canonical answers) except
+// betweenness, whose floating-point accumulation gets a tight tolerance.
+// Every returned route is additionally re-walked edge-by-edge against the
+// graph, so a bug that fooled both sides identically would still have to
+// produce real paths of the claimed weight to pass.
+
+enum class QFamily { kPath, kGrid, kRandom, kZeroCycle, kRmat };
+
+const char* qfamily_name(QFamily f) {
+  switch (f) {
+    case QFamily::kPath: return "path";
+    case QFamily::kGrid: return "grid";
+    case QFamily::kRandom: return "random";
+    case QFamily::kZeroCycle: return "zero_cycle";
+    case QFamily::kRmat: return "rmat";
+  }
+  return "?";
+}
+
+Graph make_qfamily(QFamily f, NodeId n, std::uint64_t seed) {
+  switch (f) {
+    case QFamily::kPath:
+      return graph::path(n, {0, 6, 0.2}, seed, /*directed=*/false);
+    case QFamily::kGrid:
+      return graph::grid(3, (n + 2) / 3, {0, 4, 0.1}, seed);
+    case QFamily::kRandom:
+      return graph::erdos_renyi(n, 0.35, {0, 5, 0.25}, seed,
+                                /*directed=*/(seed % 2) == 1);
+    case QFamily::kZeroCycle:
+      return graph::cycle(n, {0, 1, 0.7}, seed, /*directed=*/false);
+    case QFamily::kRmat:
+      // scale 3..5 (8..32 nodes) keeps the n^2 reference sweeps fast while
+      // still exercising the skewed-degree regime the generator exists for.
+      return graph::rmat(/*scale=*/2 + n / 4, /*edgefactor=*/3, {0, 7, 0.1},
+                         seed, /*directed=*/false);
+  }
+  throw std::logic_error("unknown family");
+}
+
+/// Re-walks one route: endpoints, every hop a real arc, weight sum, no
+/// repeated node (routes are loopless by contract).
+void check_route(const Graph& g, NodeId u, NodeId v, const query::Route& rt,
+                 const std::string& ctx) {
+  ASSERT_GE(rt.nodes.size(), 1u) << ctx;
+  EXPECT_EQ(rt.nodes.front(), u) << ctx;
+  EXPECT_EQ(rt.nodes.back(), v) << ctx;
+  std::set<NodeId> seen;
+  Weight sum = 0;
+  for (std::size_t i = 0; i < rt.nodes.size(); ++i) {
+    EXPECT_TRUE(seen.insert(rt.nodes[i]).second)
+        << ctx << ": node " << rt.nodes[i] << " repeats (route has a loop)";
+    if (i + 1 == rt.nodes.size()) break;
+    const Weight w = arc_weight(g, rt.nodes[i], rt.nodes[i + 1]);
+    ASSERT_NE(w, kInfDist) << ctx << ": hop " << rt.nodes[i] << "->"
+                           << rt.nodes[i + 1] << " is not an edge";
+    sum += w;
+  }
+  EXPECT_EQ(sum, rt.weight) << ctx << ": weight sum != reported weight";
+}
+
+/// Checks a route against the constraints it was answered under.
+void check_constraints(const query::Route& rt, const query::RouteConstraints& c,
+                       const std::string& ctx) {
+  if (c.max_hops != 0) EXPECT_LE(rt.hops(), c.max_hops) << ctx;
+  for (const NodeId x : c.avoid_nodes) {
+    for (const NodeId y : rt.nodes) EXPECT_NE(x, y) << ctx;
+  }
+  for (const auto& [a, b] : c.avoid_edges) {
+    for (std::size_t i = 0; i + 1 < rt.nodes.size(); ++i) {
+      const bool fwd = rt.nodes[i] == a && rt.nodes[i + 1] == b;
+      const bool rev = rt.nodes[i] == b && rt.nodes[i + 1] == a;
+      EXPECT_FALSE(fwd || rev) << ctx << ": route uses avoided edge " << a
+                               << "-" << b;
+    }
+  }
+}
+
+struct QueryCase {
+  QFamily family;
+  Solver solver;
+};
+
+class QueryDifferential : public ::testing::TestWithParam<QueryCase> {};
+
+TEST_P(QueryDifferential, MatchesSequentialReferences) {
+  const QueryCase& c = GetParam();
+  OracleBuildOptions opts;
+  opts.solver = c.solver;
+  std::uint64_t cases = 0;
+  for (NodeId n = 6; n <= 14; n += 4) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      const Graph g = make_qfamily(c.family, n, seed * 41 + n);
+      ++cases;
+      std::ostringstream tag;
+      tag << qfamily_name(c.family) << "/" << solver_name(c.solver)
+          << " n=" << n << " seed=" << seed;
+      const std::string ctx = replay_payload(g, tag.str());
+
+      QueryService svc(build_oracle(g, opts));
+      svc.enable_analytics(std::make_shared<const Graph>(g));
+      ASSERT_TRUE(svc.snapshot()->exact()) << ctx;
+      ASSERT_TRUE(svc.snapshot()->has_paths()) << ctx;
+      const NodeId nn = g.node_count();
+      // The scaled solver is exact on distances but its closure breaks
+      // weight ties in scaled order, not the canonical (hops, min-parent)
+      // order, so route *node sequences* may legitimately differ from the
+      // references on tied graphs.  Weights are still uniquely determined
+      // (route_less is weight-primary), so for that solver the comparison
+      // drops to weight equality; the re-walk and constraint checks keep
+      // the routes honest either way.
+      const bool canonical = c.solver != Solver::kScaled;
+
+      // Whole-graph report: exact equality with the reference.
+      {
+        Query q;
+        q.type = QueryType::kReport;
+        const QueryResult r = svc.query(q);
+        ASSERT_TRUE(r.ok) << ctx << " " << r.error;
+        EXPECT_TRUE(r.report == seq::graph_report(g)) << ctx << ": report";
+      }
+
+      // Betweenness, full and sampled: same sources by construction, scores
+      // equal up to floating-point accumulation.
+      for (const std::uint32_t samples : {0u, static_cast<std::uint32_t>(
+                                                  nn / 2)}) {
+        Query q;
+        q.type = QueryType::kBetweenness;
+        q.samples = samples;
+        const QueryResult r = svc.query(q);
+        ASSERT_TRUE(r.ok) << ctx << " " << r.error;
+        const std::vector<double> want =
+            seq::betweenness(g, query::betweenness_sources(nn, samples));
+        ASSERT_EQ(r.centrality.size(), want.size()) << ctx;
+        for (NodeId i = 0; i < nn; ++i) {
+          EXPECT_NEAR(r.centrality[i], want[i],
+                      1e-9 * std::max(1.0, want[i]))
+              << ctx << ": bc[" << i << "] samples=" << samples;
+        }
+      }
+
+      // k shortest paths: exact route-list equality, every route re-walked.
+      for (const NodeId u : {NodeId{0}, nn / 2, nn - 1}) {
+        for (NodeId v = 0; v < nn; ++v) {
+          Query q;
+          q.type = QueryType::kKPaths;
+          q.u = u;
+          q.v = v;
+          q.k = 3;
+          const QueryResult r = svc.query(q);
+          ASSERT_TRUE(r.ok) << ctx << " " << r.error;
+          const auto want = seq::k_shortest_paths(g, u, v, 3);
+          const std::string at =
+              ctx + " kpath " + std::to_string(u) + "->" + std::to_string(v);
+          ASSERT_EQ(r.routes.size(), want.size()) << at;
+          for (std::size_t i = 0; i < want.size(); ++i) {
+            if (canonical) {
+              ASSERT_TRUE(r.routes[i] == want[i])
+                  << at << ": route " << i << " differs";
+            } else {
+              ASSERT_EQ(r.routes[i].weight, want[i].weight)
+                  << at << ": route " << i << " weight differs";
+            }
+            check_route(g, u, v, r.routes[i], at);
+          }
+        }
+      }
+
+      // Constrained routes: several constraint shapes per pair, exact
+      // optional<Route> equality plus constraint-satisfaction re-walks.
+      for (const NodeId u : {NodeId{0}, nn - 1}) {
+        for (NodeId v = 0; v < nn; ++v) {
+          std::vector<query::RouteConstraints> variants(3);
+          variants[1].max_hops = 2;
+          variants[2].avoid_nodes = {static_cast<NodeId>((u + v) / 2)};
+          variants[2].avoid_edges = {
+              {u, static_cast<NodeId>((v + 1) % nn)}};
+          for (std::size_t ci = 0; ci < variants.size(); ++ci) {
+            Query q;
+            q.type = QueryType::kRoute;
+            q.u = u;
+            q.v = v;
+            q.constraints = variants[ci];
+            const QueryResult r = svc.query(q);
+            ASSERT_TRUE(r.ok) << ctx << " " << r.error;
+            const auto want = seq::constrained_route(g, u, v, variants[ci]);
+            const std::string at = ctx + " route " + std::to_string(u) +
+                                   "->" + std::to_string(v) + " variant " +
+                                   std::to_string(ci);
+            ASSERT_EQ(r.feasible, want.has_value()) << at;
+            if (want) {
+              ASSERT_EQ(r.routes.size(), 1u) << at;
+              if (canonical) {
+                ASSERT_TRUE(r.routes.front() == *want) << at;
+              } else {
+                ASSERT_EQ(r.routes.front().weight, want->weight) << at;
+              }
+              check_route(g, u, v, r.routes.front(), at);
+              check_constraints(r.routes.front(), variants[ci], at);
+            }
+          }
+        }
+      }
+    }
+  }
+  // 3 sizes x 4 seeds per (family, solver); 20 params -> 240 graphs.
+  EXPECT_GE(cases, 12u);
+}
+
+std::vector<QueryCase> all_query_cases() {
+  std::vector<QueryCase> out;
+  for (const QFamily f : {QFamily::kPath, QFamily::kGrid, QFamily::kRandom,
+                          QFamily::kZeroCycle, QFamily::kRmat}) {
+    // The four exact path-capable solvers; approx is excluded because the
+    // analytics families require exact distances and a next-hop table.
+    for (const Solver s : {Solver::kPipelined, Solver::kBlocker,
+                           Solver::kScaled, Solver::kReference}) {
+      out.push_back({f, s});
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, QueryDifferential, ::testing::ValuesIn(all_query_cases()),
+    [](const ::testing::TestParamInfo<QueryCase>& param_info) {
+      return std::string(qfamily_name(param_info.param.family)) + "_" +
              solver_name(param_info.param.solver);
     });
 

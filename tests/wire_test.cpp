@@ -5,6 +5,7 @@
 // it after the error).
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <sstream>
 #include <vector>
 
@@ -269,6 +270,242 @@ TEST_F(WireTest, ErrorCodeNamesAreStable) {
   EXPECT_STREQ(error_code_name(ErrorCode::kBadMagic), "bad_magic");
   EXPECT_STREQ(error_code_name(ErrorCode::kBatchTooLarge), "batch_too_large");
   EXPECT_STREQ(error_code_name(ErrorCode::kBadQueryType), "bad_query_type");
+  EXPECT_STREQ(error_code_name(ErrorCode::kBadK), "bad_k");
+  EXPECT_STREQ(error_code_name(ErrorCode::kBadAvoidSet), "bad_avoid_set");
+  EXPECT_STREQ(error_code_name(ErrorCode::kBadBody), "bad_body");
+}
+
+// ---------------------------------------------------------------------------
+// Analytics opcodes (KPATH / ROUTE / REPORT / BC).  Valid frames must
+// reproduce direct QueryService answers bit-identically; every malformation
+// class must come back as exactly one typed ERROR frame with the session
+// still in sync (a valid frame after the bad one is answered normally).
+
+/// Frame header for hand-rolled analytics requests ("DQ", version 1, op).
+std::string analytics_payload(std::uint8_t op) {
+  std::string p = "DQ";
+  p.push_back('\x01');
+  p.push_back(static_cast<char>(op));
+  return p;
+}
+
+class AnalyticsWireTest : public ::testing::Test {
+ protected:
+  AnalyticsWireTest()
+      : g_(std::make_shared<const Graph>(
+            graph::erdos_renyi(20, 0.25, {0, 8, 0.25}, 1234))),
+        svc_(service::build_oracle(*g_, kRef)) {
+    svc_.enable_analytics(g_);
+  }
+
+  std::shared_ptr<const Graph> g_;
+  QueryService svc_;
+};
+
+TEST_F(AnalyticsWireTest, OpcodesRoundtripAgainstDirectQueries) {
+  query::RouteConstraints c;
+  c.max_hops = 6;
+  c.avoid_nodes = {3, 7};
+  c.avoid_edges = {{0, 5}};
+  std::string req;
+  append_kpath_request(req, 0, 5, 3);
+  append_route_request(req, 0, 5, c);
+  append_report_request(req);
+  append_bc_request(req, 4);
+  int errors = -1;
+  const auto frames = roundtrip(svc_, req, &errors);
+  EXPECT_EQ(errors, 0);
+  ASSERT_EQ(frames.size(), 4u);
+
+  ASSERT_EQ(frames[0].kind, Response::Kind::kKPath);
+  Query kq;
+  kq.type = QueryType::kKPaths;
+  kq.u = 0;
+  kq.v = 5;
+  kq.k = 3;
+  const QueryResult kwant = svc_.query(kq);
+  ASSERT_TRUE(frames[0].result.ok) << frames[0].result.error;
+  ASSERT_EQ(frames[0].result.routes.size(), kwant.routes.size());
+  for (std::size_t i = 0; i < kwant.routes.size(); ++i) {
+    EXPECT_TRUE(frames[0].result.routes[i] == kwant.routes[i]) << i;
+  }
+  EXPECT_EQ(frames[0].result.dist, kwant.dist);
+
+  ASSERT_EQ(frames[1].kind, Response::Kind::kRoute);
+  Query rq;
+  rq.type = QueryType::kRoute;
+  rq.u = 0;
+  rq.v = 5;
+  rq.constraints = c;
+  const QueryResult rwant = svc_.query(rq);
+  ASSERT_TRUE(frames[1].result.ok) << frames[1].result.error;
+  ASSERT_EQ(frames[1].result.feasible, rwant.feasible);
+  EXPECT_EQ(frames[1].result.dist, rwant.dist);
+  EXPECT_EQ(frames[1].result.path, rwant.path);
+
+  ASSERT_EQ(frames[2].kind, Response::Kind::kReport);
+  Query gq;
+  gq.type = QueryType::kReport;
+  const QueryResult gwant = svc_.query(gq);
+  ASSERT_TRUE(frames[2].result.ok) << frames[2].result.error;
+  EXPECT_TRUE(frames[2].result.report == gwant.report);
+
+  ASSERT_EQ(frames[3].kind, Response::Kind::kBc);
+  Query bq;
+  bq.type = QueryType::kBetweenness;
+  bq.samples = 4;
+  const QueryResult bwant = svc_.query(bq);
+  ASSERT_TRUE(frames[3].result.ok) << frames[3].result.error;
+  ASSERT_EQ(frames[3].result.centrality.size(), bwant.centrality.size());
+  for (std::size_t i = 0; i < bwant.centrality.size(); ++i) {
+    // Scores cross the wire via bit_cast, so equality is exact.
+    EXPECT_EQ(frames[3].result.centrality[i], bwant.centrality[i]) << i;
+  }
+}
+
+TEST_F(AnalyticsWireTest, ServiceErrorsArriveInBandNotAsProtocolErrors) {
+  // Out-of-range node id is a service-level refusal: the frame parses, the
+  // response carries ok=false + message, and the error counter stays 0.
+  std::string req;
+  append_kpath_request(req, 99, 0, 3);
+  append_report_request(req);  // session continues normally
+  int errors = -1;
+  const auto frames = roundtrip(svc_, req, &errors);
+  EXPECT_EQ(errors, 0);
+  ASSERT_EQ(frames.size(), 2u);
+  ASSERT_EQ(frames[0].kind, Response::Kind::kKPath);
+  EXPECT_FALSE(frames[0].result.ok);
+  EXPECT_NE(frames[0].result.error.find("out of range"), std::string::npos)
+      << frames[0].result.error;
+  ASSERT_EQ(frames[1].kind, Response::Kind::kReport);
+  EXPECT_TRUE(frames[1].result.ok);
+}
+
+TEST_F(WireTest, AnalyticsWithoutGraphIsInBandUnavailable) {
+  // The plain fixture never called enable_analytics.
+  std::string req;
+  append_report_request(req);
+  int errors = -1;
+  const auto frames = roundtrip(svc_, req, &errors);
+  EXPECT_EQ(errors, 0);
+  ASSERT_EQ(frames.size(), 1u);
+  ASSERT_EQ(frames[0].kind, Response::Kind::kReport);
+  EXPECT_FALSE(frames[0].result.ok);
+  EXPECT_NE(frames[0].result.error.find("unavailable"), std::string::npos)
+      << frames[0].result.error;
+}
+
+TEST_F(AnalyticsWireTest, KPathKZeroIsBadKAndSessionContinues) {
+  std::string payload = analytics_payload(0x05);
+  put_u32(payload, 0);
+  put_u32(payload, 5);
+  put_u32(payload, 0);  // k = 0
+  std::string req = raw_frame(payload);
+  append_kpath_request(req, 0, 5, 1);  // must still be answered
+  int errors = -1;
+  const auto frames = roundtrip(svc_, req, &errors);
+  EXPECT_EQ(errors, 1);
+  ASSERT_EQ(frames.size(), 2u);
+  ASSERT_EQ(frames[0].kind, Response::Kind::kError);
+  EXPECT_EQ(frames[0].code, ErrorCode::kBadK);
+  ASSERT_EQ(frames[1].kind, Response::Kind::kKPath);
+  EXPECT_TRUE(frames[1].result.ok);
+}
+
+TEST_F(AnalyticsWireTest, KPathTruncatedAndOversizedBodies) {
+  std::string shortp = analytics_payload(0x05);
+  put_u32(shortp, 0);
+  put_u32(shortp, 5);  // missing k
+  std::string longp = analytics_payload(0x05);
+  put_u32(longp, 0);
+  put_u32(longp, 5);
+  put_u32(longp, 1);
+  longp.push_back('\0');  // trailing byte
+  std::string req = raw_frame(shortp) + raw_frame(longp);
+  int errors = -1;
+  const auto frames = roundtrip(svc_, req, &errors);
+  EXPECT_EQ(errors, 2);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].code, ErrorCode::kTruncated);
+  EXPECT_EQ(frames[1].code, ErrorCode::kBadBody);
+}
+
+TEST_F(AnalyticsWireTest, RouteTruncatedAvoidSetIsTruncatedError) {
+  // Declares 3 avoid nodes but carries 1.
+  std::string payload = analytics_payload(0x06);
+  put_u32(payload, 0);  // u
+  put_u32(payload, 5);  // v
+  put_u32(payload, 0);  // max_hops
+  put_u32(payload, 3);  // n_nodes (lie)
+  put_u32(payload, 0);  // n_edges
+  put_u32(payload, 2);  // only one node follows
+  std::string req = raw_frame(payload);
+  append_route_request(req, 0, 5, {});  // must still be answered
+  int errors = -1;
+  const auto frames = roundtrip(svc_, req, &errors);
+  EXPECT_EQ(errors, 1);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].code, ErrorCode::kTruncated);
+  ASSERT_EQ(frames[1].kind, Response::Kind::kRoute);
+  EXPECT_TRUE(frames[1].result.ok);
+}
+
+TEST_F(AnalyticsWireTest, RouteHostileAvoidCountIsRejectedBeforeAllocation) {
+  // A count of 2^32-1 would be a 16 GiB allocation if trusted; it must be
+  // refused from the declared count alone (the frame is only 28 bytes).
+  std::string payload = analytics_payload(0x06);
+  put_u32(payload, 0);
+  put_u32(payload, 5);
+  put_u32(payload, 0);
+  put_u32(payload, 0xFFFFFFFFu);  // n_nodes
+  put_u32(payload, 0);            // n_edges
+  std::string req = raw_frame(payload);
+  append_report_request(req);  // session continues
+  int errors = -1;
+  const auto frames = roundtrip(svc_, req, &errors);
+  EXPECT_EQ(errors, 1);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].code, ErrorCode::kBadAvoidSet);
+  EXPECT_EQ(frames[1].kind, Response::Kind::kReport);
+}
+
+TEST_F(AnalyticsWireTest, ReportAndBcBodySizesAreExact) {
+  std::string report_trailing = analytics_payload(0x07);
+  report_trailing.push_back('\0');
+  std::string bc_short = analytics_payload(0x08);
+  bc_short.push_back('\0');  // 2 of the 4 sample bytes
+  bc_short.push_back('\0');
+  std::string bc_long = analytics_payload(0x08);
+  put_u32(bc_long, 0);
+  bc_long.push_back('\0');
+  std::string req = raw_frame(report_trailing) + raw_frame(bc_short) +
+                    raw_frame(bc_long);
+  append_report_request(req);  // still in sync after three bad frames
+  int errors = -1;
+  const auto frames = roundtrip(svc_, req, &errors);
+  EXPECT_EQ(errors, 3);
+  ASSERT_EQ(frames.size(), 4u);
+  EXPECT_EQ(frames[0].code, ErrorCode::kBadBody);
+  EXPECT_EQ(frames[1].code, ErrorCode::kTruncated);
+  EXPECT_EQ(frames[2].code, ErrorCode::kBadBody);
+  ASSERT_EQ(frames[3].kind, Response::Kind::kReport);
+  EXPECT_TRUE(frames[3].result.ok);
+}
+
+TEST_F(AnalyticsWireTest, BatchContainingAnalyticsTypeIsRejected) {
+  // qtype 3 (kKPaths) is a real QueryType but not a point query; BATCH
+  // must refuse it the same way it refuses garbage qtypes.
+  std::string payload = analytics_payload(0x01);
+  put_u32(payload, 1);
+  payload.push_back('\x03');
+  put_u32(payload, 0);
+  put_u32(payload, 1);
+  int errors = -1;
+  const auto frames = roundtrip(svc_, raw_frame(payload), &errors);
+  EXPECT_EQ(errors, 1);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].code, ErrorCode::kBadQueryType);
+  EXPECT_EQ(svc_.stats().total_queries(), 0u);
 }
 
 }  // namespace
